@@ -1,0 +1,63 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The mixed production-like workload is expensive to run, so it executes
+once per session and is shared by the figures that analyze it
+(Figures 1, 4, 11 and Tables 1, 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.catalog import QueryResult
+from repro.pruning.flow import PruningFlow
+from repro.workload import (
+    GeneratedQuery,
+    Platform,
+    PlatformConfig,
+    WorkloadGenerator,
+)
+
+#: size of the shared mixed workload sample
+MIXED_WORKLOAD_QUERIES = 900
+
+
+@dataclass
+class WorkloadRun:
+    """A executed workload: queries, results, and flow records."""
+
+    platform: Platform
+    queries: list[GeneratedQuery]
+    results: list[QueryResult]
+    flow: PruningFlow
+
+
+@pytest.fixture(scope="session")
+def platform() -> Platform:
+    """The synthetic data platform all workload benches run against."""
+    return Platform(PlatformConfig(
+        seed=42,
+        rows_per_partition=100,
+        n_small_tables=12,
+        n_medium_tables=6,
+        n_large_tables=5,
+        n_xlarge_tables=2,
+        n_dim_tables=3,
+    ))
+
+
+@pytest.fixture(scope="session")
+def mixed_run(platform) -> WorkloadRun:
+    """One execution of the calibrated mixed workload."""
+    generator = WorkloadGenerator(platform, seed=7)
+    queries = generator.generate(MIXED_WORKLOAD_QUERIES)
+    flow = PruningFlow()
+    results = []
+    for query in queries:
+        result = platform.catalog.sql(query.sql)
+        results.append(result)
+        flow.add(result.profile.flow_record())
+    return WorkloadRun(platform=platform, queries=queries,
+                       results=results, flow=flow)

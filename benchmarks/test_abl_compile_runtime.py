@@ -1,0 +1,60 @@
+"""Ablation (§3.2): balancing compile-time and runtime pruning.
+
+Compile-time pruning "can become prohibitively expensive for queries on
+extremely large tables"; Snowflake can "dynamically push compile-time
+pruning to a virtual warehouse". This ablation sweeps the partition
+threshold beyond which pruning is deferred and reports where the
+simulated time goes — compilation vs execution — and what it costs
+(deferred pruning loses fully-matching detection and hence LIMIT
+pruning).
+"""
+
+from repro.bench.reporting import Report
+from repro.catalog import Catalog
+from repro.plan.compiler import CompilerOptions
+from repro.storage.clustering import Layout
+from repro.types import DataType, Schema
+
+N_ROWS = 40_000
+ROWS_PER_PARTITION = 50   # 800 partitions: a "large" table
+
+
+def run():
+    schema = Schema.of(ts=DataType.INTEGER, v=DataType.INTEGER)
+    catalog = Catalog(rows_per_partition=ROWS_PER_PARTITION)
+    catalog.create_table_from_rows(
+        "t", schema, [(i, i % 11) for i in range(N_ROWS)],
+        layout=Layout.sorted_by("ts"))
+    sql = f"SELECT * FROM t WHERE ts >= {N_ROWS - 500}"
+    results = {}
+    for label, limit in (("compile-time pruning", None),
+                         ("runtime pruning (deferred)", 100)):
+        options = CompilerOptions(compile_prune_partition_limit=limit)
+        result = catalog.sql(sql, options)
+        profile = result.profile
+        results[label] = (profile.compile_ms, profile.exec_ms,
+                          profile.partitions_loaded, result.num_rows)
+    return results
+
+
+def test_abl_compile_runtime(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report = Report("Ablation §3.2 — compile-time vs runtime pruning "
+                    "on an 800-partition table")
+    report.table(
+        ["mode", "compile (ms)", "exec (ms)", "partitions loaded",
+         "rows"],
+        [[label, f"{c:.2f}", f"{e:.2f}", loaded, rows]
+         for label, (c, e, loaded, rows) in results.items()])
+    report.print()
+
+    compile_mode = results["compile-time pruning"]
+    runtime_mode = results["runtime pruning (deferred)"]
+    # Same answer, same I/O either way.
+    assert compile_mode[3] == runtime_mode[3] == 500
+    assert compile_mode[2] == runtime_mode[2]
+    # Deferral moves the pruning cost out of compilation into the
+    # (parallelizable) execution phase.
+    assert runtime_mode[0] < compile_mode[0]
+    assert runtime_mode[1] > compile_mode[1]

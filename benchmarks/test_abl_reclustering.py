@@ -1,0 +1,75 @@
+"""Ablation (§1 context): data layout determines pruning headroom.
+
+The paper scopes layout optimization out ("the number of data
+partitions that can be skipped primarily depends on how data is
+distributed among micro-partitions") but that dependency is the
+premise of every technique. This ablation quantifies it: the same
+table and query set, before and after reclustering on the filter
+column, with the clustering-depth metric tracking the change.
+"""
+
+import random
+
+from repro.bench.reporting import Report
+from repro.catalog import Catalog
+from repro.storage.clustering import Layout
+from repro.types import DataType, Schema
+
+N_ROWS = 30_000
+N_QUERIES = 60
+
+
+def run():
+    rng = random.Random(29)
+    schema = Schema.of(ts=DataType.INTEGER, v=DataType.INTEGER)
+    rows = [(rng.randrange(N_ROWS), rng.randrange(1000))
+            for _ in range(N_ROWS)]
+    catalog = Catalog(rows_per_partition=300)
+    catalog.create_table_from_rows("t", schema, rows,
+                                   layout=Layout.random(seed=31))
+    queries = []
+    for _ in range(N_QUERIES):
+        lo = rng.randrange(N_ROWS - 600)
+        queries.append(
+            f"SELECT * FROM t WHERE ts BETWEEN {lo} AND {lo + 599}")
+
+    def evaluate():
+        loaded = 0
+        total = 0
+        for sql in queries:
+            result = catalog.sql(sql)
+            loaded += result.profile.partitions_loaded
+            total += result.profile.total_partitions
+        info = catalog.clustering_information("t", "ts")
+        return 1 - loaded / total, info.average_depth
+
+    before_ratio, before_depth = evaluate()
+    catalog.recluster("t", "ts")
+    after_ratio, after_depth = evaluate()
+    return {
+        "before": (before_depth, before_ratio),
+        "after": (after_depth, after_ratio),
+    }
+
+
+def test_abl_reclustering(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report = Report("Ablation — reclustering: layout determines "
+                    "pruning headroom")
+    report.table(
+        ["state", "avg clustering depth", "partitions pruned"],
+        [["random layout", f"{results['before'][0]:.1f}",
+          f"{results['before'][1]:.1%}"],
+         ["reclustered on ts", f"{results['after'][0]:.1f}",
+          f"{results['after'][1]:.1%}"]])
+    report.print()
+
+    before_depth, before_ratio = results["before"]
+    after_depth, after_ratio = results["after"]
+    assert before_depth > 10      # fully overlapping ranges
+    # Near-perfect after reclustering (duplicate ts values make
+    # neighbouring partitions touch at their boundaries).
+    assert after_depth < 3.0
+    assert before_ratio < 0.1     # pruning cannot work
+    assert after_ratio > 0.9      # pruning dominates

@@ -1,0 +1,46 @@
+"""Figure 10: impact of join pruning on probe-side scan sets.
+
+Paper: ~13% of eligible queries see a pruning ratio of 100% (often an
+empty build side); the median probe-side scan-set reduction is >= 72%;
+join pruning is "generally very effective".
+"""
+
+from repro.bench.reporting import Report, render_cdf
+from repro.bench.stats import cdf_points, describe, fraction_at_least
+from repro.workload import WorkloadGenerator
+
+N_QUERIES = 250
+
+
+def run(platform):
+    generator = WorkloadGenerator(platform, seed=41)
+    queries = generator.generate_of_kind("join", N_QUERIES)
+    ratios = []
+    for query in queries:
+        result = platform.catalog.sql(query.sql)
+        for scan in result.profile.scans:
+            if scan.join_result is not None:
+                ratios.append(scan.join_result.pruning_ratio)
+    return ratios
+
+
+def test_fig10_join_pruning(benchmark, platform):
+    ratios = benchmark.pedantic(run, args=(platform,), rounds=1,
+                                iterations=1)
+
+    stats = describe(ratios)
+    at_100 = fraction_at_least(ratios, 1.0)
+    report = Report("Figure 10 — join pruning of probe-side scans")
+    report.add(render_cdf(
+        cdf_points(ratios, [0.0, 0.25, 0.5, 0.72, 0.9, 0.999]),
+        label="probe scan-set reduction"))
+    report.compare("median reduction", ">= 0.72",
+                   round(stats.median, 3))
+    report.compare("share of queries at 100%", 0.13, round(at_100, 3))
+    report.compare("mean reduction", 0.79, round(stats.mean, 3))
+    report.print()
+
+    assert stats.median >= 0.6
+    # a visible cluster at 100% (empty build sides), but not dominant
+    assert 0.05 < at_100 < 0.40
+    assert stats.mean > 0.6

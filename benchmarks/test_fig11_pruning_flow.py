@@ -1,0 +1,44 @@
+"""Figure 11: share of queries by pruning-technique combination.
+
+Paper: techniques execute filter -> join -> LIMIT -> top-k; most
+queries benefit from filter pruning (58.7% of all queries prune at
+least one partition with it); combinations of techniques compound.
+"""
+
+from repro.bench.reporting import Report
+from repro.pruning.base import PruneCategory
+
+
+def analyze(flow):
+    return flow.combination_shares(), flow.technique_shares()
+
+
+def test_fig11_pruning_flow(benchmark, mixed_run):
+    combos, technique_shares = benchmark.pedantic(
+        analyze, args=(mixed_run.flow,), rounds=1, iterations=1)
+
+    report = Report("Figure 11 — queries per technique combination "
+                    "(flow order: filter, join, limit, topk)")
+    rows = [[" + ".join(combo) if combo else "(no pruning)",
+             f"{share:.1%}"] for combo, share in combos.items()]
+    report.table(["combination", "share of queries"], rows)
+    report.compare("filter pruning applied (share of queries)",
+                   0.587, round(technique_shares["filter"], 3))
+    report.compare("join pruning applied", "~0.13 of queries",
+                   round(technique_shares["join"], 3))
+    report.print()
+
+    # Shape: filter pruning is by far the most common technique, a
+    # meaningful share of queries prunes nothing, and combinations of
+    # two or more techniques occur.
+    assert technique_shares["filter"] == max(technique_shares.values())
+    assert 0.3 < technique_shares["filter"] < 0.9
+    assert () in combos  # some queries prune nothing
+    multi = sum(share for combo, share in combos.items()
+                if len(combo) >= 2)
+    assert multi > 0.02
+    # combination order respects the flow
+    for combo in combos:
+        indexes = [("filter", "join", "limit", "topk").index(t)
+                   for t in combo]
+        assert indexes == sorted(indexes)

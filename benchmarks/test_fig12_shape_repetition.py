@@ -1,0 +1,55 @@
+"""Figure 12: repetitiveness of top-k query plan shapes.
+
+Paper: over both a 3-day and a 1-month window, most top-k plan shapes
+appear only once — which limits what predicate caching can achieve for
+top-k queries and motivates the pruning-based approach (§8.2).
+"""
+
+from collections import Counter
+
+from repro.bench.reporting import Report
+from repro.workload import WorkloadGenerator
+
+SHORT_WINDOW = 300    # "3 days"
+LONG_WINDOW = 3000    # "1 month"
+
+
+def shape_counts(platform, n_queries, seed):
+    generator = WorkloadGenerator(platform, seed=seed)
+    stream = generator.topk_stream_with_repetition(n_queries)
+    shapes = Counter()
+    for query in stream:
+        plan = platform.catalog.plan_sql(query.sql)
+        shapes[plan.shape()] += 1
+    return shapes
+
+
+def run(platform):
+    return (shape_counts(platform, SHORT_WINDOW, seed=51),
+            shape_counts(platform, LONG_WINDOW, seed=52))
+
+
+def test_fig12_shape_repetition(benchmark, platform):
+    short, long_ = benchmark.pedantic(run, args=(platform,), rounds=1,
+                                      iterations=1)
+
+    report = Report("Figure 12 — repetitiveness of top-k plan shapes")
+    rows = []
+    for label, counts in (("3-day", short), ("1-month", long_)):
+        total_shapes = len(counts)
+        singletons = sum(1 for c in counts.values() if c == 1)
+        top_share = counts.most_common(1)[0][1] / sum(counts.values())
+        rows.append([label, sum(counts.values()), total_shapes,
+                     f"{singletons / total_shapes:.1%}",
+                     f"{top_share:.1%}"])
+    report.table(["window", "queries", "distinct shapes",
+                  "shapes seen once", "hottest shape share"], rows)
+    report.print()
+
+    for counts in (short, long_):
+        singleton_share = sum(1 for c in counts.values() if c == 1) \
+            / len(counts)
+        # "Most query plan shapes appear only once."
+        assert singleton_share > 0.5
+    # The longer window accumulates more distinct shapes.
+    assert len(long_) > len(short)

@@ -1,0 +1,51 @@
+"""Figure 4: impact of filter pruning on SELECT queries with at least
+one predicate.
+
+Paper: pruning ratio measured relative to the query's *total*
+partitions (including unfiltered scans); ~36% of queries prune >= 90%
+of partitions; ~27% of queries have prunable filters but prune 0%.
+"""
+
+from repro.bench.reporting import Report, render_cdf
+from repro.bench.stats import cdf_points, describe
+from repro.pruning.base import PruneCategory
+
+PAPER_SHARE_OVER_90 = 0.36
+PAPER_SHARE_ZERO = 0.27
+
+
+def analyze(flow):
+    ratios = []
+    for record in flow.records:
+        if not record.eligible.get(PruneCategory.FILTER, False):
+            continue
+        ratios.append(record.ratio(PruneCategory.FILTER,
+                                   relative_to_query=True))
+    over_90 = sum(1 for r in ratios if r >= 0.9) / len(ratios)
+    zero = sum(1 for r in ratios if r == 0.0) / len(ratios)
+    return ratios, over_90, zero
+
+
+def test_fig4_filter_pruning(benchmark, mixed_run):
+    ratios, over_90, zero = benchmark.pedantic(
+        analyze, args=(mixed_run.flow,), rounds=1, iterations=1)
+
+    report = Report("Figure 4 — filter pruning impact "
+                    "(queries with >= 1 prunable predicate)")
+    box = describe(ratios)
+    report.add(f"  queries: {box.count}")
+    report.compare("share pruning >= 90%", PAPER_SHARE_OVER_90,
+                   round(over_90, 3))
+    report.compare("share pruning exactly 0%", PAPER_SHARE_ZERO,
+                   round(zero, 3))
+    report.compare("median ratio", "high", round(box.median, 3))
+    report.add(render_cdf(
+        cdf_points(ratios, [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]),
+        label="filter pruning ratio"))
+    report.print()
+
+    # Shape: a large cluster of queries prunes almost everything, and a
+    # substantial cluster prunes nothing (wide ranges / poor layout).
+    assert over_90 > 0.2
+    assert 0.05 < zero < 0.45
+    assert box.mean > 0.4

@@ -1,0 +1,43 @@
+"""Figure 6: CDF of k in LIMIT queries.
+
+Paper: most queries have k = 0 or k = 1; 97% have k <= 10,000 and
+99.9% have k <= 2,000,000 (OFFSET included in the value when present).
+"""
+
+import random
+
+import pytest
+
+from repro.bench.reporting import Report, render_cdf
+from repro.bench.stats import cdf_points, fraction_at_most
+from repro.workload.distributions import sample_limit_k
+
+SAMPLE = 100_000
+
+
+def sample(seed=123):
+    rng = random.Random(seed)
+    return [sample_limit_k(rng) for _ in range(SAMPLE)]
+
+
+def test_fig6_limit_k_cdf(benchmark):
+    values = benchmark.pedantic(sample, rounds=1, iterations=1)
+
+    points = cdf_points(values, [0, 1, 10, 100, 1000, 10_000,
+                                 100_000, 2_000_000])
+    report = Report("Figure 6 — CDF of k in LIMIT queries")
+    report.add(render_cdf(points, label="LIMIT k"))
+    report.compare("P[k <= 10,000]", 0.97,
+                   round(fraction_at_most(values, 10_000), 4))
+    report.compare("P[k <= 2,000,000]", 0.999,
+                   round(fraction_at_most(values, 2_000_000), 4))
+    report.compare("P[k <= 1] (\"most queries have k=0 or k=1\")",
+                   ">= ~0.4", round(fraction_at_most(values, 1), 4))
+    report.print()
+
+    assert fraction_at_most(values, 10_000) == pytest.approx(
+        0.97, abs=0.01)
+    assert fraction_at_most(values, 2_000_000) == pytest.approx(
+        0.999, abs=0.003)
+    assert fraction_at_most(values, 1) > 0.35
+    assert max(values) > 2_000_000  # the extreme tail exists

@@ -1,0 +1,89 @@
+"""Figure 9: top-k pruning ratios and the runtime improvements they
+produce, bucketed by baseline query runtime.
+
+Paper: CDFs of pruning ratio and of relative runtime improvement have
+similar distributions ("a strong correlation between pruning and
+runtime improvement"); improvements of more than 99.9% exist in every
+runtime bucket; the average pruning ratio of successfully applied
+top-k pruning is ~77%.
+"""
+
+from repro.bench.reporting import Report
+from repro.bench.stats import describe, percentile
+from repro.plan.compiler import CompilerOptions
+from repro.workload import WorkloadGenerator
+
+N_QUERIES = 120
+
+
+def run(platform):
+    generator = WorkloadGenerator(platform, seed=37)
+    queries = generator.generate_of_kind("topk_plain", N_QUERIES)
+    disabled = CompilerOptions(enable_topk_pruning=False,
+                               topk_boundary_init=False)
+    samples = []
+    for query in queries:
+        baseline = platform.catalog.sql(query.sql, disabled)
+        pruned = platform.catalog.sql(query.sql)
+        scan = pruned.profile.scans[0]
+        entering = scan.total_partitions
+        for stage in (scan.filter_result, scan.join_result):
+            if stage is not None:
+                entering = stage.after
+        if entering == 0 or scan.topk_checks == 0:
+            continue
+        ratio = scan.topk_skipped / entering
+        if ratio == 0:
+            continue  # paper: "successfully applied" top-k pruning
+        t_off = baseline.profile.total_ms
+        t_on = pruned.profile.total_ms
+        improvement = 1 - t_on / t_off if t_off > 0 else 0.0
+        samples.append((t_off, ratio, improvement))
+    return samples
+
+
+def test_fig9_topk_runtime(benchmark, platform):
+    samples = benchmark.pedantic(run, args=(platform,), rounds=1,
+                                 iterations=1)
+
+    baselines = [s[0] for s in samples]
+    t33 = percentile(baselines, 33)
+    t66 = percentile(baselines, 66)
+    buckets = {
+        f"fast (t < {t33:.0f} ms)": [s for s in samples if s[0] < t33],
+        f"mid ({t33:.0f} <= t < {t66:.0f} ms)":
+            [s for s in samples if t33 <= s[0] < t66],
+        f"slow (t >= {t66:.0f} ms)": [s for s in samples if s[0] >= t66],
+    }
+    report = Report("Figure 9 — top-k pruning ratio and runtime "
+                    "improvement by baseline-runtime bucket")
+    rows = []
+    for label, bucket in buckets.items():
+        if not bucket:
+            continue
+        ratio_stats = describe([s[1] for s in bucket])
+        improv_stats = describe([s[2] for s in bucket])
+        rows.append([label, len(bucket),
+                     f"{ratio_stats.median:.1%}",
+                     f"{improv_stats.median:.1%}",
+                     f"{improv_stats.maximum:.1%}"])
+    report.table(["bucket", "queries", "median prune ratio",
+                  "median runtime improvement", "max improvement"],
+                 rows)
+    all_ratios = describe([s[1] for s in samples])
+    all_improvements = describe([s[2] for s in samples])
+    report.compare("avg pruning ratio (successfully applied)", 0.77,
+                   round(all_ratios.mean, 3))
+    report.compare("pruning/improvement correlate", "yes",
+                   f"mean ratio {all_ratios.mean:.2f} vs mean "
+                   f"improvement {all_improvements.mean:.2f}")
+    report.print()
+
+    # Shape: substantial pruning where applied, runtime improvements
+    # track pruning ratios, and all buckets see improvements.
+    assert all_ratios.mean > 0.4
+    assert all_improvements.mean > 0.2
+    assert abs(all_ratios.mean - all_improvements.mean) < 0.35
+    for bucket in buckets.values():
+        if bucket:
+            assert max(s[2] for s in bucket) > 0.3

@@ -1,0 +1,126 @@
+"""Micro-benchmarks of the hot kernels (multi-round timings).
+
+Unlike the figure/table benches (one-shot experiment reproductions),
+these measure raw throughput of the pruning primitives: zone-map
+checks, scan-set pruning, expression evaluation, summary probes, and
+the top-k heap.
+"""
+
+import random
+
+from repro.expr.ast import And, Compare, If, Like, col, lit
+from repro.expr.eval import evaluate_predicate
+from repro.expr.pruning import prune_partition
+from repro.pruning.base import ScanSet
+from repro.pruning.filter_pruning import FilterPruner
+from repro.pruning.join_pruning import build_summary
+from repro.storage.builder import build_table
+from repro.storage.clustering import Layout
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(ts=DataType.INTEGER, category=DataType.VARCHAR,
+                   score=DataType.INTEGER)
+
+_rng = random.Random(0)
+_ROWS = [(i, f"cat{_rng.randrange(8):02d}", _rng.randrange(10**6))
+         for i in range(50_000)]
+_TABLE = build_table("t", SCHEMA, _ROWS, rows_per_partition=100,
+                     layout=Layout.sorted_by("ts"))
+_SCAN_SET = ScanSet((p.partition_id, p.zone_map)
+                    for p in _TABLE.partitions)
+_PREDICATE = And(
+    Compare(">=", col("ts"), lit(40_000)),
+    Like(col("category"), "cat0%"),
+    Compare(">", If(Compare("=", col("category"), lit("cat01")),
+                    col("score"), lit(0)), lit(-1)),
+)
+
+
+def test_prune_partition_check(benchmark):
+    """One tri-state pruning verdict from a zone map."""
+    zone_map = _TABLE.partitions[250].zone_map
+    benchmark(prune_partition, _PREDICATE, zone_map, SCHEMA)
+
+
+def test_filter_pruner_500_partitions(benchmark):
+    """Compile-time pruning of a 500-partition scan set."""
+
+    def prune():
+        pruner = FilterPruner(_PREDICATE, SCHEMA)
+        return pruner.prune(_SCAN_SET).after
+
+    result = benchmark(prune)
+    assert result < len(_SCAN_SET)
+
+
+def test_vectorized_predicate_eval(benchmark):
+    """Row-level predicate evaluation over one partition (100 rows)."""
+    partition = _TABLE.partitions[250]
+    columns = partition.columns()
+
+    def evaluate():
+        return evaluate_predicate(_PREDICATE, columns, SCHEMA)
+
+    benchmark(evaluate)
+
+
+def test_rangeset_summary_probe(benchmark):
+    """Range-set overlap probes (binary search over 64 intervals)."""
+    summary = build_summary(
+        [_rng.randrange(10**6) for _ in range(5000)], "rangeset")
+    probes = [( _rng.randrange(10**6), ) for _ in range(100)]
+
+    def probe():
+        hits = 0
+        for (lo,) in probes:
+            if summary.might_overlap_range(lo, lo + 500):
+                hits += 1
+        return hits
+
+    benchmark(probe)
+
+
+def test_bloom_vs_cuckoo_vs_xor_lookup(benchmark):
+    """Membership lookups across the three filters (300 probes)."""
+    values = [_rng.randrange(10**6) for _ in range(5000)]
+    filters = [build_summary(values, kind)
+               for kind in ("bloom", "cuckoo", "xor")]
+    probes = [_rng.randrange(10**6) for _ in range(100)]
+
+    def lookup():
+        return sum(f.might_contain(p)
+                   for f in filters for p in probes)
+
+    benchmark(lookup)
+
+
+def test_topk_heap_10k_rows(benchmark):
+    """Heap-based top-10 over 10k rows via the TopK operator."""
+    from repro.engine.chunk import Chunk
+    from repro.engine.context import ExecContext
+    from repro.engine.executor import execute
+    from repro.engine.operators import ChunkSource, TopK
+    from repro.storage.storage_layer import StorageLayer
+
+    chunk = Chunk.from_rows(SCHEMA, _ROWS[:10_000])
+
+    def run():
+        context = ExecContext(StorageLayer())
+        source = ChunkSource(SCHEMA, [chunk])
+        topk = TopK(context, source, "score", 10, desc=True)
+        return execute(topk, context).num_rows
+
+    result = benchmark(run)
+    assert result == 10
+
+
+def test_scan_set_serialization(benchmark):
+    """Serialize + deserialize a 500-partition scan set."""
+    zone_maps = {pid: zm for pid, zm in _SCAN_SET}
+
+    def roundtrip():
+        data = _SCAN_SET.serialize()
+        return len(ScanSet.deserialize(data, zone_maps.__getitem__))
+
+    result = benchmark(roundtrip)
+    assert result == len(_SCAN_SET)

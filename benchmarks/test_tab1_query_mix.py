@@ -1,0 +1,62 @@
+"""Table 1: relative frequency of LIMIT/top-k query types, classified
+by pattern-matching on SQL texts (exactly the paper's method).
+
+Paper: LIMIT queries 2.60% of SELECTs (0.37% without predicate, 2.23%
+with); top-k 5.55% (4.47% ORDER BY x LIMIT k, 0.12% GROUP BY x ORDER BY
+x LIMIT k, 0.96% GROUP BY y ORDER BY agg(x) LIMIT k).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.bench.reporting import Report
+from repro.workload import WorkloadGenerator, classify_sql
+from repro.workload.classify import QueryClass
+
+PAPER = {
+    QueryClass.LIMIT_NO_PREDICATE: 0.0037,
+    QueryClass.LIMIT_WITH_PREDICATE: 0.0223,
+    QueryClass.TOPK_ORDER_LIMIT: 0.0447,
+    QueryClass.TOPK_GROUP_ORDER_KEY: 0.0012,
+    QueryClass.TOPK_GROUP_ORDER_AGG: 0.0096,
+}
+
+SAMPLE = 40_000
+
+
+def classify_workload(platform):
+    generator = WorkloadGenerator(platform, seed=11)
+    counts = Counter()
+    for query in generator.generate(SAMPLE):
+        counts[classify_sql(query.sql)] += 1
+    return {cls: counts.get(cls, 0) / SAMPLE for cls in QueryClass}
+
+
+def test_tab1_query_mix(benchmark, platform):
+    shares = benchmark.pedantic(classify_workload, args=(platform,),
+                                rounds=1, iterations=1)
+
+    report = Report("Table 1 — LIMIT/top-k query type frequencies "
+                    "(SQL-text pattern matching)")
+    rows = []
+    for cls, paper_share in PAPER.items():
+        rows.append([cls.value, f"{paper_share:.2%}",
+                     f"{shares[cls]:.2%}"])
+    limit_total = (shares[QueryClass.LIMIT_NO_PREDICATE]
+                   + shares[QueryClass.LIMIT_WITH_PREDICATE])
+    topk_total = (shares[QueryClass.TOPK_ORDER_LIMIT]
+                  + shares[QueryClass.TOPK_GROUP_ORDER_KEY]
+                  + shares[QueryClass.TOPK_GROUP_ORDER_AGG])
+    report.table(["type", "paper", "measured"], rows)
+    report.compare("LIMIT queries total", "2.60%",
+                   f"{limit_total:.2%}")
+    report.compare("top-k queries total", "5.55%",
+                   f"{topk_total:.2%}")
+    report.print()
+
+    assert limit_total == pytest.approx(0.026, abs=0.006)
+    assert topk_total == pytest.approx(0.0555, abs=0.010)
+    for cls, paper_share in PAPER.items():
+        assert shares[cls] == pytest.approx(
+            paper_share, abs=max(0.004, paper_share * 0.5)), cls

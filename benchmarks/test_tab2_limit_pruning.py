@@ -1,0 +1,92 @@
+"""Table 2: breakdown of LIMIT pruning applicability.
+
+Paper (eligible LIMIT queries):
+
+| category                 | no pred | with pred | overall |
+|--------------------------|---------|-----------|---------|
+| already minimal scan set | 79.60%  | 61.65%    | 64.22%  |
+| unsupported shapes       |  1.74%  | 36.23%    | 31.28%  |
+| pruning to = 1 partition | 16.58%  |  1.71%    |  3.85%  |
+| pruning to > 1 partitions|  1.54%  |  0.01%    |  0.23%  |
+
+"Unsupported shapes" merges plan shapes where the LIMIT cannot reach a
+scan with queries that reach it but find no fully-matching partitions.
+"""
+
+from collections import Counter
+
+from repro.bench.reporting import Report
+from repro.pruning.limit_pruning import LimitPruneOutcome
+from repro.workload import WorkloadGenerator
+
+N_PER_GROUP = 350
+
+PAPER = {
+    # category -> (without predicate, with predicate)
+    "already_minimal": (0.7960, 0.6165),
+    "unsupported": (0.0174, 0.3623),
+    "pruned_to_one": (0.1658, 0.0171),
+    "pruned_to_many": (0.0154, 0.0001),
+}
+
+
+def categorize(result):
+    scan = result.profile.scans[0]
+    report = scan.limit_report
+    if report is None:
+        return "unsupported"
+    outcome = report.outcome
+    if outcome == LimitPruneOutcome.ALREADY_MINIMAL:
+        return "already_minimal"
+    if outcome in (LimitPruneOutcome.NO_FULLY_MATCHING,
+                   LimitPruneOutcome.INSUFFICIENT_ROWS,
+                   LimitPruneOutcome.UNSUPPORTED_SHAPE):
+        return "unsupported"
+    if outcome == LimitPruneOutcome.PRUNED_TO_ONE:
+        return "pruned_to_one"
+    return "pruned_to_many"
+
+
+def run(platform):
+    generator = WorkloadGenerator(platform, seed=21)
+    shares = {}
+    for kind in ("limit_nopred", "limit_pred"):
+        counts = Counter()
+        for query in generator.generate_of_kind(kind, N_PER_GROUP):
+            result = platform.catalog.sql(query.sql)
+            counts[categorize(result)] += 1
+        shares[kind] = {cat: counts.get(cat, 0) / N_PER_GROUP
+                        for cat in PAPER}
+    return shares
+
+
+def test_tab2_limit_pruning(benchmark, platform):
+    shares = benchmark.pedantic(run, args=(platform,), rounds=1,
+                                iterations=1)
+
+    report = Report("Table 2 — LIMIT pruning applicability")
+    rows = []
+    for category, (paper_nopred, paper_pred) in PAPER.items():
+        rows.append([
+            category,
+            f"{paper_nopred:.1%} / {shares['limit_nopred'][category]:.1%}",
+            f"{paper_pred:.1%} / {shares['limit_pred'][category]:.1%}",
+        ])
+    report.table(["category", "no pred (paper/measured)",
+                  "with pred (paper/measured)"], rows)
+    report.print()
+
+    nopred, pred = shares["limit_nopred"], shares["limit_pred"]
+    # Shape assertions from the paper's discussion:
+    # 1. most queries already have a minimal scan set, more so without
+    #    predicates;
+    assert nopred["already_minimal"] > 0.5
+    assert nopred["already_minimal"] > pred["already_minimal"]
+    # 2. with predicates, a large group is unsupported / lacks
+    #    fully-matching partitions;
+    assert pred["unsupported"] > nopred["unsupported"]
+    assert pred["unsupported"] > 0.1
+    # 3. when pruning fires it overwhelmingly reaches one partition;
+    assert nopred["pruned_to_one"] > nopred["pruned_to_many"]
+    # 4. without predicates, pruning fires much more often.
+    assert nopred["pruned_to_one"] > pred["pruned_to_one"]

@@ -1,0 +1,94 @@
+"""A BI dashboard session: schema probes, top-k widgets, and the
+predicate cache (§8.2).
+
+Simulates the access patterns the paper attributes to BI tools: a
+LIMIT 0 schema probe, default-LIMIT previews, repeated top-10 widgets
+(where the predicate cache pays off), and DML that forces cache
+invalidation while pruning keeps working.
+
+Run with: python examples/bi_dashboard.py
+"""
+
+import random
+
+from repro import Catalog, DataType, Layout, Schema
+from repro.expr.ast import Compare, col, lit
+
+
+def build_catalog() -> Catalog:
+    rng = random.Random(99)
+    catalog = Catalog(rows_per_partition=500)
+    schema = Schema.of(
+        day=DataType.INTEGER,
+        region=DataType.VARCHAR,
+        product=DataType.VARCHAR,
+        revenue=DataType.INTEGER,
+    )
+    regions = ["emea", "amer", "apac"]
+    products = [f"sku-{i:03d}" for i in range(40)]
+    rows = [
+        (rng.randrange(365), rng.choice(regions),
+         rng.choice(products), rng.randrange(100_000))
+        for _ in range(50_000)
+    ]
+    catalog.create_table_from_rows("sales", schema, rows,
+                                   layout=Layout.clustered_by(
+                                       "day", jitter=200, seed=1))
+    catalog.enable_predicate_cache()
+    return catalog
+
+
+def main() -> None:
+    catalog = build_catalog()
+
+    # The dashboard first probes the schema with LIMIT 0 (§4: "some
+    # BI-tools issue queries with LIMIT 0 appended").
+    probe = catalog.sql("SELECT * FROM sales LIMIT 0")
+    print("-- schema probe (LIMIT 0) --")
+    print(f"columns: {probe.schema.names()}, partitions loaded: "
+          f"{probe.profile.partitions_loaded}")
+
+    # A preview widget with the tool's default LIMIT.
+    preview = catalog.sql("SELECT * FROM sales LIMIT 100")
+    print("\n-- preview (LIMIT 100) --")
+    print(preview.profile.pruning_summary())
+
+    # The top-10 revenue widget: first render is a cache miss, the
+    # refresh hits the top-k predicate cache.
+    widget_sql = ("SELECT * FROM sales WHERE region = 'emea' "
+                  "ORDER BY revenue DESC LIMIT 10")
+    first = catalog.sql(widget_sql)
+    refresh = catalog.sql(widget_sql)
+    print("\n-- top-10 widget --")
+    print(f"first render : {first.profile.partitions_loaded} "
+          f"partitions, cache hit: "
+          f"{first.profile.scans[0].cache_hit}")
+    print(f"refresh      : {refresh.profile.partitions_loaded} "
+          f"partitions, cache hit: "
+          f"{refresh.profile.scans[0].cache_hit}")
+
+    # New data lands: INSERTs are safe for the cache — appended
+    # partitions join the cached scan list automatically.
+    catalog.insert("sales", [(400, "emea", "sku-new", 10**6)])
+    after_insert = catalog.sql(widget_sql)
+    print("\n-- after INSERT of a record-breaking sale --")
+    print(f"top revenue now: {after_insert.rows[0][3]} "
+          f"(cache hit: {after_insert.profile.scans[0].cache_hit})")
+
+    # An UPDATE to the ordering column invalidates the top-k entry
+    # (§8.2); the next render falls back to boundary-based pruning and
+    # stays correct.
+    catalog.update_where("sales",
+                         Compare("=", col("product"), lit("sku-new")),
+                         "revenue", lambda old: 0)
+    after_update = catalog.sql(widget_sql)
+    print("\n-- after UPDATE of the ordering column --")
+    print(f"top revenue now: {after_update.rows[0][3]} "
+          f"(cache hit: {after_update.profile.scans[0].cache_hit})")
+    cache = catalog.predicate_cache
+    print(f"cache stats: hits={cache.hits} misses={cache.misses} "
+          f"invalidations={cache.invalidations}")
+
+
+if __name__ == "__main__":
+    main()

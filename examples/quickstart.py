@@ -1,0 +1,57 @@
+"""Quickstart: build a table, run SQL, watch partitions get pruned.
+
+Run with: python examples/quickstart.py
+"""
+
+from repro import Catalog, DataType, Layout, Schema
+
+
+def main() -> None:
+    # A catalog owns storage, metadata, and query execution.
+    catalog = Catalog(rows_per_partition=1000)
+
+    # 100k events, physically sorted by event time — the layout that
+    # makes min/max zone maps effective.
+    schema = Schema.of(
+        ts=DataType.INTEGER,
+        user_id=DataType.INTEGER,
+        action=DataType.VARCHAR,
+        duration_ms=DataType.INTEGER,
+    )
+    rows = [
+        (i, i * 7919 % 10_000, ("view", "click", "buy")[i % 3],
+         (i * 131) % 60_000)
+        for i in range(100_000)
+    ]
+    catalog.create_table_from_rows("events", schema, rows,
+                                   layout=Layout.sorted_by("ts"))
+    print(f"events: {catalog.tables['events'].num_partitions} "
+          f"micro-partitions of 1000 rows")
+
+    # 1. Filter pruning: the compiler consults zone maps and drops
+    #    partitions that cannot contain matches.
+    result = catalog.sql(
+        "SELECT * FROM events WHERE ts BETWEEN 42000 AND 42999")
+    print("\n-- filter pruning --")
+    print(f"rows: {result.num_rows}")
+    print(result.profile.pruning_summary())
+
+    # 2. LIMIT pruning: fully-matching partitions let the scan set
+    #    shrink to the minimum number of files covering k rows.
+    result = catalog.sql(
+        "SELECT * FROM events WHERE ts >= 90000 LIMIT 10")
+    print("\n-- LIMIT pruning --")
+    print(f"rows: {result.num_rows}")
+    print(result.profile.pruning_summary())
+
+    # 3. Top-k pruning: the TopK heap's boundary value feeds back into
+    #    the scan, skipping partitions that cannot beat the k-th best.
+    result = catalog.sql(
+        "SELECT * FROM events ORDER BY ts DESC LIMIT 5")
+    print("\n-- top-k pruning --")
+    print(f"top ts values: {[r[0] for r in result.rows]}")
+    print(result.profile.pruning_summary())
+
+
+if __name__ == "__main__":
+    main()

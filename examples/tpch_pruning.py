@@ -1,0 +1,64 @@
+"""Standalone §8.3 analysis: why TPC-H understates pruning.
+
+Builds the mini TPC-H twice — clustered on l_shipdate/o_orderdate and
+unclustered — measures every query's pruning ratio, and contrasts the
+result with the production-like synthetic workload.
+
+Run with: python examples/tpch_pruning.py
+"""
+
+import statistics
+
+from repro.bench.reporting import format_table
+from repro.pruning.flow import PruningFlow
+from repro.workload import Platform, PlatformConfig, WorkloadGenerator
+from repro.workload.tpch import (
+    TpchConfig,
+    build_tpch,
+    measure_query_pruning,
+    tpch_queries,
+)
+
+
+def tpch_ratios(cluster: bool) -> list[float]:
+    catalog = build_tpch(TpchConfig(orders_count=4000, cluster=cluster))
+    ratios = []
+    for query in tpch_queries():
+        total, pruned = measure_query_pruning(catalog, query)
+        ratios.append(pruned / total if total else 0.0)
+    return ratios
+
+
+def main() -> None:
+    clustered = tpch_ratios(cluster=True)
+    unclustered = tpch_ratios(cluster=False)
+
+    rows = [[f"Q{i + 1:02d}", f"{clustered[i]:.1%}",
+             f"{unclustered[i]:.1%}"] for i in range(22)]
+    print(format_table(["query", "clustered", "default layout"], rows))
+    print(f"\nclustered: avg {sum(clustered) / 22:.1%}, "
+          f"median {statistics.median(clustered):.1%} "
+          f"(paper: avg 28.7%, median 8.3%)")
+    print(f"default  : avg {sum(unclustered) / 22:.1%}, "
+          f"median {statistics.median(unclustered):.1%} "
+          f"(paper: no pruning with default clustering)")
+
+    # Contrast with a production-like workload.
+    platform = Platform(PlatformConfig(seed=1, n_small_tables=6,
+                                       n_medium_tables=4,
+                                       n_large_tables=3,
+                                       n_xlarge_tables=1))
+    generator = WorkloadGenerator(platform, seed=2)
+    flow = PruningFlow()
+    for query in generator.generate(300):
+        flow.add(platform.catalog.sql(query.sql).profile.flow_record())
+    print(f"\nproduction-like workload: "
+          f"{flow.platform_pruning_ratio():.1%} of all addressed "
+          f"micro-partitions pruned (paper: 99.4%)")
+    print("TPC-H understates pruning because its predicates are far "
+          "less selective\nthan real workloads and offer no LIMIT or "
+          "top-k pruning opportunities (§8.3).")
+
+
+if __name__ == "__main__":
+    main()

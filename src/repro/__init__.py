@@ -1,0 +1,79 @@
+"""repro — a reproduction of "Pruning in Snowflake: Working Smarter, Not Harder".
+
+A from-scratch, laptop-scale implementation of the SIGMOD 2025 paper's
+pruning stack: a micro-partitioned columnar storage engine with
+zone-map metadata, a vectorized query engine, and four partition
+pruning techniques — filter pruning (§3), LIMIT pruning (§4), top-k
+pruning (§5), and JOIN pruning (§6) — plus Iceberg/Parquet-style
+metadata handling (§8.1) and predicate caching (§8.2).
+
+Quickstart::
+
+    from repro import Catalog, Layout
+
+    catalog = Catalog()
+    catalog.create_table_from_rows(
+        "events", schema, rows, layout=Layout.sorted_by("ts"))
+    result = catalog.sql("SELECT * FROM events WHERE ts >= 1000 LIMIT 5")
+    print(result.rows)
+    print(result.profile.pruning_summary())
+"""
+
+from .types import DataType, Field, Schema
+from .errors import (
+    ReproError,
+    SchemaError,
+    TypeMismatchError,
+    ParseError,
+    PlanError,
+    ExecutionError,
+    StorageError,
+    MetadataError,
+)
+from .storage import (
+    Column,
+    ColumnStats,
+    ZoneMap,
+    MicroPartition,
+    Table,
+    TableBuilder,
+    Layout,
+    MetadataStore,
+    StorageLayer,
+)
+from .storage.builder import build_table
+from .catalog import Catalog, QueryResult
+from .plan.compiler import CompilerOptions
+from .expr.ast import col, lit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataType",
+    "Field",
+    "Schema",
+    "ReproError",
+    "SchemaError",
+    "TypeMismatchError",
+    "ParseError",
+    "PlanError",
+    "ExecutionError",
+    "StorageError",
+    "MetadataError",
+    "Column",
+    "ColumnStats",
+    "ZoneMap",
+    "MicroPartition",
+    "Table",
+    "TableBuilder",
+    "Layout",
+    "MetadataStore",
+    "StorageLayer",
+    "build_table",
+    "Catalog",
+    "QueryResult",
+    "CompilerOptions",
+    "col",
+    "lit",
+    "__version__",
+]

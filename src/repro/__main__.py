@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo "<SQL>"`` — run a query against a built-in demo dataset and
+  show the result plus its pruning profile (``--explain`` for the
+  annotated plan).
+* ``sql <catalog-dir> "<SQL>"`` — run a query against a catalog saved
+  with :meth:`repro.Catalog.save`.
+* ``tpch`` — print the per-query TPC-H pruning ratios (Figure 13).
+* ``workload`` — run the calibrated synthetic workload and print the
+  platform-level pruning statistics (Figures 1/11).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import Catalog, DataType, Layout, Schema
+
+
+def _build_demo_catalog(seed: int) -> Catalog:
+    import random
+
+    rng = random.Random(seed)
+    catalog = Catalog(rows_per_partition=1000)
+    schema = Schema.of(
+        ts=DataType.INTEGER,
+        region=DataType.VARCHAR,
+        amount=DataType.INTEGER,
+        fk=DataType.INTEGER,
+    )
+    rows = [(i, rng.choice(["emea", "amer", "apac"]),
+             rng.randrange(100_000), i // 100)
+            for i in range(100_000)]
+    catalog.create_table_from_rows("orders", schema, rows,
+                                   layout=Layout.sorted_by("ts"))
+    dim = Schema.of(key=DataType.INTEGER, name=DataType.VARCHAR)
+    catalog.create_table_from_rows(
+        "customers", dim, [(k, f"customer{k}") for k in range(1000)])
+    return catalog
+
+
+def _print_result(result, max_rows: int) -> None:
+    print(f"columns: {result.schema.names()}")
+    for row in result.rows[:max_rows]:
+        print(f"  {row}")
+    if result.num_rows > max_rows:
+        print(f"  ... ({result.num_rows} rows total)")
+    print()
+    print(result.profile.pruning_summary())
+
+
+def cmd_demo(args) -> int:
+    catalog = _build_demo_catalog(args.seed)
+    if args.explain:
+        print(catalog.explain(args.query))
+        return 0
+    result = catalog.sql(args.query)
+    _print_result(result, args.max_rows)
+    return 0
+
+
+def cmd_sql(args) -> int:
+    catalog = Catalog.load(args.catalog)
+    if args.explain:
+        print(catalog.explain(args.query))
+        return 0
+    result = catalog.sql(args.query)
+    _print_result(result, args.max_rows)
+    return 0
+
+
+def cmd_tpch(args) -> int:
+    from .bench.reporting import format_table
+    from .workload.tpch import (
+        TpchConfig,
+        build_tpch,
+        measure_query_pruning,
+        tpch_queries,
+    )
+
+    catalog = build_tpch(TpchConfig(orders_count=args.orders,
+                                    cluster=not args.no_cluster))
+    rows = []
+    ratios = []
+    for query in tpch_queries():
+        total, pruned = measure_query_pruning(catalog, query)
+        ratio = pruned / total if total else 0.0
+        ratios.append(ratio)
+        rows.append([f"Q{query.number:02d}", total, pruned,
+                     f"{ratio:.1%}"])
+    print(format_table(["query", "partitions", "pruned", "ratio"],
+                       rows))
+    import statistics
+
+    print(f"\naverage {sum(ratios) / len(ratios):.1%}, "
+          f"median {statistics.median(ratios):.1%} "
+          f"(paper: 28.7% / 8.3%)")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from .pruning.flow import PruningFlow
+    from .workload import Platform, PlatformConfig, WorkloadGenerator
+
+    platform = Platform(PlatformConfig(seed=args.seed,
+                                       n_xlarge_tables=1))
+    generator = WorkloadGenerator(platform, seed=args.seed + 1)
+    flow = PruningFlow()
+    for query in generator.generate(args.queries):
+        result = platform.catalog.sql(query.sql)
+        flow.add(result.profile.flow_record())
+    print(f"queries executed: {len(flow)}")
+    print(f"platform-wide partitions pruned: "
+          f"{flow.platform_pruning_ratio():.1%} (paper: 99.4%)")
+    print("technique applied (share of queries):")
+    for technique, share in flow.technique_shares().items():
+        print(f"  {technique:8s} {share:.1%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pruning-in-Snowflake reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="query the built-in demo data")
+    demo.add_argument("query")
+    demo.add_argument("--explain", action="store_true")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--max-rows", type=int, default=20)
+    demo.set_defaults(func=cmd_demo)
+
+    sql = sub.add_parser("sql", help="query a saved catalog")
+    sql.add_argument("catalog")
+    sql.add_argument("query")
+    sql.add_argument("--explain", action="store_true")
+    sql.add_argument("--max-rows", type=int, default=20)
+    sql.set_defaults(func=cmd_sql)
+
+    tpch = sub.add_parser("tpch", help="TPC-H pruning ratios (Fig 13)")
+    tpch.add_argument("--orders", type=int, default=4000)
+    tpch.add_argument("--no-cluster", action="store_true")
+    tpch.set_defaults(func=cmd_tpch)
+
+    workload = sub.add_parser(
+        "workload", help="run the calibrated synthetic workload")
+    workload.add_argument("--queries", type=int, default=300)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.set_defaults(func=cmd_workload)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

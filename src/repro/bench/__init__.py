@@ -1,0 +1,7 @@
+"""Experiment harness: distribution statistics and report rendering."""
+
+from .stats import BoxStats, cdf_points, describe, percentile
+from .reporting import Report, format_table, render_cdf
+
+__all__ = ["BoxStats", "cdf_points", "describe", "percentile",
+           "Report", "format_table", "render_cdf"]

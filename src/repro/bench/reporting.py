@@ -1,0 +1,81 @@
+"""Rendering experiment results as text reports.
+
+Every benchmark prints a :class:`Report`: a title, optional
+paper-vs-measured rows, and free-form tables — so ``pytest benchmarks/
+-s`` regenerates the paper's numbers in readable form and
+EXPERIMENTS.md can quote them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table."""
+    columns = [list(map(_fmt, column))
+               for column in zip(headers, *rows)] if rows else \
+        [[_fmt(h)] for h in headers]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        _fmt(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(
+            _fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_cdf(points: Sequence[tuple[float, float]],
+               label: str = "", width: int = 40) -> str:
+    """ASCII sketch of a CDF: one bar per (threshold, fraction)."""
+    lines = [f"CDF {label}".rstrip()]
+    for threshold, fraction in points:
+        bar = "#" * int(round(fraction * width))
+        lines.append(f"{_fmt(threshold):>12} | {bar:<{width}} "
+                     f"{fraction:6.1%}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """A named experiment report with paper-vs-measured comparisons."""
+
+    title: str
+    lines: list[str] = field(default_factory=list)
+
+    def add(self, text: str = "") -> None:
+        """Append a free-form line to the report body."""
+        self.lines.append(text)
+
+    def compare(self, metric: str, paper: Any, measured: Any,
+                note: str = "") -> None:
+        """Record one paper-vs-measured comparison line."""
+        suffix = f"  ({note})" if note else ""
+        self.lines.append(
+            f"  {metric}: paper={_fmt(paper)}  "
+            f"measured={_fmt(measured)}{suffix}")
+
+    def table(self, headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> None:
+        """Append a fixed-width table to the report body."""
+        self.lines.append(format_table(headers, rows))
+
+    def render(self) -> str:
+        """The full report as a string."""
+        bar = "=" * max(20, len(self.title))
+        return "\n".join([bar, self.title, bar, *self.lines, ""])
+
+    def print(self) -> None:
+        """Print the rendered report (visible under pytest -s)."""
+        print("\n" + self.render())

@@ -1,0 +1,100 @@
+"""Distribution statistics for experiment outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return float(ordered[lower] * (1 - weight) + ordered[upper] * weight)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Box-plot statistics, as drawn in Figures 1/4/8/10."""
+
+    count: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    maximum: float
+
+    def row(self) -> dict[str, float]:
+        """The stats as a flat dict (for table rendering)."""
+        return {
+            "count": self.count, "mean": self.mean, "min": self.minimum,
+            "p25": self.p25, "median": self.median, "p75": self.p75,
+            "p90": self.p90, "max": self.maximum,
+        }
+
+
+def describe(values: Sequence[float]) -> BoxStats:
+    """Box-plot statistics of a non-empty sequence."""
+    if not values:
+        raise ValueError("describe of empty sequence")
+    return BoxStats(
+        count=len(values),
+        mean=sum(values) / len(values),
+        minimum=float(min(values)),
+        p25=percentile(values, 25),
+        median=percentile(values, 50),
+        p75=percentile(values, 75),
+        p90=percentile(values, 90),
+        maximum=float(max(values)),
+    )
+
+
+def cdf_points(values: Sequence[float],
+               points: Sequence[float]) -> list[tuple[float, float]]:
+    """(threshold, fraction of values <= threshold) pairs."""
+    if not values:
+        return [(p, 0.0) for p in points]
+    ordered = sorted(values)
+    n = len(ordered)
+    result = []
+    for point in points:
+        count = _count_le(ordered, point)
+        result.append((point, count / n))
+    return result
+
+
+def _count_le(ordered: Sequence[float], threshold: float) -> int:
+    lo, hi = 0, len(ordered)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ordered[mid] <= threshold:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def fraction_at_least(values: Sequence[float],
+                      threshold: float) -> float:
+    """Fraction of values >= threshold."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v >= threshold) / len(values)
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)

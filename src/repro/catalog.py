@@ -1,0 +1,521 @@
+"""The catalog: the top-level API of the engine.
+
+A :class:`Catalog` owns the storage layer, the metadata store, the
+tables, and an optional predicate cache, and exposes the user-facing
+entry point :meth:`Catalog.sql`::
+
+    catalog = Catalog()
+    catalog.create_table_from_rows("t", schema, rows,
+                                   layout=Layout.sorted_by("ts"))
+    result = catalog.sql("SELECT * FROM t WHERE ts >= 100 LIMIT 5")
+    print(result.rows, result.profile.pruning_summary())
+
+DML is partition-wise, mirroring immutable micro-partitions: INSERT
+creates new partitions; DELETE and UPDATE rewrite every partition that
+contains affected rows, producing fresh partition ids — exactly the
+behaviour the predicate cache's invalidation rules (§8.2) react to.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .engine.context import ExecContext, QueryProfile
+from .engine.executor import execute
+from .errors import SchemaError
+from .expr import ast
+from .expr.eval import evaluate_predicate
+from .plan.compiler import CompilerOptions, QueryCompiler
+from .plan.logical import LogicalNode
+from .pruning.base import ScanSet
+from .pruning.predicate_cache import PredicateCache
+from .sql import parse_select
+from .sql.planner import plan_select
+from .storage.builder import DEFAULT_ROWS_PER_PARTITION, build_table
+from .storage.clustering import Layout
+from .storage.metadata_store import MetadataStore
+from .storage.micropartition import MicroPartition
+from .storage.storage_layer import CostModel, StorageLayer
+from .storage.table import Table
+from .types import DataType, Schema
+
+_QUERY_COUNTER = itertools.count(1)
+
+
+@dataclass
+class QueryResult:
+    """Materialized rows plus the pruning/timing profile."""
+
+    schema: Schema
+    rows: list[tuple[Any, ...]]
+    profile: QueryProfile
+    sql: str = ""
+
+    @property
+    def num_rows(self) -> int:
+        """Number of result rows."""
+        return len(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """One output column's values, in row order."""
+        index = self.schema.index_of(name)
+        return [row[index] for row in self.rows]
+
+
+class Catalog:
+    """Tables, storage, metadata, and query execution in one place."""
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 rows_per_partition: int = DEFAULT_ROWS_PER_PARTITION):
+        self.storage = StorageLayer(cost_model)
+        self.metadata = MetadataStore()
+        self.tables: dict[str, Table] = {}
+        self.rows_per_partition = rows_per_partition
+        self.predicate_cache: PredicateCache | None = None
+        self._iceberg_sources: dict[str, dict[int, object]] = {}
+        self._compiler = QueryCompiler(self)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(self, table: Table) -> Table:
+        """Register an existing table (its partitions move to storage)."""
+        if table.name in self.tables:
+            raise SchemaError(f"table {table.name!r} already exists")
+        self.tables[table.name] = table
+        for partition in table.partitions:
+            self.storage.put(partition)
+            self.metadata.register(table.name, partition.partition_id,
+                                   partition.zone_map)
+        return table
+
+    def create_table_from_rows(
+            self, name: str, schema: Schema,
+            rows: Sequence[Sequence[Any]],
+            layout: Layout | None = None,
+            rows_per_partition: int | None = None) -> Table:
+        """Build, partition, and register a table in one call."""
+        table = build_table(
+            name, schema, rows,
+            rows_per_partition=rows_per_partition
+            or self.rows_per_partition,
+            layout=layout)
+        return self.create_table(table)
+
+    def create_table_from_iceberg(self, iceberg) -> Table:
+        """Register an Iceberg table's row groups as micro-partitions.
+
+        §8.1: Snowflake's pruning techniques operate transparently over
+        Iceberg/Parquet — row groups play the role of micro-partitions.
+        Row groups written *without* statistics are registered with
+        missing metadata (no pruning possible) until
+        :meth:`backfill_iceberg_metadata` reconstructs it.
+        """
+        from .storage.micropartition import MicroPartition
+
+        if iceberg.name in self.tables:
+            raise SchemaError(
+                f"table {iceberg.name!r} already exists")
+        table = Table(iceberg.name, iceberg.schema)
+        sources: dict[int, object] = {}
+        for entry in iceberg.entries:
+            for group in entry.file.row_groups:
+                partition = MicroPartition(iceberg.schema,
+                                           group.columns)
+                if group.stats is None:
+                    partition = partition.with_zone_map(
+                        partition.zone_map.without_stats())
+                table.add_partition(partition)
+                sources[partition.partition_id] = group
+        self._iceberg_sources[iceberg.name] = sources
+        return self.create_table(table)
+
+    def backfill_iceberg_metadata(self, name: str) -> int:
+        """Recompute missing metadata by scanning the data (§8.1).
+
+        Returns the number of partitions whose metadata was repaired.
+        The repaired zone maps replace the entries in the metadata
+        store, so subsequent queries prune normally.
+        """
+        name = name.lower()
+        table = self._table(name)
+        if name not in self._iceberg_sources:
+            raise SchemaError(f"{name!r} is not an Iceberg-backed table")
+        repaired = 0
+        refreshed = []
+        for partition in table.partitions:
+            if all(s.present
+                   for s in partition.zone_map.columns.values()):
+                refreshed.append(partition)
+                continue
+            fixed = partition.with_zone_map(
+                partition.recompute_zone_map())
+            self.storage.delete(partition.partition_id)
+            self.storage.put(fixed)
+            self.metadata.register(name, fixed.partition_id,
+                                   fixed.zone_map)
+            refreshed.append(fixed)
+            repaired += 1
+        table.replace_partitions(refreshed)
+        return repaired
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table, its partitions, metadata, and cache entries."""
+        table = self.tables.pop(name.lower(), None)
+        if table is None:
+            raise SchemaError(f"no table named {name!r}")
+        for partition_id in table.partition_ids:
+            self.storage.delete(partition_id)
+        self.metadata.drop_table(table.name)
+        if self.predicate_cache is not None:
+            self.predicate_cache.drop_table(table.name)
+
+    def enable_predicate_cache(self, max_entries: int = 1024,
+                               max_partitions_per_entry: int = 256
+                               ) -> PredicateCache:
+        """Turn on the predicate cache (§8.2) for subsequent queries."""
+        self.predicate_cache = PredicateCache(
+            max_entries=max_entries,
+            max_partitions_per_entry=max_partitions_per_entry)
+        return self.predicate_cache
+
+    # ------------------------------------------------------------------
+    # Compiler interface
+    # ------------------------------------------------------------------
+    def schema_of(self, table: str) -> Schema:
+        """A table's schema (compiler resolver interface)."""
+        return self._table(table).schema
+
+    def scan_set(self, table: str) -> ScanSet:
+        """A table's full scan set from the metadata store."""
+        return ScanSet(self.metadata.iter_table(table))
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sql(self, text: str,
+            options: CompilerOptions | None = None) -> QueryResult:
+        """Parse, plan, and execute one SELECT, DELETE, or UPDATE.
+
+        DML statements return a single-row result with the number of
+        affected rows; their profile records the partition pruning the
+        DML benefited from (§7's flow covers DML too).
+        """
+        from .sql.parser import DeleteStmt, UpdateStmt, parse_statement
+
+        stmt = parse_statement(text)
+        if isinstance(stmt, (DeleteStmt, UpdateStmt)):
+            result = self._execute_dml(stmt)
+            result.sql = text
+            return result
+        plan = plan_select(stmt, self.schema_of)
+        result = self.execute_plan(plan, options)
+        result.sql = text
+        return result
+
+    def _execute_dml(self, stmt) -> QueryResult:
+        from .sql.parser import DeleteStmt
+
+        table = self._table(stmt.table)
+        predicate = stmt.where if stmt.where is not None \
+            else ast.Literal(True)
+        profile = QueryProfile(query_id=f"q{next(_QUERY_COUNTER)}")
+        if isinstance(stmt, DeleteStmt):
+            affected = self.delete_where(table.name, predicate,
+                                         profile=profile)
+        else:
+            affected = self._update_with_expr(
+                table, predicate, stmt.column, stmt.value, profile)
+        return QueryResult(
+            schema=Schema.of(rows_affected=DataType.INTEGER),
+            rows=[(affected,)],
+            profile=profile)
+
+    def _update_with_expr(self, table: Table, predicate: ast.Expr,
+                          column: str, value_expr: ast.Expr,
+                          profile: QueryProfile) -> int:
+        """UPDATE with a SQL value expression evaluated per row."""
+        from .expr.eval import evaluate
+
+        column = column.lower()
+        target_dtype = table.schema.dtype_of(column)
+        value_dtype = value_expr.dtype(table.schema)
+        if value_dtype != target_dtype:
+            value_expr = ast.Cast(value_expr, target_dtype)
+        updated_rows = 0
+        removed_ids: list[int] = []
+        inserted_ids: list[int] = []
+        for partition in self._dml_candidates(table, predicate,
+                                              profile):
+            mask = evaluate_predicate(predicate, partition.columns(),
+                                      table.schema)
+            hits = int(mask.sum())
+            if hits == 0:
+                continue
+            updated_rows += hits
+            removed_ids.append(partition.partition_id)
+            columns = partition.columns()
+            old = columns[column]
+            new = evaluate(value_expr, columns, table.schema)
+            merged_values = np.where(mask, new.values, old.values)
+            merged_nulls = np.where(mask, new.nulls, old.nulls)
+            from .storage.column import Column
+
+            columns[column] = Column(
+                target_dtype,
+                np.asarray(merged_values,
+                           dtype=target_dtype.numpy_dtype()),
+                np.asarray(merged_nulls, dtype=np.bool_))
+            replacement = MicroPartition(table.schema, columns)
+            self._swap_partition(table, partition, replacement)
+            inserted_ids.append(replacement.partition_id)
+        if self.predicate_cache is not None and removed_ids:
+            self.predicate_cache.on_update(table.name, removed_ids,
+                                           inserted_ids, [column])
+        return updated_rows
+
+    def plan_sql(self, text: str) -> LogicalNode:
+        """Parse and plan without executing (plan-shape analyses)."""
+        return plan_select(parse_select(text), self.schema_of)
+
+    def explain(self, text: str,
+                options: CompilerOptions | None = None) -> str:
+        """Compile a query and render its physical plan with pruning
+        annotations, without executing it."""
+        from .plan.explain import render_plan
+
+        options = options or CompilerOptions()
+        if options.predicate_cache is None and \
+                self.predicate_cache is not None:
+            options.predicate_cache = self.predicate_cache
+        plan = plan_select(parse_select(text), self.schema_of)
+        context = ExecContext(self.storage, self.metadata,
+                              query_id="explain")
+        compiled = self._compiler.compile(plan, context, options)
+        return render_plan(compiled.root)
+
+    def execute_plan(self, plan: LogicalNode,
+                     options: CompilerOptions | None = None
+                     ) -> QueryResult:
+        """Compile and execute an already-planned logical tree."""
+        options = options or CompilerOptions()
+        if options.predicate_cache is None and \
+                self.predicate_cache is not None:
+            options.predicate_cache = self.predicate_cache
+        context = ExecContext(self.storage, self.metadata,
+                              query_id=f"q{next(_QUERY_COUNTER)}")
+        compiled = self._compiler.compile(plan, context, options)
+        execution = execute(compiled.root, context)
+        for hook in compiled.post_exec_hooks:
+            hook()
+        return QueryResult(schema=execution.schema,
+                           rows=execution.rows,
+                           profile=context.profile)
+
+    # ------------------------------------------------------------------
+    # DML (partition-wise, immutable rewrites)
+    # ------------------------------------------------------------------
+    def insert(self, table_name: str,
+               rows: Sequence[Sequence[Any]]) -> list[int]:
+        """Append rows as new micro-partitions; returns new ids."""
+        table = self._table(table_name)
+        appended = build_table(table.name, table.schema, rows,
+                               rows_per_partition=self.rows_per_partition)
+        new_ids = []
+        for partition in appended.partitions:
+            table.add_partition(partition)
+            self.storage.put(partition)
+            self.metadata.register(table.name, partition.partition_id,
+                                   partition.zone_map)
+            new_ids.append(partition.partition_id)
+        if self.predicate_cache is not None:
+            self.predicate_cache.on_insert(table.name, new_ids)
+        return new_ids
+
+    def _dml_candidates(self, table: Table, predicate: ast.Expr,
+                        profile: QueryProfile | None = None
+                        ) -> list[MicroPartition]:
+        """Partitions a DML statement must inspect, after pruning.
+
+        DML benefits from filter pruning exactly like SELECT (§7's
+        flow covers "both DML and SELECT queries"): partitions whose
+        metadata proves no row matches are neither read nor rewritten.
+        """
+        from .pruning.filter_pruning import FilterPruner, is_prunable
+
+        if not is_prunable(predicate):
+            return table.partitions
+        scan_set = ScanSet((p.partition_id, p.zone_map)
+                           for p in table.partitions)
+        pruner = FilterPruner(predicate, table.schema,
+                              detect_fully_matching=False)
+        result = pruner.prune(scan_set)
+        if profile is not None:
+            scan_profile = profile.new_scan(table.name)
+            scan_profile.total_partitions = len(scan_set)
+            scan_profile.filter_result = result
+            scan_profile.filter_eligible = True
+        kept = set(result.kept.partition_ids)
+        return [p for p in table.partitions
+                if p.partition_id in kept]
+
+    def delete_where(self, table_name: str, predicate: ast.Expr,
+                     profile: QueryProfile | None = None) -> int:
+        """DELETE FROM t WHERE ...; rewrites affected partitions.
+
+        Partition pruning runs first: partitions provably without
+        matches are untouched. Returns the number of rows deleted.
+        Pass a :class:`QueryProfile` to record the pruning outcome.
+        """
+        table = self._table(table_name)
+        deleted_rows = 0
+        removed_ids: list[int] = []
+        inserted_ids: list[int] = []
+        for partition in self._dml_candidates(table, predicate,
+                                              profile):
+            mask = evaluate_predicate(predicate, partition.columns(),
+                                      table.schema)
+            hits = int(mask.sum())
+            if hits == 0:
+                continue
+            deleted_rows += hits
+            removed_ids.append(partition.partition_id)
+            survivors = partition.row_count - hits
+            replacement = None
+            if survivors:
+                keep = ~mask
+                columns = {name: col.filter(keep)
+                           for name, col in partition.columns().items()}
+                replacement = MicroPartition(table.schema, columns)
+            self._swap_partition(table, partition, replacement)
+            if replacement is not None:
+                inserted_ids.append(replacement.partition_id)
+        if self.predicate_cache is not None and removed_ids:
+            self.predicate_cache.on_delete(table.name, removed_ids)
+            if inserted_ids:
+                self.predicate_cache.on_insert(table.name, inserted_ids)
+        return deleted_rows
+
+    def update_where(self, table_name: str, predicate: ast.Expr,
+                     column: str, value_fn: Callable[[Any], Any],
+                     profile: QueryProfile | None = None) -> int:
+        """UPDATE t SET column = value_fn(old) WHERE ...
+
+        Partition pruning runs first, then every partition containing
+        affected rows is rewritten. Returns the number of rows updated.
+        """
+        table = self._table(table_name)
+        column = column.lower()
+        dtype = table.schema.dtype_of(column)
+        updated_rows = 0
+        removed_ids: list[int] = []
+        inserted_ids: list[int] = []
+        for partition in self._dml_candidates(table, predicate,
+                                              profile):
+            mask = evaluate_predicate(predicate, partition.columns(),
+                                      table.schema)
+            hits = int(mask.sum())
+            if hits == 0:
+                continue
+            updated_rows += hits
+            removed_ids.append(partition.partition_id)
+            columns = partition.columns()
+            old = columns[column]
+            new_values = old.to_pylist()
+            for i in np.flatnonzero(mask):
+                new_values[int(i)] = value_fn(new_values[int(i)])
+            from .storage.column import Column
+
+            columns[column] = Column.from_pylist(dtype, new_values)
+            replacement = MicroPartition(table.schema, columns)
+            self._swap_partition(table, partition, replacement)
+            inserted_ids.append(replacement.partition_id)
+        if self.predicate_cache is not None and removed_ids:
+            self.predicate_cache.on_update(table.name, removed_ids,
+                                           inserted_ids, [column])
+        return updated_rows
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist all tables to a directory (see repro.persistence)."""
+        from .persistence import save_catalog
+
+        save_catalog(self, path)
+
+    @classmethod
+    def load(cls, path, **kwargs) -> "Catalog":
+        """Load a catalog previously written with :meth:`save`."""
+        from .persistence import load_catalog
+
+        return load_catalog(path, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Clustering maintenance
+    # ------------------------------------------------------------------
+    def clustering_information(self, table_name: str, column: str):
+        """Overlap-depth statistics for one column's zone maps.
+
+        The paper notes pruning effectiveness "primarily depends on how
+        data is distributed among micro-partitions" (§1); this is the
+        observability side of that statement.
+        """
+        from .storage.clustering import clustering_information
+
+        table = self._table(table_name)
+        return clustering_information(table.partitions, column)
+
+    def recluster(self, table_name: str, *keys: str,
+                  rows_per_partition: int | None = None) -> int:
+        """Rewrite a table fully sorted by ``keys``.
+
+        Models Snowflake's (re)clustering service: all partitions are
+        rewritten, metadata is refreshed, and — since every partition
+        id changes — the predicate cache is invalidated for the table.
+        Returns the new partition count.
+        """
+        table = self._table(table_name)
+        if not keys:
+            raise SchemaError("recluster requires at least one key")
+        old_ids = table.partition_ids
+        rows = table.to_rows()
+        rebuilt = build_table(
+            table.name, table.schema, rows,
+            rows_per_partition=rows_per_partition
+            or self.rows_per_partition,
+            layout=Layout.sorted_by(*keys))
+        for partition_id in old_ids:
+            self.storage.delete(partition_id)
+            self.metadata.unregister(table.name, partition_id)
+        table.replace_partitions(rebuilt.partitions)
+        for partition in rebuilt.partitions:
+            self.storage.put(partition)
+            self.metadata.register(table.name, partition.partition_id,
+                                   partition.zone_map)
+        if self.predicate_cache is not None:
+            self.predicate_cache.on_update(
+                table.name, old_ids, table.partition_ids,
+                table.schema.names())
+        return table.num_partitions
+
+    def _swap_partition(self, table: Table, old: MicroPartition,
+                        new: MicroPartition | None) -> None:
+        table.remove_partition(old.partition_id)
+        self.storage.delete(old.partition_id)
+        self.metadata.unregister(table.name, old.partition_id)
+        if new is not None:
+            table.add_partition(new)
+            self.storage.put(new)
+            self.metadata.register(table.name, new.partition_id,
+                                   new.zone_map)

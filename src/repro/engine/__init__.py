@@ -1,0 +1,55 @@
+"""Vectorized, pipelined query execution engine.
+
+Operators are Python iterators over :class:`~.chunk.Chunk` objects —
+one chunk per micro-partition at the leaves. The pull model gives two
+properties the paper's techniques need:
+
+* **early termination** — a LIMIT that stops pulling stops the scan
+  from loading further partitions;
+* **runtime feedback** — the TopK operator shares a
+  :class:`~repro.pruning.topk_pruning.Boundary` with its upstream scan,
+  which consults it before loading each partition (§5.2's "flexible
+  execution engine capable of passing information both horizontally and
+  vertically").
+
+Execution costs are simulated deterministically through
+:class:`~.context.ExecContext` using the storage layer's cost model.
+"""
+
+from .chunk import Chunk
+from .context import ExecContext, QueryProfile, ScanProfile
+from .operators import (
+    Scan,
+    Filter,
+    Project,
+    HashJoin,
+    HashAggregate,
+    AggSpec,
+    Sort,
+    SortKey,
+    TopK,
+    Limit,
+)
+from .executor import execute, ExecutionResult
+from .warehouse import Warehouse, WorkerReport
+
+__all__ = [
+    "Chunk",
+    "ExecContext",
+    "QueryProfile",
+    "ScanProfile",
+    "Scan",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "HashAggregate",
+    "AggSpec",
+    "Sort",
+    "SortKey",
+    "TopK",
+    "Limit",
+    "execute",
+    "ExecutionResult",
+    "Warehouse",
+    "WorkerReport",
+]

@@ -1,0 +1,193 @@
+"""Execution context, simulated clock, and query profiling.
+
+The profiler records exactly the quantities the paper's evaluation
+plots: per-scan partition counts before/after each pruning technique,
+fully-matching partitions, rows scanned, and a deterministic simulated
+runtime derived from the storage cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..pruning.base import PruneCategory, PruningResult
+from ..pruning.flow import FlowRecord
+from ..pruning.limit_pruning import LimitPruneReport
+from ..storage.metadata_store import MetadataStore
+from ..storage.storage_layer import StorageLayer
+
+
+@dataclass
+class ScanProfile:
+    """Pruning and I/O accounting for one table scan."""
+
+    table: str
+    total_partitions: int = 0
+    filter_result: Optional[PruningResult] = None
+    join_result: Optional[PruningResult] = None
+    limit_report: Optional[LimitPruneReport] = None
+    topk_checks: int = 0
+    topk_skipped: int = 0
+    partitions_loaded: int = 0
+    rows_scanned: int = 0
+    early_terminated: bool = False
+    filter_eligible: bool = False
+    cache_hit: bool = False
+    #: the scan was answered entirely from the metadata store
+    metadata_only: bool = False
+
+    @property
+    def fully_matching_ids(self) -> list[int]:
+        if self.filter_result is None:
+            return []
+        return list(self.filter_result.fully_matching_ids)
+
+    @property
+    def partitions_pruned(self) -> int:
+        """Partitions removed by any technique (not merely unread)."""
+        pruned = 0
+        for result in (self.filter_result, self.join_result):
+            if result is not None:
+                pruned += result.pruned
+        if self.limit_report is not None:
+            pruned += self.limit_report.result.pruned
+        pruned += self.topk_skipped
+        return pruned
+
+    def pruning_results(self) -> list[PruningResult]:
+        """All per-technique results, synthesizing one for top-k skips."""
+        results = []
+        if self.filter_result is not None:
+            results.append(self.filter_result)
+        if self.join_result is not None:
+            results.append(self.join_result)
+        if self.limit_report is not None:
+            results.append(self.limit_report.result)
+        if self.topk_checks:
+            from ..pruning.base import ScanSet
+
+            entering = (self.total_partitions
+                        - sum(r.pruned for r in results))
+            results.append(PruningResult(
+                technique=PruneCategory.TOPK,
+                before=entering,
+                kept=ScanSet(),
+                pruned_ids=[-1] * self.topk_skipped,
+                checks=self.topk_checks,
+            ))
+        return results
+
+
+@dataclass
+class QueryProfile:
+    """Whole-query pruning and timing summary."""
+
+    query_id: str = ""
+    scans: list[ScanProfile] = field(default_factory=list)
+    compile_ms: float = 0.0
+    exec_ms: float = 0.0
+    limit_eligible: bool = False
+    topk_eligible: bool = False
+    join_eligible: bool = False
+
+    @property
+    def total_ms(self) -> float:
+        return self.compile_ms + self.exec_ms
+
+    @property
+    def total_partitions(self) -> int:
+        return sum(s.total_partitions for s in self.scans)
+
+    @property
+    def partitions_loaded(self) -> int:
+        return sum(s.partitions_loaded for s in self.scans)
+
+    @property
+    def partitions_pruned(self) -> int:
+        return sum(s.partitions_pruned for s in self.scans)
+
+    def new_scan(self, table: str) -> ScanProfile:
+        profile = ScanProfile(table=table)
+        self.scans.append(profile)
+        return profile
+
+    def flow_record(self) -> FlowRecord:
+        """Condense this query into a :class:`FlowRecord` (Figure 11)."""
+        results = [r for scan in self.scans
+                   for r in scan.pruning_results()]
+        eligible = {
+            PruneCategory.FILTER: any(s.filter_eligible
+                                      for s in self.scans),
+            PruneCategory.LIMIT: self.limit_eligible,
+            PruneCategory.TOPK: self.topk_eligible,
+            PruneCategory.JOIN: self.join_eligible,
+        }
+        final = self.total_partitions - self.partitions_pruned
+        return FlowRecord.from_results(
+            self.query_id, self.total_partitions, results,
+            eligible=eligible, final_partitions=final)
+
+    def pruning_summary(self) -> str:
+        """Human-readable per-scan pruning report."""
+        lines = []
+        for scan in self.scans:
+            parts = [f"scan {scan.table}: {scan.total_partitions} parts"]
+            if scan.filter_result is not None:
+                parts.append(
+                    f"filter -> {scan.filter_result.after}"
+                    f" (fm={len(scan.fully_matching_ids)})")
+            if scan.join_result is not None:
+                parts.append(f"join -> {scan.join_result.after}")
+            if scan.limit_report is not None:
+                parts.append(
+                    f"limit[{scan.limit_report.outcome.value}] -> "
+                    f"{scan.limit_report.result.after}")
+            if scan.topk_skipped:
+                parts.append(f"topk skipped {scan.topk_skipped}")
+            parts.append(f"loaded {scan.partitions_loaded}")
+            lines.append(", ".join(parts))
+        lines.append(f"simulated time: {self.total_ms:.2f} ms "
+                     f"(compile {self.compile_ms:.2f} ms)")
+        return "\n".join(lines)
+
+
+class ExecContext:
+    """Shared state for one query execution."""
+
+    def __init__(self, storage: StorageLayer,
+                 metadata: MetadataStore | None = None,
+                 query_id: str = ""):
+        self.storage = storage
+        self.metadata = metadata
+        self.cost_model = storage.cost_model
+        self.profile = QueryProfile(query_id=query_id)
+
+    # -- simulated clock -------------------------------------------------
+    def charge_compile(self, ms: float) -> None:
+        self.profile.compile_ms += ms
+
+    def charge_exec(self, ms: float) -> None:
+        self.profile.exec_ms += ms
+
+    def charge_partition_load(self, nbytes: int) -> None:
+        self.charge_exec(self.cost_model.load_cost(nbytes))
+
+    def charge_rows(self, rows: int) -> None:
+        self.charge_exec(self.cost_model.scan_cost(rows))
+
+    def charge_prune_checks(self, checks: int,
+                            at_compile_time: bool = False) -> None:
+        ms = checks * self.cost_model.prune_check_ms
+        if at_compile_time:
+            self.charge_compile(ms)
+        else:
+            self.charge_exec(ms)
+
+    def charge_metadata_lookups(self, lookups: int,
+                                at_compile_time: bool = False) -> None:
+        ms = lookups * self.cost_model.metadata_lookup_ms
+        if at_compile_time:
+            self.charge_compile(ms)
+        else:
+            self.charge_exec(ms)

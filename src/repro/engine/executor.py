@@ -1,0 +1,42 @@
+"""Driving a physical operator tree to completion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..types import Schema
+from .chunk import Chunk
+from .context import ExecContext, QueryProfile
+from .operators import Operator
+
+
+@dataclass
+class ExecutionResult:
+    """Materialized query output plus its profile."""
+
+    schema: Schema
+    rows: list[tuple[Any, ...]]
+    profile: QueryProfile
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        index = self.schema.index_of(name)
+        return [row[index] for row in self.rows]
+
+
+def execute(root: Operator, context: ExecContext) -> ExecutionResult:
+    """Pull the operator tree to exhaustion and materialize rows."""
+    rows: list[tuple[Any, ...]] = []
+    for chunk in root:
+        rows.extend(chunk.to_rows())
+    return ExecutionResult(schema=root.schema, rows=rows,
+                           profile=context.profile)
+
+
+def collect_chunks(root: Operator) -> list[Chunk]:
+    """Materialize the raw chunk stream (testing helper)."""
+    return list(root)

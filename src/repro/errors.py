@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro engine.
+
+All engine-raised errors derive from :class:`ReproError` so callers can
+catch engine failures without masking programming errors (``TypeError``
+raised by misuse of the Python API is intentionally *not* wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operation references an unknown column."""
+
+
+class TypeMismatchError(ReproError):
+    """An expression or operator combined incompatible SQL types."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be parsed.
+
+    Attributes:
+        position: character offset into the SQL text where parsing failed,
+            or ``None`` when the failure has no single location.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """A logical plan could not be built or compiled."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed during query execution."""
+
+
+class StorageError(ReproError):
+    """The storage layer rejected an operation (missing partition, etc.)."""
+
+
+class MetadataError(ReproError):
+    """Partition metadata is missing or inconsistent."""

@@ -1,0 +1,52 @@
+"""Expression trees, vectorized evaluation, and range derivation.
+
+This package implements the machinery behind §3 of the paper:
+
+* :mod:`.ast` — SQL expression nodes (columns, literals, arithmetic,
+  comparisons, boolean logic, ``IF``, ``LIKE``, functions, ...);
+* :mod:`.eval` — vectorized evaluation over micro-partition columns
+  with SQL three-valued NULL semantics;
+* :mod:`.ranges` — interval arithmetic deriving the min/max range of an
+  arbitrary expression from zone-map metadata ("Deriving Min/Max
+  Ranges", §3.1);
+* :mod:`.pruning` — the tri-state pruning verdict
+  (NEVER / MAYBE / ALWAYS) built on range derivation;
+* :mod:`.rewrite` — imprecise filter rewrites (§3.1) and predicate
+  inversion for fully-matching detection (§4.2);
+* :mod:`.simplify` — constant folding and boolean flattening.
+"""
+
+from .ast import (
+    Expr,
+    ColumnRef,
+    Literal,
+    Arith,
+    Neg,
+    Compare,
+    And,
+    Or,
+    Not,
+    If,
+    Like,
+    StartsWith,
+    EndsWith,
+    Contains,
+    InList,
+    IsNull,
+    FunctionCall,
+    Cast,
+    col,
+    lit,
+)
+from .pruning import TriState, prune_partition
+from .ranges import ValueRange, derive_range
+from .rewrite import not_true, widen_for_pruning
+from .simplify import simplify
+
+__all__ = [
+    "Expr", "ColumnRef", "Literal", "Arith", "Neg", "Compare", "And",
+    "Or", "Not", "If", "Like", "StartsWith", "EndsWith", "Contains",
+    "InList", "IsNull", "FunctionCall", "Cast", "col", "lit",
+    "TriState", "prune_partition", "ValueRange", "derive_range",
+    "not_true", "widen_for_pruning", "simplify",
+]

@@ -1,0 +1,635 @@
+"""Expression AST nodes.
+
+Nodes are immutable; equality and hashing are structural so expressions
+can key caches (predicate cache, §8.2) and plan-shape statistics
+(Figure 12). Every node renders back to SQL via :meth:`Expr.to_sql` and
+to a literal-insensitive *shape* via :meth:`Expr.shape`.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Iterable, Sequence
+
+from ..errors import TypeMismatchError
+from ..types import DataType, Schema, common_numeric_type, comparable, infer_type
+
+ARITH_OPS = ("+", "-", "*", "/", "%")
+COMPARE_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+#: Functions with known semantics; each entry is (arity, doc).
+FUNCTIONS = {
+    "abs": 1,
+    "ceil": 1,
+    "floor": 1,
+    "round": 1,
+    "upper": 1,
+    "lower": 1,
+    "length": 1,
+    "coalesce": 2,
+    "least": 2,
+    "greatest": 2,
+    "year": 1,
+    "month": 1,
+    "day": 1,
+}
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    #: Subclasses set this to their child attribute names, in order.
+    _child_slots: tuple[str, ...] = ()
+
+    def children(self) -> tuple["Expr", ...]:
+        return tuple(getattr(self, slot) for slot in self._child_slots)
+
+    def with_children(self, children: Sequence["Expr"]) -> "Expr":
+        """Rebuild this node with new children (same non-child state)."""
+        raise NotImplementedError
+
+    def dtype(self, schema: Schema) -> DataType:
+        """Result type of this expression against ``schema``."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def shape(self) -> str:
+        """A literal-insensitive fingerprint used for plan-shape stats."""
+        raise NotImplementedError
+
+    def _key(self) -> tuple:
+        """Structural identity tuple; subclasses extend."""
+        return (type(self).__name__,) + self.children()
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return self.to_sql()
+
+    def column_refs(self) -> set[str]:
+        """Names of all columns referenced anywhere in the tree."""
+        refs: set[str] = set()
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ColumnRef):
+                refs.add(node.name)
+            stack.extend(node.children())
+        return refs
+
+    def walk(self) -> Iterable["Expr"]:
+        """Pre-order traversal of the tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def _format_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    return str(value)
+
+
+class ColumnRef(Expr):
+    """Reference to a named column."""
+
+    def __init__(self, name: str):
+        self.name = name.lower()
+
+    def with_children(self, children: Sequence[Expr]) -> "ColumnRef":
+        return self
+
+    def dtype(self, schema: Schema) -> DataType:
+        return schema.dtype_of(self.name)
+
+    def to_sql(self) -> str:
+        return self.name
+
+    def shape(self) -> str:
+        return f"col({self.name})"
+
+    def _key(self) -> tuple:
+        return ("ColumnRef", self.name)
+
+
+class Literal(Expr):
+    """A constant. ``None`` is the SQL NULL literal (typed)."""
+
+    def __init__(self, value: Any, dtype: DataType | None = None):
+        if dtype is None:
+            if value is None:
+                raise TypeMismatchError(
+                    "NULL literal requires an explicit dtype")
+            dtype = infer_type(value)
+        self.value = value
+        self._dtype = dtype
+
+    def with_children(self, children: Sequence[Expr]) -> "Literal":
+        return self
+
+    def dtype(self, schema: Schema) -> DataType:
+        return self._dtype
+
+    def to_sql(self) -> str:
+        return _format_literal(self.value)
+
+    def shape(self) -> str:
+        return f"lit:{self._dtype.value}"
+
+    def _key(self) -> tuple:
+        return ("Literal", self._dtype, self.value)
+
+
+class Arith(Expr):
+    """Binary arithmetic: ``+ - * / %``.
+
+    ``/`` always yields DOUBLE and evaluates to NULL on a zero divisor
+    (engine-defined, in lieu of a runtime error).
+    """
+
+    _child_slots = ("left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in ARITH_OPS:
+            raise TypeMismatchError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def with_children(self, children: Sequence[Expr]) -> "Arith":
+        return Arith(self.op, children[0], children[1])
+
+    def dtype(self, schema: Schema) -> DataType:
+        left, right = self.left.dtype(schema), self.right.dtype(schema)
+        if self.op == "/":
+            if not (left.is_numeric and right.is_numeric):
+                raise TypeMismatchError(
+                    f"'/' needs numeric operands, got {left} and {right}")
+            return DataType.DOUBLE
+        return common_numeric_type(left, right)
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def shape(self) -> str:
+        return f"({self.left.shape()}{self.op}{self.right.shape()})"
+
+    def _key(self) -> tuple:
+        return ("Arith", self.op, self.left, self.right)
+
+
+class Neg(Expr):
+    """Unary numeric negation."""
+
+    _child_slots = ("child",)
+
+    def __init__(self, child: Expr):
+        self.child = child
+
+    def with_children(self, children: Sequence[Expr]) -> "Neg":
+        return Neg(children[0])
+
+    def dtype(self, schema: Schema) -> DataType:
+        inner = self.child.dtype(schema)
+        if not inner.is_numeric:
+            raise TypeMismatchError(f"cannot negate {inner}")
+        return inner
+
+    def to_sql(self) -> str:
+        return f"(-{self.child.to_sql()})"
+
+    def shape(self) -> str:
+        return f"(-{self.child.shape()})"
+
+
+class Compare(Expr):
+    """Binary comparison with SQL NULL semantics (NULL op x → NULL)."""
+
+    _child_slots = ("left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in COMPARE_OPS:
+            raise TypeMismatchError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def with_children(self, children: Sequence[Expr]) -> "Compare":
+        return Compare(self.op, children[0], children[1])
+
+    def dtype(self, schema: Schema) -> DataType:
+        left, right = self.left.dtype(schema), self.right.dtype(schema)
+        if not comparable(left, right):
+            raise TypeMismatchError(
+                f"cannot compare {left.value} with {right.value}")
+        return DataType.BOOLEAN
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def shape(self) -> str:
+        return f"({self.left.shape()}{self.op}{self.right.shape()})"
+
+    def _key(self) -> tuple:
+        return ("Compare", self.op, self.left, self.right)
+
+
+class _Variadic(Expr):
+    """Shared base for AND/OR over two or more children."""
+
+    _sql_op = ""
+
+    def __init__(self, children: Sequence[Expr]):
+        if len(children) < 2:
+            raise TypeMismatchError(
+                f"{type(self).__name__} needs at least two children")
+        self._children = tuple(children)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self._children
+
+    def with_children(self, children: Sequence[Expr]) -> "_Variadic":
+        return type(self)(list(children))
+
+    def dtype(self, schema: Schema) -> DataType:
+        for child in self._children:
+            if child.dtype(schema) != DataType.BOOLEAN:
+                raise TypeMismatchError(
+                    f"{type(self).__name__} child {child!r} is not BOOLEAN")
+        return DataType.BOOLEAN
+
+    def to_sql(self) -> str:
+        inner = f" {self._sql_op} ".join(c.to_sql() for c in self._children)
+        return f"({inner})"
+
+    def shape(self) -> str:
+        inner = f" {self._sql_op} ".join(c.shape() for c in self._children)
+        return f"({inner})"
+
+    def _key(self) -> tuple:
+        return (type(self).__name__,) + self._children
+
+
+class And(_Variadic):
+    """Kleene-logic conjunction."""
+
+    _sql_op = "AND"
+
+    def __init__(self, *children: Expr):
+        if len(children) == 1 and isinstance(children[0], (list, tuple)):
+            children = tuple(children[0])
+        super().__init__(children)
+
+
+class Or(_Variadic):
+    """Kleene-logic disjunction."""
+
+    _sql_op = "OR"
+
+    def __init__(self, *children: Expr):
+        if len(children) == 1 and isinstance(children[0], (list, tuple)):
+            children = tuple(children[0])
+        super().__init__(children)
+
+
+class Not(Expr):
+    """Kleene-logic negation (NOT NULL → NULL)."""
+
+    _child_slots = ("child",)
+
+    def __init__(self, child: Expr):
+        self.child = child
+
+    def with_children(self, children: Sequence[Expr]) -> "Not":
+        return Not(children[0])
+
+    def dtype(self, schema: Schema) -> DataType:
+        if self.child.dtype(schema) != DataType.BOOLEAN:
+            raise TypeMismatchError("NOT requires a BOOLEAN child")
+        return DataType.BOOLEAN
+
+    def to_sql(self) -> str:
+        return f"(NOT {self.child.to_sql()})"
+
+    def shape(self) -> str:
+        return f"(NOT {self.child.shape()})"
+
+
+class If(Expr):
+    """``IF(cond, then, else)``: *then* when cond is TRUE, else *else*.
+
+    A NULL condition selects the else branch (Snowflake ``IFF``
+    semantics).
+    """
+
+    _child_slots = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: Expr, then: Expr, otherwise: Expr):
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+    def with_children(self, children: Sequence[Expr]) -> "If":
+        return If(children[0], children[1], children[2])
+
+    def dtype(self, schema: Schema) -> DataType:
+        if self.cond.dtype(schema) != DataType.BOOLEAN:
+            raise TypeMismatchError("IF condition must be BOOLEAN")
+        then, other = self.then.dtype(schema), self.otherwise.dtype(schema)
+        if then == other:
+            return then
+        return common_numeric_type(then, other)
+
+    def to_sql(self) -> str:
+        return (f"IF({self.cond.to_sql()}, {self.then.to_sql()}, "
+                f"{self.otherwise.to_sql()})")
+
+    def shape(self) -> str:
+        return (f"IF({self.cond.shape()},{self.then.shape()},"
+                f"{self.otherwise.shape()})")
+
+
+class Like(Expr):
+    """SQL ``LIKE`` with ``%`` (any run) and ``_`` (any char)."""
+
+    _child_slots = ("child",)
+
+    def __init__(self, child: Expr, pattern: str):
+        self.child = child
+        self.pattern = pattern
+
+    def with_children(self, children: Sequence[Expr]) -> "Like":
+        return Like(children[0], self.pattern)
+
+    def dtype(self, schema: Schema) -> DataType:
+        if self.child.dtype(schema) != DataType.VARCHAR:
+            raise TypeMismatchError("LIKE requires a VARCHAR child")
+        return DataType.BOOLEAN
+
+    @property
+    def literal_prefix(self) -> str:
+        """The pattern's literal prefix before the first wildcard."""
+        for i, ch in enumerate(self.pattern):
+            if ch in "%_":
+                return self.pattern[:i]
+        return self.pattern
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the pattern contains no wildcards (plain equality)."""
+        return "%" not in self.pattern and "_" not in self.pattern
+
+    def to_sql(self) -> str:
+        return (f"({self.child.to_sql()} LIKE "
+                f"{_format_literal(self.pattern)})")
+
+    def shape(self) -> str:
+        return f"({self.child.shape()} LIKE lit:VARCHAR)"
+
+    def _key(self) -> tuple:
+        return ("Like", self.child, self.pattern)
+
+
+class _StringPredicate(Expr):
+    """Shared base for STARTSWITH / ENDSWITH / CONTAINS."""
+
+    _child_slots = ("child",)
+    _fn = ""
+
+    def __init__(self, child: Expr, needle: str):
+        self.child = child
+        self.needle = needle
+
+    def with_children(self, children: Sequence[Expr]):
+        return type(self)(children[0], self.needle)
+
+    def dtype(self, schema: Schema) -> DataType:
+        if self.child.dtype(schema) != DataType.VARCHAR:
+            raise TypeMismatchError(f"{self._fn} requires a VARCHAR child")
+        return DataType.BOOLEAN
+
+    def to_sql(self) -> str:
+        return (f"{self._fn}({self.child.to_sql()}, "
+                f"{_format_literal(self.needle)})")
+
+    def shape(self) -> str:
+        return f"{self._fn}({self.child.shape()}, lit:VARCHAR)"
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.child, self.needle)
+
+
+class StartsWith(_StringPredicate):
+    """``STARTSWITH(s, prefix)`` — prunable against min/max (§3.1)."""
+
+    _fn = "STARTSWITH"
+
+
+class EndsWith(_StringPredicate):
+    """``ENDSWITH(s, suffix)`` — not prunable with min/max alone."""
+
+    _fn = "ENDSWITH"
+
+
+class Contains(_StringPredicate):
+    """``CONTAINS(s, needle)`` — not prunable with min/max alone."""
+
+    _fn = "CONTAINS"
+
+
+class InList(Expr):
+    """``x IN (v1, v2, ...)`` over literal values."""
+
+    _child_slots = ("child",)
+
+    def __init__(self, child: Expr, values: Sequence[Any]):
+        if not values:
+            raise TypeMismatchError("IN list must be non-empty")
+        self.child = child
+        self.values = tuple(values)
+
+    def with_children(self, children: Sequence[Expr]) -> "InList":
+        return InList(children[0], self.values)
+
+    def dtype(self, schema: Schema) -> DataType:
+        child = self.child.dtype(schema)
+        for value in self.values:
+            if value is not None and not comparable(child,
+                                                    infer_type(value)):
+                raise TypeMismatchError(
+                    f"IN list value {value!r} not comparable with "
+                    f"{child.value}")
+        return DataType.BOOLEAN
+
+    def to_sql(self) -> str:
+        inner = ", ".join(_format_literal(v) for v in self.values)
+        return f"({self.child.to_sql()} IN ({inner}))"
+
+    def shape(self) -> str:
+        return f"({self.child.shape()} IN [*{len(self.values)}])"
+
+    def _key(self) -> tuple:
+        return ("InList", self.child, self.values)
+
+
+class IsNull(Expr):
+    """``x IS NULL`` (never NULL itself)."""
+
+    _child_slots = ("child",)
+
+    def __init__(self, child: Expr, negated: bool = False):
+        self.child = child
+        self.negated = negated
+
+    def with_children(self, children: Sequence[Expr]) -> "IsNull":
+        return IsNull(children[0], self.negated)
+
+    def dtype(self, schema: Schema) -> DataType:
+        self.child.dtype(schema)  # validate child
+        return DataType.BOOLEAN
+
+    def to_sql(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.child.to_sql()} {op})"
+
+    def shape(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.child.shape()} {op})"
+
+    def _key(self) -> tuple:
+        return ("IsNull", self.child, self.negated)
+
+
+class FunctionCall(Expr):
+    """Call of a scalar function from :data:`FUNCTIONS`."""
+
+    def __init__(self, name: str, args: Sequence[Expr]):
+        name = name.lower()
+        if name not in FUNCTIONS:
+            raise TypeMismatchError(f"unknown function {name!r}")
+        if len(args) != FUNCTIONS[name]:
+            raise TypeMismatchError(
+                f"{name} expects {FUNCTIONS[name]} argument(s), "
+                f"got {len(args)}")
+        self.name = name
+        self.args = tuple(args)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def with_children(self, children: Sequence[Expr]) -> "FunctionCall":
+        return FunctionCall(self.name, list(children))
+
+    def dtype(self, schema: Schema) -> DataType:
+        arg_types = [a.dtype(schema) for a in self.args]
+        return _function_result_type(self.name, arg_types)
+
+    def to_sql(self) -> str:
+        inner = ", ".join(a.to_sql() for a in self.args)
+        return f"{self.name.upper()}({inner})"
+
+    def shape(self) -> str:
+        inner = ", ".join(a.shape() for a in self.args)
+        return f"{self.name.upper()}({inner})"
+
+    def _key(self) -> tuple:
+        return ("FunctionCall", self.name) + self.args
+
+
+def _function_result_type(name: str,
+                          arg_types: list[DataType]) -> DataType:
+    first = arg_types[0]
+    if name in ("abs",):
+        _require_numeric(name, first)
+        return first
+    if name in ("ceil", "floor", "round"):
+        _require_numeric(name, first)
+        return DataType.INTEGER
+    if name in ("upper", "lower"):
+        _require(name, first, DataType.VARCHAR)
+        return DataType.VARCHAR
+    if name == "length":
+        _require(name, first, DataType.VARCHAR)
+        return DataType.INTEGER
+    if name in ("coalesce", "least", "greatest"):
+        second = arg_types[1]
+        if first == second:
+            return first
+        return common_numeric_type(first, second)
+    if name in ("year", "month", "day"):
+        _require(name, first, DataType.DATE)
+        return DataType.INTEGER
+    raise TypeMismatchError(f"unknown function {name!r}")
+
+
+def _require_numeric(name: str, dtype: DataType) -> None:
+    if not dtype.is_numeric:
+        raise TypeMismatchError(f"{name} requires a numeric argument")
+
+
+def _require(name: str, dtype: DataType, expected: DataType) -> None:
+    if dtype != expected:
+        raise TypeMismatchError(
+            f"{name} requires {expected.value}, got {dtype.value}")
+
+
+class Cast(Expr):
+    """``CAST(x AS type)``; only numeric <-> numeric casts for now."""
+
+    _child_slots = ("child",)
+
+    def __init__(self, child: Expr, target: DataType):
+        self.child = child
+        self.target = target
+
+    def with_children(self, children: Sequence[Expr]) -> "Cast":
+        return Cast(children[0], self.target)
+
+    def dtype(self, schema: Schema) -> DataType:
+        source = self.child.dtype(schema)
+        ok = (source.is_numeric and self.target.is_numeric) or \
+            source == self.target
+        if not ok:
+            raise TypeMismatchError(
+                f"unsupported cast {source.value} -> {self.target.value}")
+        return self.target
+
+    def to_sql(self) -> str:
+        return f"CAST({self.child.to_sql()} AS {self.target.value})"
+
+    def shape(self) -> str:
+        return f"CAST({self.child.shape()} AS {self.target.value})"
+
+    def _key(self) -> tuple:
+        return ("Cast", self.child, self.target)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def col(name: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(name)
+
+
+def lit(value: Any, dtype: DataType | None = None) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value, dtype)
+
+
+def between(child: Expr, lo: Expr, hi: Expr) -> And:
+    """``x BETWEEN lo AND hi`` desugared to two comparisons."""
+    return And(Compare(">=", child, lo), Compare("<=", child, hi))

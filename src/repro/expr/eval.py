@@ -1,0 +1,341 @@
+"""Vectorized expression evaluation with SQL three-valued logic.
+
+``evaluate(expr, columns)`` produces a :class:`~repro.storage.column.Column`
+of the expression's value for every row. NULLs propagate per SQL rules:
+Kleene logic for AND/OR/NOT, NULL-on-any-NULL for arithmetic and
+comparisons, and engine-defined NULL for division by zero.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..storage.column import Column
+from ..types import DataType, Schema, days_to_date
+from . import ast
+
+
+def evaluate(expr: ast.Expr, columns: Mapping[str, Column],
+             schema: Schema) -> Column:
+    """Evaluate ``expr`` over a chunk of columns.
+
+    Args:
+        expr: the expression tree.
+        columns: name -> :class:`Column`; all the same length.
+        schema: schema used for type resolution.
+
+    Returns:
+        A column of ``expr.dtype(schema)`` with one value per input row.
+    """
+    length = _chunk_length(columns)
+    return _eval(expr, columns, schema, length)
+
+
+def evaluate_predicate(expr: ast.Expr, columns: Mapping[str, Column],
+                       schema: Schema) -> np.ndarray:
+    """Evaluate a boolean predicate to a selection mask.
+
+    Rows where the predicate is FALSE *or NULL* are excluded, per SQL
+    WHERE semantics.
+    """
+    result = evaluate(expr, columns, schema)
+    if result.dtype != DataType.BOOLEAN:
+        raise ExecutionError(
+            f"predicate evaluated to {result.dtype.value}, not BOOLEAN")
+    return result.values & ~result.nulls
+
+
+def _chunk_length(columns: Mapping[str, Column]) -> int:
+    for column in columns.values():
+        return len(column)
+    return 0
+
+
+def _eval(expr: ast.Expr, columns: Mapping[str, Column], schema: Schema,
+          length: int) -> Column:
+    handler = _HANDLERS.get(type(expr))
+    if handler is None:
+        raise ExecutionError(f"no evaluator for {type(expr).__name__}")
+    return handler(expr, columns, schema, length)
+
+
+# ----------------------------------------------------------------------
+# Leaves
+# ----------------------------------------------------------------------
+def _eval_column_ref(expr: ast.ColumnRef, columns, schema, length) -> Column:
+    try:
+        return columns[expr.name]
+    except KeyError:
+        raise ExecutionError(
+            f"column {expr.name!r} not present in chunk") from None
+
+
+def _eval_literal(expr: ast.Literal, columns, schema, length) -> Column:
+    return Column.constant(expr.dtype(schema), expr.value, length)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def _eval_arith(expr: ast.Arith, columns, schema, length) -> Column:
+    left = _eval(expr.left, columns, schema, length)
+    right = _eval(expr.right, columns, schema, length)
+    out_type = expr.dtype(schema)
+    nulls = left.nulls | right.nulls
+    lv, rv = left.values, right.values
+    if expr.op == "+":
+        values = lv + rv
+    elif expr.op == "-":
+        values = lv - rv
+    elif expr.op == "*":
+        values = lv * rv
+    elif expr.op == "/":
+        zero = rv == 0
+        nulls = nulls | zero
+        safe = np.where(zero, 1, rv)
+        values = lv.astype(np.float64) / safe
+    elif expr.op == "%":
+        zero = rv == 0
+        nulls = nulls | zero
+        safe = np.where(zero, 1, rv)
+        with np.errstate(all="ignore"):
+            values = np.mod(lv, safe)
+    else:  # pragma: no cover - guarded by Arith.__init__
+        raise ExecutionError(f"unknown arithmetic op {expr.op!r}")
+    values = np.asarray(values, dtype=out_type.numpy_dtype())
+    return Column(out_type, values, nulls)
+
+
+def _eval_neg(expr: ast.Neg, columns, schema, length) -> Column:
+    child = _eval(expr.child, columns, schema, length)
+    return Column(child.dtype, -child.values, child.nulls.copy())
+
+
+# ----------------------------------------------------------------------
+# Comparisons and boolean logic
+# ----------------------------------------------------------------------
+def _eval_compare(expr: ast.Compare, columns, schema, length) -> Column:
+    left = _eval(expr.left, columns, schema, length)
+    right = _eval(expr.right, columns, schema, length)
+    nulls = left.nulls | right.nulls
+    lv, rv = left.values, right.values
+    if expr.op == "=":
+        values = lv == rv
+    elif expr.op == "<>":
+        values = lv != rv
+    elif expr.op == "<":
+        values = lv < rv
+    elif expr.op == "<=":
+        values = lv <= rv
+    elif expr.op == ">":
+        values = lv > rv
+    else:  # ">="
+        values = lv >= rv
+    values = np.asarray(values, dtype=np.bool_)
+    # Dummy values under null masks may compare arbitrarily; mask them.
+    return Column(DataType.BOOLEAN, values & ~nulls, nulls)
+
+
+def _eval_and(expr: ast.And, columns, schema, length) -> Column:
+    # Kleene AND: FALSE dominates, then NULL, then TRUE.
+    any_false = np.zeros(length, dtype=np.bool_)
+    any_null = np.zeros(length, dtype=np.bool_)
+    for child in expr.children():
+        c = _eval(child, columns, schema, length)
+        any_false |= ~c.nulls & ~c.values
+        any_null |= c.nulls
+    nulls = any_null & ~any_false
+    values = ~any_false & ~nulls
+    return Column(DataType.BOOLEAN, values, nulls)
+
+
+def _eval_or(expr: ast.Or, columns, schema, length) -> Column:
+    # Kleene OR: TRUE dominates, then NULL, then FALSE.
+    any_true = np.zeros(length, dtype=np.bool_)
+    any_null = np.zeros(length, dtype=np.bool_)
+    for child in expr.children():
+        c = _eval(child, columns, schema, length)
+        any_true |= ~c.nulls & c.values
+        any_null |= c.nulls
+    nulls = any_null & ~any_true
+    return Column(DataType.BOOLEAN, any_true, nulls)
+
+
+def _eval_not(expr: ast.Not, columns, schema, length) -> Column:
+    child = _eval(expr.child, columns, schema, length)
+    return Column(DataType.BOOLEAN, ~child.values & ~child.nulls,
+                  child.nulls.copy())
+
+
+def _eval_if(expr: ast.If, columns, schema, length) -> Column:
+    cond = _eval(expr.cond, columns, schema, length)
+    then = _eval(expr.then, columns, schema, length)
+    other = _eval(expr.otherwise, columns, schema, length)
+    out_type = expr.dtype(schema)
+    take_then = cond.values & ~cond.nulls  # NULL condition -> else branch
+    then_values = np.asarray(then.values, dtype=out_type.numpy_dtype())
+    other_values = np.asarray(other.values, dtype=out_type.numpy_dtype())
+    values = np.where(take_then, then_values, other_values)
+    nulls = np.where(take_then, then.nulls, other.nulls)
+    return Column(out_type, values, np.asarray(nulls, dtype=np.bool_))
+
+
+# ----------------------------------------------------------------------
+# Strings
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str) -> re.Pattern:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.compile(regex, re.DOTALL)
+
+
+def _eval_like(expr: ast.Like, columns, schema, length) -> Column:
+    child = _eval(expr.child, columns, schema, length)
+    regex = _like_regex(expr.pattern)
+    values = np.fromiter(
+        (bool(regex.fullmatch(v)) if not is_null else False
+         for v, is_null in zip(child.values, child.nulls)),
+        dtype=np.bool_, count=length)
+    return Column(DataType.BOOLEAN, values, child.nulls.copy())
+
+
+def _string_predicate(check):
+    def handler(expr, columns, schema, length) -> Column:
+        child = _eval(expr.child, columns, schema, length)
+        needle = expr.needle
+        values = np.fromiter(
+            (check(v, needle) if not is_null else False
+             for v, is_null in zip(child.values, child.nulls)),
+            dtype=np.bool_, count=length)
+        return Column(DataType.BOOLEAN, values, child.nulls.copy())
+
+    return handler
+
+
+_eval_startswith = _string_predicate(lambda v, n: v.startswith(n))
+_eval_endswith = _string_predicate(lambda v, n: v.endswith(n))
+_eval_contains = _string_predicate(lambda v, n: n in v)
+
+
+# ----------------------------------------------------------------------
+# IN / IS NULL / CAST
+# ----------------------------------------------------------------------
+def _eval_in_list(expr: ast.InList, columns, schema, length) -> Column:
+    child = _eval(expr.child, columns, schema, length)
+    non_null_values = [v for v in expr.values if v is not None]
+    list_has_null = len(non_null_values) < len(expr.values)
+    matched = np.zeros(length, dtype=np.bool_)
+    for value in non_null_values:
+        matched |= np.asarray(child.values == value, dtype=np.bool_)
+    matched &= ~child.nulls
+    # SQL: x IN (...) is NULL when x is NULL, or when unmatched and the
+    # list contains NULL.
+    nulls = child.nulls.copy()
+    if list_has_null:
+        nulls = nulls | ~matched
+    return Column(DataType.BOOLEAN, matched & ~nulls, nulls)
+
+
+def _eval_is_null(expr: ast.IsNull, columns, schema, length) -> Column:
+    child = _eval(expr.child, columns, schema, length)
+    values = ~child.nulls if expr.negated else child.nulls.copy()
+    return Column(DataType.BOOLEAN, values,
+                  np.zeros(length, dtype=np.bool_))
+
+
+def _eval_cast(expr: ast.Cast, columns, schema, length) -> Column:
+    child = _eval(expr.child, columns, schema, length)
+    if child.dtype == expr.target:
+        return child
+    if expr.target == DataType.INTEGER:
+        # SQL CAST(double AS int) truncates toward zero.
+        values = np.trunc(child.values).astype(np.int64)
+    else:
+        values = child.values.astype(expr.target.numpy_dtype())
+    return Column(expr.target, values, child.nulls.copy())
+
+
+# ----------------------------------------------------------------------
+# Scalar functions
+# ----------------------------------------------------------------------
+def _eval_function(expr: ast.FunctionCall, columns, schema,
+                   length) -> Column:
+    args = [_eval(a, columns, schema, length) for a in expr.args]
+    out_type = expr.dtype(schema)
+    name = expr.name
+    first = args[0]
+    if name == "abs":
+        return Column(out_type, np.abs(first.values), first.nulls.copy())
+    if name == "ceil":
+        return Column(out_type, np.ceil(first.values).astype(np.int64),
+                      first.nulls.copy())
+    if name == "floor":
+        return Column(out_type, np.floor(first.values).astype(np.int64),
+                      first.nulls.copy())
+    if name == "round":
+        return Column(out_type, np.round(first.values).astype(np.int64),
+                      first.nulls.copy())
+    if name in ("upper", "lower"):
+        transform = str.upper if name == "upper" else str.lower
+        values = np.array(
+            [transform(v) if not n else "" for v, n
+             in zip(first.values, first.nulls)], dtype=object)
+        return Column(out_type, values, first.nulls.copy())
+    if name == "length":
+        values = np.fromiter(
+            (len(v) if not n else 0 for v, n
+             in zip(first.values, first.nulls)),
+            dtype=np.int64, count=length)
+        return Column(out_type, values, first.nulls.copy())
+    if name == "coalesce":
+        second = args[1]
+        values = np.where(first.nulls,
+                          second.values.astype(out_type.numpy_dtype()),
+                          first.values.astype(out_type.numpy_dtype()))
+        nulls = first.nulls & second.nulls
+        return Column(out_type, values, nulls)
+    if name in ("least", "greatest"):
+        second = args[1]
+        lv = first.values.astype(out_type.numpy_dtype())
+        rv = second.values.astype(out_type.numpy_dtype())
+        picker = np.minimum if name == "least" else np.maximum
+        values = picker(lv, rv)
+        # NULL if either argument is NULL (Snowflake semantics).
+        nulls = first.nulls | second.nulls
+        return Column(out_type, values, nulls)
+    if name in ("year", "month", "day"):
+        extractor = {"year": lambda d: d.year,
+                     "month": lambda d: d.month,
+                     "day": lambda d: d.day}[name]
+        values = np.fromiter(
+            (extractor(days_to_date(int(v))) if not n else 0
+             for v, n in zip(first.values, first.nulls)),
+            dtype=np.int64, count=length)
+        return Column(out_type, values, first.nulls.copy())
+    raise ExecutionError(f"no evaluator for function {name!r}")
+
+
+_HANDLERS = {
+    ast.ColumnRef: _eval_column_ref,
+    ast.Literal: _eval_literal,
+    ast.Arith: _eval_arith,
+    ast.Neg: _eval_neg,
+    ast.Compare: _eval_compare,
+    ast.And: _eval_and,
+    ast.Or: _eval_or,
+    ast.Not: _eval_not,
+    ast.If: _eval_if,
+    ast.Like: _eval_like,
+    ast.StartsWith: _eval_startswith,
+    ast.EndsWith: _eval_endswith,
+    ast.Contains: _eval_contains,
+    ast.InList: _eval_in_list,
+    ast.IsNull: _eval_is_null,
+    ast.Cast: _eval_cast,
+    ast.FunctionCall: _eval_function,
+}

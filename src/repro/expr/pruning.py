@@ -1,0 +1,63 @@
+"""Tri-state pruning verdicts from zone-map metadata.
+
+Given a boolean predicate and a partition's zone map, classify the
+partition (§2.1, §4.1):
+
+* ``NEVER``  — no row can satisfy the predicate → the partition is
+  *not-matching* and may be pruned from the scan set;
+* ``ALWAYS`` — every row satisfies the predicate → the partition is
+  *fully-matching* (the key enabler of LIMIT pruning, §4);
+* ``MAYBE``  — the partition is *partially-matching* and must be
+  scanned.
+
+Correctness contract: pruning guarantees **no false negatives**. A
+``NEVER`` verdict proves no row matches; an ``ALWAYS`` verdict proves
+all rows match; ``MAYBE`` makes no promise either way.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..storage.zonemap import ZoneMap
+from ..types import Schema
+from . import ast
+from .ranges import derive_range
+
+
+class TriState(enum.Enum):
+    """Partition classification for one predicate."""
+
+    NEVER = "never"      #: not-matching: prune it
+    MAYBE = "maybe"      #: partially-matching: must scan
+    ALWAYS = "always"    #: fully-matching: all rows qualify
+
+    def __invert__(self) -> "TriState":
+        """The verdict for the logically negated predicate."""
+        if self is TriState.NEVER:
+            return TriState.ALWAYS
+        if self is TriState.ALWAYS:
+            return TriState.NEVER
+        return TriState.MAYBE
+
+
+def prune_partition(predicate: ast.Expr, zone_map: ZoneMap,
+                    schema: Schema) -> TriState:
+    """Classify a partition against a boolean predicate.
+
+    Empty partitions are trivially ``NEVER`` (nothing to scan). For
+    non-empty partitions the predicate's derived boolean range decides:
+    no possible TRUE row → ``NEVER``; no possible FALSE and no possible
+    NULL row → ``ALWAYS`` (a NULL predicate row would be filtered out by
+    SQL WHERE, so it blocks fully-matching status); otherwise ``MAYBE``.
+    """
+    if zone_map.row_count == 0:
+        return TriState.NEVER
+    value_range = derive_range(predicate, zone_map, schema)
+    if not value_range.known:
+        return TriState.MAYBE
+    if not value_range.can_be_true:
+        return TriState.NEVER
+    if not value_range.can_be_false and not value_range.maybe_null:
+        return TriState.ALWAYS
+    return TriState.MAYBE

@@ -1,0 +1,532 @@
+"""Deriving min/max ranges of expressions from zone-map metadata (§3.1).
+
+Every expression node can report a conservative :class:`ValueRange` —
+the set of values it *might* take on some row of a partition — given
+only that partition's per-column min/max/null metadata. The paper's
+requirement is: "for effective pruning, every function must provide a
+mechanism to derive transformed min/max ranges from its input".
+
+Soundness contract: for every row of the partition, the value the
+expression evaluates to is contained in the derived range (with
+``maybe_null`` covering NULL results). Ranges may be wider than
+necessary — that only costs pruning opportunities, never correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import MetadataError
+from ..storage.zonemap import ColumnStats, ZoneMap
+from ..types import DataType, Schema, date_to_days, days_to_date, infer_type
+from . import ast
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """Conservative value set of an expression over one partition.
+
+    Attributes:
+        dtype: the expression's SQL type.
+        lo, hi: inclusive bounds on non-NULL values; both ``None`` when
+            the expression can produce no non-NULL value (``known`` True)
+            or when nothing is known about bounds (``known`` False).
+        maybe_null: whether some row might evaluate to NULL.
+        known: whether ``lo``/``hi`` are trustworthy. ``known=False``
+            means "any value possible" (missing statistics, or a
+            function whose output bounds cannot be derived).
+    """
+
+    dtype: DataType
+    lo: Any
+    hi: Any
+    maybe_null: bool
+    known: bool = True
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def unknown(cls, dtype: DataType, maybe_null: bool = True) -> "ValueRange":
+        return cls(dtype, None, None, maybe_null, known=False)
+
+    @classmethod
+    def point(cls, dtype: DataType, value: Any) -> "ValueRange":
+        if value is None:
+            return cls.null_only(dtype)
+        return cls(dtype, value, value, maybe_null=False)
+
+    @classmethod
+    def null_only(cls, dtype: DataType) -> "ValueRange":
+        return cls(dtype, None, None, maybe_null=True)
+
+    @classmethod
+    def empty(cls, dtype: DataType) -> "ValueRange":
+        """No value at all (e.g. an empty partition)."""
+        return cls(dtype, None, None, maybe_null=False)
+
+    @classmethod
+    def from_stats(cls, stats: ColumnStats) -> "ValueRange":
+        if not stats.present:
+            return cls.unknown(stats.dtype)
+        if stats.row_count == 0:
+            return cls.empty(stats.dtype)
+        return cls(stats.dtype, stats.min_value, stats.max_value,
+                   maybe_null=stats.null_count > 0)
+
+    @classmethod
+    def from_flags(cls, can_true: bool, can_false: bool,
+                   maybe_null: bool) -> "ValueRange":
+        """Build a BOOLEAN range from possibility flags."""
+        if can_true and can_false:
+            lo, hi = False, True
+        elif can_true:
+            lo = hi = True
+        elif can_false:
+            lo = hi = False
+        else:
+            lo = hi = None
+        return cls(DataType.BOOLEAN, lo, hi, maybe_null)
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def has_values(self) -> bool:
+        """Whether a non-NULL value is possible."""
+        return not self.known or self.lo is not None
+
+    @property
+    def can_be_true(self) -> bool:
+        """For BOOLEAN ranges: might some row evaluate to TRUE?"""
+        if not self.known:
+            return True
+        return self.hi is True
+
+    @property
+    def can_be_false(self) -> bool:
+        """For BOOLEAN ranges: might some row evaluate to FALSE?"""
+        if not self.known:
+            return True
+        return self.lo is False
+
+    def union(self, other: "ValueRange") -> "ValueRange":
+        """Smallest range covering both inputs (same dtype)."""
+        maybe_null = self.maybe_null or other.maybe_null
+        if not (self.known and other.known):
+            return ValueRange.unknown(self.dtype, maybe_null)
+        if self.lo is None:
+            return ValueRange(other.dtype, other.lo, other.hi, maybe_null)
+        if other.lo is None:
+            return ValueRange(self.dtype, self.lo, self.hi, maybe_null)
+        return ValueRange(self.dtype, min(self.lo, other.lo),
+                          max(self.hi, other.hi), maybe_null)
+
+
+def derive_range(expr: ast.Expr, zone_map: ZoneMap,
+                 schema: Schema) -> ValueRange:
+    """Derive the conservative value range of ``expr`` on one partition."""
+    handler = _HANDLERS.get(type(expr))
+    if handler is None:
+        # Unknown node type: be maximally conservative.
+        return ValueRange.unknown(expr.dtype(schema))
+    return handler(expr, zone_map, schema)
+
+
+# ----------------------------------------------------------------------
+# Leaves
+# ----------------------------------------------------------------------
+def _range_column_ref(expr: ast.ColumnRef, zone_map, schema) -> ValueRange:
+    try:
+        stats = zone_map.stats(expr.name)
+    except MetadataError:
+        return ValueRange.unknown(schema.dtype_of(expr.name))
+    value_range = ValueRange.from_stats(stats)
+    if stats.dtype == DataType.DATE and value_range.known \
+            and value_range.lo is not None:
+        # Stats hold epoch days; keep them as ints (comparisons against
+        # DATE literals convert the literal instead).
+        return value_range
+    return value_range
+
+
+def _range_literal(expr: ast.Literal, zone_map, schema) -> ValueRange:
+    value = expr.value
+    dtype = expr.dtype(schema)
+    if value is None:
+        return ValueRange.null_only(dtype)
+    if dtype == DataType.DATE:
+        value = date_to_days(value) if not isinstance(value, int) else value
+    return ValueRange.point(dtype, value)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def _range_arith(expr: ast.Arith, zone_map, schema) -> ValueRange:
+    left = derive_range(expr.left, zone_map, schema)
+    right = derive_range(expr.right, zone_map, schema)
+    out_type = expr.dtype(schema)
+    maybe_null = left.maybe_null or right.maybe_null
+    if not (left.known and right.known):
+        return ValueRange.unknown(out_type, maybe_null)
+    if left.lo is None or right.lo is None:
+        # One side is NULL on every row (or empty) -> result never
+        # non-NULL.
+        if left.maybe_null or right.maybe_null:
+            return ValueRange.null_only(out_type)
+        return ValueRange.empty(out_type)
+    a_lo, a_hi, b_lo, b_hi = left.lo, left.hi, right.lo, right.hi
+    if expr.op == "+":
+        lo, hi = a_lo + b_lo, a_hi + b_hi
+    elif expr.op == "-":
+        lo, hi = a_lo - b_hi, a_hi - b_lo
+    elif expr.op == "*":
+        products = (a_lo * b_lo, a_lo * b_hi, a_hi * b_lo, a_hi * b_hi)
+        lo, hi = min(products), max(products)
+    elif expr.op == "/":
+        if b_lo <= 0 <= b_hi:
+            # Divisor may be (close to) zero: quotient unbounded, and a
+            # zero divisor yields NULL in this engine.
+            if b_lo == 0 == b_hi:
+                return ValueRange.null_only(out_type)
+            return ValueRange.unknown(out_type, maybe_null=True)
+        quotients = (a_lo / b_lo, a_lo / b_hi, a_hi / b_lo, a_hi / b_hi)
+        lo, hi = min(quotients), max(quotients)
+    else:  # "%"
+        if b_lo == 0 == b_hi:
+            return ValueRange.null_only(out_type)
+        magnitude = max(abs(b_lo), abs(b_hi))
+        lo, hi = -magnitude, magnitude
+        if b_lo <= 0 <= b_hi:
+            maybe_null = True  # zero divisor rows yield NULL
+    if out_type == DataType.INTEGER and _exceeds_int64(lo, hi):
+        # The engine's int64 arithmetic wraps on overflow; interval
+        # arithmetic over Python bignums would then over-promise.
+        # Bail out to "anything possible" — sound either way.
+        return ValueRange.unknown(out_type, maybe_null)
+    return ValueRange(out_type, lo, hi, maybe_null)
+
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def _exceeds_int64(lo: Any, hi: Any) -> bool:
+    return lo < _INT64_MIN or hi > _INT64_MAX
+
+
+def _range_neg(expr: ast.Neg, zone_map, schema) -> ValueRange:
+    child = derive_range(expr.child, zone_map, schema)
+    out_type = expr.dtype(schema)
+    if not child.known:
+        return ValueRange.unknown(out_type, child.maybe_null)
+    if child.lo is None:
+        return ValueRange(out_type, None, None, child.maybe_null)
+    return ValueRange(out_type, -child.hi, -child.lo, child.maybe_null)
+
+
+# ----------------------------------------------------------------------
+# Comparisons
+# ----------------------------------------------------------------------
+def _comparison_value(value: Any) -> Any:
+    """Normalize DATE literals to epoch days for metadata comparison."""
+    import datetime
+
+    if isinstance(value, datetime.date):
+        return date_to_days(value)
+    return value
+
+
+def _range_compare(expr: ast.Compare, zone_map, schema) -> ValueRange:
+    left = derive_range(expr.left, zone_map, schema)
+    right = derive_range(expr.right, zone_map, schema)
+    maybe_null = left.maybe_null or right.maybe_null
+    if not (left.known and right.known):
+        return ValueRange.from_flags(True, True, maybe_null)
+    if left.lo is None or right.lo is None:
+        # Some side never produces a non-NULL value.
+        if maybe_null:
+            return ValueRange.null_only(DataType.BOOLEAN)
+        return ValueRange.empty(DataType.BOOLEAN)
+    a_lo, a_hi = _comparison_value(left.lo), _comparison_value(left.hi)
+    b_lo, b_hi = _comparison_value(right.lo), _comparison_value(right.hi)
+    op = expr.op
+    if op == "<":
+        can_true = a_lo < b_hi
+        can_false = a_hi >= b_lo
+    elif op == "<=":
+        can_true = a_lo <= b_hi
+        can_false = a_hi > b_lo
+    elif op == ">":
+        can_true = a_hi > b_lo
+        can_false = a_lo <= b_hi
+    elif op == ">=":
+        can_true = a_hi >= b_lo
+        can_false = a_lo < b_hi
+    elif op == "=":
+        can_true = a_lo <= b_hi and b_lo <= a_hi
+        can_false = not (a_lo == a_hi == b_lo == b_hi)
+    else:  # "<>"
+        can_true = not (a_lo == a_hi == b_lo == b_hi)
+        can_false = a_lo <= b_hi and b_lo <= a_hi
+    return ValueRange.from_flags(can_true, can_false, maybe_null)
+
+
+# ----------------------------------------------------------------------
+# Boolean logic
+# ----------------------------------------------------------------------
+def _range_and(expr: ast.And, zone_map, schema) -> ValueRange:
+    ranges = [derive_range(c, zone_map, schema) for c in expr.children()]
+    can_true = all(r.can_be_true for r in ranges)
+    can_false = any(r.can_be_false for r in ranges)
+    maybe_null = any(r.maybe_null or not r.known for r in ranges)
+    return ValueRange.from_flags(can_true, can_false, maybe_null)
+
+
+def _range_or(expr: ast.Or, zone_map, schema) -> ValueRange:
+    ranges = [derive_range(c, zone_map, schema) for c in expr.children()]
+    # If some child is TRUE on every row, the OR is TRUE on every row.
+    some_child_always = any(
+        r.known and not r.can_be_false and not r.maybe_null
+        and r.can_be_true
+        for r in ranges)
+    can_true = any(r.can_be_true for r in ranges)
+    can_false = all(r.can_be_false for r in ranges)
+    maybe_null = (not some_child_always
+                  and any(r.maybe_null or not r.known for r in ranges))
+    if some_child_always:
+        can_false = False
+    return ValueRange.from_flags(can_true, can_false, maybe_null)
+
+
+def _range_not(expr: ast.Not, zone_map, schema) -> ValueRange:
+    child = derive_range(expr.child, zone_map, schema)
+    return ValueRange.from_flags(child.can_be_false, child.can_be_true,
+                                 child.maybe_null or not child.known)
+
+
+def _range_if(expr: ast.If, zone_map, schema) -> ValueRange:
+    cond = derive_range(expr.cond, zone_map, schema)
+    out_type = expr.dtype(schema)
+    then_range = derive_range(expr.then, zone_map, schema)
+    else_range = derive_range(expr.otherwise, zone_map, schema)
+    cond_always_true = (cond.known and cond.can_be_true
+                        and not cond.can_be_false and not cond.maybe_null)
+    cond_never_true = cond.known and not cond.can_be_true
+    if cond_always_true:
+        result = then_range
+    elif cond_never_true:
+        result = else_range
+    else:
+        result = then_range.union(else_range)
+    if result.dtype != out_type:
+        result = ValueRange(out_type, result.lo, result.hi,
+                            result.maybe_null, result.known)
+    return result
+
+
+# ----------------------------------------------------------------------
+# String predicates
+# ----------------------------------------------------------------------
+def _prefix_flags(prefix: str, lo: str, hi: str) -> tuple[bool, bool]:
+    """(can_true, can_false) for "value starts with prefix" vs [lo, hi].
+
+    Strings starting with ``prefix`` form the interval
+    ``[prefix, prefix + U+10FFFF...)``; overlap with the column range
+    decides *can_true*, and both endpoints sharing the prefix decides
+    *not can_false* (every string between two strings with a common
+    prefix shares that prefix).
+    """
+    if prefix == "":
+        return True, False  # every string starts with ""
+    prefix_upper = prefix + "\U0010ffff" * 4
+    can_true = lo <= prefix_upper and prefix <= hi
+    all_match = lo.startswith(prefix) and hi.startswith(prefix)
+    return can_true, not all_match
+
+
+def _range_like(expr: ast.Like, zone_map, schema) -> ValueRange:
+    child = derive_range(expr.child, zone_map, schema)
+    maybe_null = child.maybe_null or not child.known
+    if not child.known:
+        return ValueRange.from_flags(True, True, maybe_null)
+    if child.lo is None:
+        if child.maybe_null:
+            return ValueRange.null_only(DataType.BOOLEAN)
+        return ValueRange.empty(DataType.BOOLEAN)
+    if expr.is_exact:
+        can_true = child.lo <= expr.pattern <= child.hi
+        can_false = not (child.lo == child.hi == expr.pattern)
+        return ValueRange.from_flags(can_true, can_false, maybe_null)
+    prefix = expr.literal_prefix
+    can_true, can_false = _prefix_flags(prefix, child.lo, child.hi)
+    # The widened prefix check can certify ALWAYS only when the rest of
+    # the pattern is a single '%' (i.e. 'prefix%' matches any suffix).
+    pattern_is_pure_prefix = expr.pattern == prefix + "%"
+    if not pattern_is_pure_prefix:
+        can_false = True
+    return ValueRange.from_flags(can_true, can_false, maybe_null)
+
+
+def _range_startswith(expr: ast.StartsWith, zone_map, schema) -> ValueRange:
+    child = derive_range(expr.child, zone_map, schema)
+    maybe_null = child.maybe_null or not child.known
+    if not child.known:
+        return ValueRange.from_flags(True, True, maybe_null)
+    if child.lo is None:
+        if child.maybe_null:
+            return ValueRange.null_only(DataType.BOOLEAN)
+        return ValueRange.empty(DataType.BOOLEAN)
+    can_true, can_false = _prefix_flags(expr.needle, child.lo, child.hi)
+    return ValueRange.from_flags(can_true, can_false, maybe_null)
+
+
+def _range_opaque_string_pred(expr, zone_map, schema) -> ValueRange:
+    """ENDSWITH / CONTAINS: min/max metadata cannot decide anything."""
+    child = derive_range(expr.child, zone_map, schema)
+    maybe_null = child.maybe_null or not child.known
+    if child.known and child.lo is None:
+        if child.maybe_null:
+            return ValueRange.null_only(DataType.BOOLEAN)
+        return ValueRange.empty(DataType.BOOLEAN)
+    return ValueRange.from_flags(True, True, maybe_null)
+
+
+# ----------------------------------------------------------------------
+# IN / IS NULL / CAST / functions
+# ----------------------------------------------------------------------
+def _range_in_list(expr: ast.InList, zone_map, schema) -> ValueRange:
+    child = derive_range(expr.child, zone_map, schema)
+    values = [_comparison_value(v) for v in expr.values if v is not None]
+    list_has_null = len(values) < len(expr.values)
+    maybe_null = child.maybe_null or not child.known or list_has_null
+    if not child.known:
+        return ValueRange.from_flags(True, True, maybe_null)
+    if child.lo is None:
+        if child.maybe_null:
+            return ValueRange.null_only(DataType.BOOLEAN)
+        return ValueRange.empty(DataType.BOOLEAN)
+    lo = _comparison_value(child.lo)
+    hi = _comparison_value(child.hi)
+    can_true = any(lo <= v <= hi for v in values)
+    point = lo == hi
+    can_false = not (point and lo in values)
+    return ValueRange.from_flags(can_true, can_false, maybe_null)
+
+
+def _range_is_null(expr: ast.IsNull, zone_map, schema) -> ValueRange:
+    child = derive_range(expr.child, zone_map, schema)
+    is_null_possible = child.maybe_null or not child.known
+    not_null_possible = child.has_values
+    can_true, can_false = (
+        (not_null_possible, is_null_possible) if expr.negated
+        else (is_null_possible, not_null_possible))
+    return ValueRange.from_flags(can_true, can_false, maybe_null=False)
+
+
+def _range_cast(expr: ast.Cast, zone_map, schema) -> ValueRange:
+    child = derive_range(expr.child, zone_map, schema)
+    target = expr.target
+    if not child.known:
+        return ValueRange.unknown(target, child.maybe_null)
+    if child.lo is None:
+        return ValueRange(target, None, None, child.maybe_null)
+    if target == DataType.INTEGER:
+        # trunc() is monotone non-decreasing, so endpoints map to
+        # endpoints.
+        return ValueRange(target, math.trunc(child.lo),
+                          math.trunc(child.hi), child.maybe_null)
+    if target == DataType.DOUBLE:
+        return ValueRange(target, float(child.lo), float(child.hi),
+                          child.maybe_null)
+    return ValueRange(target, child.lo, child.hi, child.maybe_null)
+
+
+def _range_function(expr: ast.FunctionCall, zone_map, schema) -> ValueRange:
+    out_type = expr.dtype(schema)
+    name = expr.name
+    args = [derive_range(a, zone_map, schema) for a in expr.args]
+    first = args[0]
+    if name == "abs":
+        if not first.known:
+            return ValueRange.unknown(out_type, first.maybe_null)
+        if first.lo is None:
+            return ValueRange(out_type, None, None, first.maybe_null)
+        if first.lo >= 0:
+            lo, hi = first.lo, first.hi
+        elif first.hi <= 0:
+            lo, hi = -first.hi, -first.lo
+        else:
+            lo, hi = 0, max(abs(first.lo), abs(first.hi))
+        return ValueRange(out_type, lo, hi, first.maybe_null)
+    if name in ("ceil", "floor", "round"):
+        if not first.known or first.lo is None:
+            return ValueRange(out_type, None, None, first.maybe_null,
+                              known=first.known)
+        fn = {"ceil": math.ceil, "floor": math.floor,
+              "round": round}[name]
+        return ValueRange(out_type, int(fn(first.lo)), int(fn(first.hi)),
+                          first.maybe_null)
+    if name in ("upper", "lower", "length"):
+        # Not order-preserving over arbitrary unicode; keep null-ness
+        # only.
+        return ValueRange.unknown(out_type, first.maybe_null
+                                  or not first.known)
+    if name == "coalesce":
+        second = args[1]
+        if first.known and first.has_values and not first.maybe_null:
+            return ValueRange(out_type, first.lo, first.hi,
+                              maybe_null=False, known=first.known)
+        merged = first.union(second)
+        maybe_null = ((first.maybe_null or not first.known)
+                      and (second.maybe_null or not second.known))
+        return ValueRange(out_type, merged.lo, merged.hi, maybe_null,
+                          merged.known)
+    if name in ("least", "greatest"):
+        second = args[1]
+        maybe_null = (first.maybe_null or second.maybe_null
+                      or not first.known or not second.known)
+        if not (first.known and second.known):
+            return ValueRange.unknown(out_type, maybe_null)
+        if first.lo is None or second.lo is None:
+            return ValueRange(out_type, None, None, maybe_null)
+        if name == "least":
+            lo = min(first.lo, second.lo)
+            hi = min(first.hi, second.hi)
+        else:
+            lo = max(first.lo, second.lo)
+            hi = max(first.hi, second.hi)
+        return ValueRange(out_type, lo, hi, maybe_null)
+    if name == "year":
+        if not first.known or first.lo is None:
+            return ValueRange(out_type, None, None, first.maybe_null,
+                              known=first.known)
+        return ValueRange(out_type, days_to_date(first.lo).year,
+                          days_to_date(first.hi).year, first.maybe_null)
+    if name == "month":
+        return ValueRange(out_type, 1, 12,
+                          first.maybe_null or not first.known)
+    if name == "day":
+        return ValueRange(out_type, 1, 31,
+                          first.maybe_null or not first.known)
+    return ValueRange.unknown(out_type)
+
+
+_HANDLERS = {
+    ast.ColumnRef: _range_column_ref,
+    ast.Literal: _range_literal,
+    ast.Arith: _range_arith,
+    ast.Neg: _range_neg,
+    ast.Compare: _range_compare,
+    ast.And: _range_and,
+    ast.Or: _range_or,
+    ast.Not: _range_not,
+    ast.If: _range_if,
+    ast.Like: _range_like,
+    ast.StartsWith: _range_startswith,
+    ast.EndsWith: _range_opaque_string_pred,
+    ast.Contains: _range_opaque_string_pred,
+    ast.InList: _range_in_list,
+    ast.IsNull: _range_is_null,
+    ast.Cast: _range_cast,
+    ast.FunctionCall: _range_function,
+}

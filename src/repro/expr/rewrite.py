@@ -1,0 +1,112 @@
+"""Predicate rewrites used by the pruning machinery.
+
+Two rewrites from the paper:
+
+* **Imprecise filter rewrite** (§3.1): widen a predicate to a weaker
+  one that min/max metadata can decide. The widened predicate must be
+  implied by the original — a partition pruned under the widened form
+  is safely pruned under the original. Example:
+  ``name LIKE 'Marked-%-Ridge'`` widens to ``STARTSWITH(name, 'Marked-')``.
+
+* **Not-true inversion** (§4.2): build a predicate that holds exactly
+  when the original is *not TRUE* (i.e. FALSE or NULL). Running the
+  normal pruning pass with this inverted predicate identifies
+  fully-matching partitions: if no row satisfies "NOT TRUE", then every
+  row satisfies the original. Plain ``NOT p`` is insufficient under
+  three-valued logic because ``NOT NULL = NULL``, which would let
+  NULL-predicate rows slip through.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+def widen_for_pruning(expr: ast.Expr) -> ast.Expr:
+    """Widen a predicate into a (possibly weaker) prunable form.
+
+    The result is implied by the input: rows satisfying ``expr`` always
+    satisfy ``widen_for_pruning(expr)``. Structure is preserved for
+    AND/OR/IF; LIKE patterns with a literal prefix become STARTSWITH;
+    constructs that cannot be widened are left as-is (range derivation
+    will simply answer MAYBE for them).
+
+    Note: widening weakens a predicate, so the result is only valid for
+    *pruning* (NEVER detection), not for deciding fully-matching
+    partitions. Use the original predicate for ALWAYS checks.
+    """
+    if isinstance(expr, ast.And):
+        return ast.And([widen_for_pruning(c) for c in expr.children()])
+    if isinstance(expr, ast.Or):
+        return ast.Or([widen_for_pruning(c) for c in expr.children()])
+    if isinstance(expr, ast.Like) and not expr.is_exact:
+        prefix = expr.literal_prefix
+        if prefix:
+            return ast.StartsWith(expr.child, prefix)
+        return expr
+    # NOT and other nodes are kept verbatim: widening below a NOT would
+    # strengthen the overall predicate and risk false negatives.
+    return expr
+
+
+def not_true(expr: ast.Expr) -> ast.Expr:
+    """A predicate satisfied exactly when ``expr`` is FALSE or NULL.
+
+    Distributes through the boolean structure (De Morgan holds for
+    "not TRUE" in Kleene logic: ``a AND b`` is not TRUE iff ``a`` is
+    not TRUE or ``b`` is not TRUE), and at the leaves ORs the negated
+    comparison with NULL checks on its column inputs.
+    """
+    if isinstance(expr, ast.And):
+        return ast.Or([not_true(c) for c in expr.children()])
+    if isinstance(expr, ast.Or):
+        return ast.And([not_true(c) for c in expr.children()])
+    if isinstance(expr, ast.Not):
+        # NOT a is not TRUE  <=>  a is TRUE or a is NULL  <=>  NOT
+        # (a is not TRUE and a is not NULL). Express as: a OR (a IS
+        # NULL-ish). We conservatively use: not_true(NOT a) = a OR
+        # is_null_of(a); is_null of a boolean expr is modeled by
+        # checking its column inputs.
+        inner = expr.child
+        if _has_non_column_null_source(inner):
+            return ast.Literal(True)
+        return _or_with_null_checks(inner, inner)
+    if isinstance(expr, ast.IsNull):
+        # IS [NOT] NULL never returns NULL; plain negation suffices.
+        return ast.IsNull(expr.child, negated=not expr.negated)
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return ast.Literal(value is not True)
+    # Leaf predicate (comparison, LIKE, IN, ...): not TRUE <=> the
+    # Kleene negation is TRUE, or the leaf evaluates to NULL. Most leaf
+    # predicates are strict: they return NULL only when a column input
+    # is NULL, so ORing IS NULL checks over the referenced columns is
+    # exact. Leaves that can produce NULL from non-column sources
+    # (division/modulo by zero, NULL literals, IN lists containing
+    # NULL) get the trivially-true fallback, which never certifies a
+    # fully-matching partition but is always sound.
+    if _has_non_column_null_source(expr):
+        return ast.Literal(True)
+    return _or_with_null_checks(ast.Not(expr), expr)
+
+
+def _has_non_column_null_source(expr: ast.Expr) -> bool:
+    """Whether a subtree can evaluate to NULL with all columns non-NULL."""
+    for node in expr.walk():
+        if isinstance(node, ast.Arith) and node.op in ("/", "%"):
+            return True
+        if isinstance(node, ast.Literal) and node.value is None:
+            return True
+        if isinstance(node, ast.InList) and any(
+                v is None for v in node.values):
+            return True
+    return False
+
+
+def _or_with_null_checks(base: ast.Expr, source: ast.Expr) -> ast.Expr:
+    """``base OR col1 IS NULL OR col2 IS NULL ...`` for source's columns."""
+    null_checks = [ast.IsNull(ast.ColumnRef(name))
+                   for name in sorted(source.column_refs())]
+    if not null_checks:
+        return base
+    return ast.Or([base] + null_checks)

@@ -1,0 +1,19 @@
+"""Open table format simulation: Parquet-like files, Iceberg-like tables.
+
+Implements the §8.1 metadata hierarchy — Iceberg manifest entries at
+file level, Parquet row groups, and page-level indexes — with pruning
+at every level and metadata *backfill* for files written without
+statistics.
+"""
+
+from .parquet import ParquetFile, ParquetPage, ParquetRowGroup
+from .iceberg import IcebergTable, ManifestEntry, IcebergScanPlan
+
+__all__ = [
+    "ParquetFile",
+    "ParquetPage",
+    "ParquetRowGroup",
+    "IcebergTable",
+    "ManifestEntry",
+    "IcebergScanPlan",
+]

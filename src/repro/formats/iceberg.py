@@ -1,0 +1,191 @@
+"""Iceberg-like tables: manifests with file-level metadata (§8.1).
+
+An Iceberg table lists its data files in *manifest* entries that may
+carry per-column bounds. Snowflake prunes hierarchically: manifest
+(file) level first, then Parquet row-group level, then page level.
+When manifests lack metadata it can be reconstructed from the Parquet
+footers; when those are missing too, a full scan backfills everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import MetadataError
+from ..expr import ast
+from ..expr.pruning import TriState, prune_partition
+from ..storage.zonemap import ZoneMap
+from ..types import Schema
+from .parquet import ParquetFile, ParquetPage, ParquetRowGroup
+
+
+@dataclass
+class ManifestEntry:
+    """One data file tracked by the table manifest."""
+
+    file: ParquetFile
+    #: file-level column bounds, or None when the writer omitted them
+    stats: ZoneMap | None
+
+
+@dataclass
+class IcebergScanPlan:
+    """Result of hierarchical pruning over an Iceberg table."""
+
+    total_files: int
+    kept_files: list[ParquetFile]
+    total_row_groups: int
+    kept_row_groups: list[tuple[ParquetFile, ParquetRowGroup]]
+    total_pages: int
+    kept_pages: list[tuple[ParquetFile, ParquetRowGroup, ParquetPage]]
+
+    @property
+    def file_pruning_ratio(self) -> float:
+        if self.total_files == 0:
+            return 0.0
+        return 1 - len(self.kept_files) / self.total_files
+
+    @property
+    def row_group_pruning_ratio(self) -> float:
+        if self.total_row_groups == 0:
+            return 0.0
+        return 1 - len(self.kept_row_groups) / self.total_row_groups
+
+    @property
+    def page_pruning_ratio(self) -> float:
+        if self.total_pages == 0:
+            return 0.0
+        return 1 - len(self.kept_pages) / self.total_pages
+
+
+class IcebergTable:
+    """A table manifest over Parquet files."""
+
+    def __init__(self, name: str, schema: Schema,
+                 entries: Sequence[ManifestEntry] = ()):
+        self.name = name.lower()
+        self.schema = schema
+        self.entries: list[ManifestEntry] = list(entries)
+
+    @classmethod
+    def from_files(cls, name: str, schema: Schema,
+                   files: Sequence[ParquetFile],
+                   write_manifest_stats: bool = True) -> "IcebergTable":
+        entries = []
+        for file in files:
+            stats = None
+            if write_manifest_stats and file.has_statistics:
+                stats = file.file_stats()
+            entries.append(ManifestEntry(file, stats))
+        return cls(name, schema, entries)
+
+    def append(self, file: ParquetFile,
+               with_stats: bool = True) -> None:
+        stats = file.file_stats() if with_stats and \
+            file.has_statistics else None
+        self.entries.append(ManifestEntry(file, stats))
+
+    @property
+    def row_count(self) -> int:
+        return sum(e.file.row_count for e in self.entries)
+
+    # ------------------------------------------------------------------
+    # Metadata maintenance
+    # ------------------------------------------------------------------
+    def backfill_manifest(self) -> int:
+        """Reconstruct missing manifest stats from Parquet footers.
+
+        Cheap path: only reads file metadata, not data. Entries whose
+        files themselves lack statistics are skipped (use
+        :meth:`backfill_files` first). Returns entries repaired.
+        """
+        repaired = 0
+        for entry in self.entries:
+            if entry.stats is None and entry.file.has_statistics:
+                entry.stats = entry.file.file_stats()
+                repaired += 1
+        return repaired
+
+    def backfill_files(self) -> int:
+        """Full-scan reconstruction of missing Parquet statistics.
+
+        Returns the number of row groups backfilled across all files.
+        """
+        return sum(entry.file.backfill() for entry in self.entries)
+
+    def missing_metadata_report(self) -> dict[str, int]:
+        """How much of the metadata hierarchy is missing."""
+        files_missing = sum(1 for e in self.entries if e.stats is None)
+        groups_missing = sum(
+            1 for e in self.entries for g in e.file.row_groups
+            if g.stats is None)
+        pages_missing = sum(
+            1 for e in self.entries for g in e.file.row_groups
+            for p in g.pages if p.stats is None)
+        return {
+            "manifest_entries_missing": files_missing,
+            "row_groups_missing": groups_missing,
+            "pages_missing": pages_missing,
+        }
+
+    # ------------------------------------------------------------------
+    # Hierarchical pruning
+    # ------------------------------------------------------------------
+    def plan_scan(self, predicate: ast.Expr | None) -> IcebergScanPlan:
+        """Prune at file, row-group, and page level (§2.1 for Parquet)."""
+        total_files = len(self.entries)
+        total_row_groups = sum(len(e.file.row_groups)
+                               for e in self.entries)
+        total_pages = sum(len(g.pages) for e in self.entries
+                          for g in e.file.row_groups)
+        if predicate is None:
+            kept_files = [e.file for e in self.entries]
+            kept_groups = [(e.file, g) for e in self.entries
+                           for g in e.file.row_groups]
+            kept_pages = [(f, g, p) for f, g in kept_groups
+                          for p in g.pages]
+            return IcebergScanPlan(total_files, kept_files,
+                                   total_row_groups, kept_groups,
+                                   total_pages, kept_pages)
+        kept_files = []
+        for entry in self.entries:
+            if entry.stats is not None and prune_partition(
+                    predicate, entry.stats,
+                    self.schema) == TriState.NEVER:
+                continue
+            kept_files.append(entry.file)
+        kept_groups = []
+        for file in kept_files:
+            for group in file.prune_row_groups(predicate):
+                kept_groups.append((file, group))
+        kept_pages = []
+        for file, group in kept_groups:
+            for page in file.prune_pages(group, predicate):
+                kept_pages.append((file, group, page))
+        return IcebergScanPlan(total_files, kept_files,
+                               total_row_groups, kept_groups,
+                               total_pages, kept_pages)
+
+    def read_plan_rows(self, plan: IcebergScanPlan,
+                       predicate: ast.Expr | None) -> list[tuple]:
+        """Execute a scan plan: read kept pages, re-filter rows."""
+        from ..expr.eval import evaluate_predicate
+
+        rows: list[tuple] = []
+        for _, group, page in plan.kept_pages:
+            page_columns = {
+                name: col.slice(page.row_offset,
+                                page.row_offset + page.row_count)
+                for name, col in group.columns.items()}
+            if predicate is None:
+                keep_rows = range(page.row_count)
+            else:
+                mask = evaluate_predicate(predicate, page_columns,
+                                          self.schema)
+                keep_rows = [i for i in range(page.row_count)
+                             if mask[i]]
+            ordered = [page_columns[f.name] for f in self.schema]
+            for i in keep_rows:
+                rows.append(tuple(col.value_at(i) for col in ordered))
+        return rows

@@ -1,0 +1,120 @@
+"""Saving and loading catalogs to disk.
+
+Layout: a directory containing ``manifest.json`` (schemas, partition
+ids, catalog settings) plus one ``<table>.npz`` per table holding every
+partition's column values and null masks. No pickling: VARCHAR columns
+are stored as fixed-width unicode arrays and converted back to object
+arrays on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .catalog import Catalog
+from .errors import StorageError
+from .storage.column import Column
+from .storage.micropartition import (
+    MicroPartition,
+    partition_id_generator,
+)
+from .storage.table import Table
+from .types import DataType, Field, Schema
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+def save_catalog(catalog: Catalog, path: str | Path) -> None:
+    """Write every table of the catalog under ``path``.
+
+    The directory is created if needed; existing contents with the
+    same file names are overwritten.
+    """
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {
+        "version": FORMAT_VERSION,
+        "rows_per_partition": catalog.rows_per_partition,
+        "tables": {},
+    }
+    for name, table in catalog.tables.items():
+        manifest["tables"][name] = {
+            "schema": [[f.name, f.dtype.value] for f in table.schema],
+            "partitions": table.partition_ids,
+        }
+        arrays: dict[str, np.ndarray] = {}
+        for partition in table.partitions:
+            for column_name, column in partition.columns().items():
+                key = f"{partition.partition_id}__{column_name}"
+                arrays[f"{key}__v"] = _encode_values(column)
+                arrays[f"{key}__n"] = column.nulls
+        np.savez_compressed(root / f"{name}.npz", **arrays)
+    with open(root / MANIFEST_NAME, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_catalog(path: str | Path, **catalog_kwargs) -> Catalog:
+    """Reconstruct a catalog saved with :func:`save_catalog`.
+
+    Partition ids are preserved and the global id generator is bumped
+    past them, so tables created afterwards cannot collide.
+
+    Raises:
+        StorageError: if the directory or manifest is missing or the
+            format version is unsupported.
+    """
+    root = Path(path)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StorageError(f"no catalog manifest at {manifest_path}")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported catalog format version "
+            f"{manifest.get('version')!r}")
+    catalog = Catalog(
+        rows_per_partition=manifest.get("rows_per_partition", 1000),
+        **catalog_kwargs)
+    max_id = 0
+    for name, entry in manifest["tables"].items():
+        schema = Schema(Field(col, DataType(dtype))
+                        for col, dtype in entry["schema"])
+        with np.load(root / f"{name}.npz", allow_pickle=False) as data:
+            partitions = []
+            for partition_id in entry["partitions"]:
+                columns = {}
+                for field in schema:
+                    key = f"{partition_id}__{field.name}"
+                    values = _decode_values(data[f"{key}__v"],
+                                            field.dtype)
+                    nulls = np.asarray(data[f"{key}__n"],
+                                       dtype=np.bool_)
+                    columns[field.name] = Column(field.dtype, values,
+                                                 nulls)
+                partitions.append(MicroPartition(
+                    schema, columns, partition_id=partition_id))
+                max_id = max(max_id, partition_id)
+        catalog.create_table(Table(name, schema, partitions))
+    partition_id_generator.ensure_floor(max_id)
+    return catalog
+
+
+def _encode_values(column: Column) -> np.ndarray:
+    if column.dtype == DataType.VARCHAR:
+        # Fixed-width unicode instead of object dtype: avoids pickle.
+        encoded = np.asarray(column.values, dtype=np.str_)
+        if encoded.dtype.itemsize == 0:  # all-empty or zero rows
+            encoded = encoded.astype("<U1")
+        return encoded
+    return column.values
+
+
+def _decode_values(values: np.ndarray, dtype: DataType) -> np.ndarray:
+    if dtype == DataType.VARCHAR:
+        return np.asarray([str(v) for v in values], dtype=object)
+    return np.asarray(values, dtype=dtype.numpy_dtype())

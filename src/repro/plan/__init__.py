@@ -1,0 +1,39 @@
+"""Logical query plans and the pruning-aware compiler.
+
+:mod:`.logical` defines the logical operator tree produced by the SQL
+front end; :mod:`.compiler` lowers it to physical operators while
+performing the paper's compile-time work: predicate pushdown, filter
+pruning, fully-matching detection, LIMIT pushdown and pruning, top-k
+wiring (boundaries, partition ordering, upfront initialization), and
+sub-tree elimination.
+"""
+
+from .logical import (
+    LogicalNode,
+    LogicalScan,
+    LogicalFilter,
+    LogicalProject,
+    LogicalJoin,
+    LogicalAggregate,
+    LogicalSort,
+    LogicalLimit,
+    AggItem,
+    SortItem,
+)
+from .compiler import CompilerOptions, QueryCompiler, CompiledQuery
+
+__all__ = [
+    "LogicalNode",
+    "LogicalScan",
+    "LogicalFilter",
+    "LogicalProject",
+    "LogicalJoin",
+    "LogicalAggregate",
+    "LogicalSort",
+    "LogicalLimit",
+    "AggItem",
+    "SortItem",
+    "CompilerOptions",
+    "QueryCompiler",
+    "CompiledQuery",
+]

@@ -1,0 +1,219 @@
+"""Logical plan nodes.
+
+The tree mirrors the SQL structure after binding:
+``Limit(Sort(Project(Aggregate(Filter(Join(Scan, Scan)))))))``, with
+any subset of the levels present. Nodes expose:
+
+* ``output_schema(resolver)`` — schema given a table-schema resolver;
+* ``shape()`` — a literal-insensitive fingerprint of the plan, used to
+  measure plan-shape repetitiveness (Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import PlanError
+from ..expr import ast
+from ..types import DataType, Field, Schema
+
+SchemaResolver = Callable[[str], Schema]
+
+
+class LogicalNode:
+    """Base class for logical operators."""
+
+    def children(self) -> tuple["LogicalNode", ...]:
+        return ()
+
+    def output_schema(self, resolver: SchemaResolver) -> Schema:
+        raise NotImplementedError
+
+    def shape(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.shape()
+
+
+class LogicalScan(LogicalNode):
+    """Scan of a named table, with an optional pushed-down predicate."""
+
+    def __init__(self, table: str, predicate: ast.Expr | None = None):
+        self.table = table.lower()
+        self.predicate = predicate
+
+    def output_schema(self, resolver: SchemaResolver) -> Schema:
+        return resolver(self.table)
+
+    def with_predicate(self, predicate: ast.Expr) -> "LogicalScan":
+        if self.predicate is None:
+            combined = predicate
+        else:
+            combined = ast.And(self.predicate, predicate)
+        return LogicalScan(self.table, combined)
+
+    def shape(self) -> str:
+        pred = self.predicate.shape() if self.predicate else ""
+        return f"Scan({self.table}{'|' + pred if pred else ''})"
+
+
+class LogicalFilter(LogicalNode):
+    """Residual predicate that could not be pushed into a scan."""
+
+    def __init__(self, child: LogicalNode, predicate: ast.Expr):
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_schema(self, resolver: SchemaResolver) -> Schema:
+        return self.child.output_schema(resolver)
+
+    def shape(self) -> str:
+        return f"Filter({self.predicate.shape()}, {self.child.shape()})"
+
+
+class LogicalProject(LogicalNode):
+    """SELECT list computation."""
+
+    def __init__(self, child: LogicalNode, exprs: Sequence[ast.Expr],
+                 names: Sequence[str]):
+        if len(exprs) != len(names):
+            raise PlanError("project exprs/names length mismatch")
+        self.child = child
+        self.exprs = list(exprs)
+        self.names = [n.lower() for n in names]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_schema(self, resolver: SchemaResolver) -> Schema:
+        child_schema = self.child.output_schema(resolver)
+        return Schema(Field(name, expr.dtype(child_schema))
+                      for name, expr in zip(self.names, self.exprs))
+
+    def shape(self) -> str:
+        inner = ",".join(e.shape() for e in self.exprs)
+        return f"Project([{inner}], {self.child.shape()})"
+
+
+class LogicalJoin(LogicalNode):
+    """Single-key equi-join; left child is the probe/preserved side."""
+
+    def __init__(self, left: LogicalNode, right: LogicalNode,
+                 left_key: str, right_key: str,
+                 join_type: str = "inner"):
+        if join_type not in ("inner", "left_outer"):
+            raise PlanError(f"unsupported join type {join_type!r}")
+        self.left = left
+        self.right = right
+        self.left_key = left_key.lower()
+        self.right_key = right_key.lower()
+        self.join_type = join_type
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+    def output_schema(self, resolver: SchemaResolver) -> Schema:
+        return self.left.output_schema(resolver).concat(
+            self.right.output_schema(resolver))
+
+    def shape(self) -> str:
+        return (f"Join[{self.join_type}]({self.left_key}="
+                f"{self.right_key}, {self.left.shape()}, "
+                f"{self.right.shape()})")
+
+
+@dataclass(frozen=True)
+class AggItem:
+    """One aggregate: ``func(input_column) AS output``."""
+
+    func: str                #: count / count_star / sum / min / max / avg
+    input: str | None
+    output: str
+
+    def shape(self) -> str:
+        return f"{self.func}({self.input or '*'})"
+
+
+class LogicalAggregate(LogicalNode):
+    """GROUP BY with aggregate outputs."""
+
+    def __init__(self, child: LogicalNode, group_keys: Sequence[str],
+                 aggs: Sequence[AggItem]):
+        self.child = child
+        self.group_keys = [k.lower() for k in group_keys]
+        self.aggs = list(aggs)
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_schema(self, resolver: SchemaResolver) -> Schema:
+        child_schema = self.child.output_schema(resolver)
+        fields = [child_schema.field(k) for k in self.group_keys]
+        for agg in self.aggs:
+            if agg.func in ("count", "count_star"):
+                dtype = DataType.INTEGER
+            elif agg.func == "avg":
+                dtype = DataType.DOUBLE
+            else:
+                if agg.input is None:
+                    raise PlanError(f"{agg.func} needs an input column")
+                dtype = child_schema.dtype_of(agg.input)
+            fields.append(Field(agg.output, dtype))
+        return Schema(fields)
+
+    def shape(self) -> str:
+        aggs = ",".join(a.shape() for a in self.aggs)
+        keys = ",".join(self.group_keys)
+        return f"Agg([{keys}],[{aggs}], {self.child.shape()})"
+
+
+@dataclass(frozen=True)
+class SortItem:
+    column: str
+    desc: bool = False
+
+    def shape(self) -> str:
+        return f"{self.column}{' DESC' if self.desc else ''}"
+
+
+class LogicalSort(LogicalNode):
+    def __init__(self, child: LogicalNode, keys: Sequence[SortItem]):
+        if not keys:
+            raise PlanError("sort requires at least one key")
+        self.child = child
+        self.keys = [SortItem(k.column.lower(), k.desc) for k in keys]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_schema(self, resolver: SchemaResolver) -> Schema:
+        return self.child.output_schema(resolver)
+
+    def shape(self) -> str:
+        keys = ",".join(k.shape() for k in self.keys)
+        return f"Sort([{keys}], {self.child.shape()})"
+
+
+class LogicalLimit(LogicalNode):
+    def __init__(self, child: LogicalNode, k: int, offset: int = 0):
+        if k < 0 or offset < 0:
+            raise PlanError("LIMIT/OFFSET must be non-negative")
+        self.child = child
+        self.k = k
+        self.offset = offset
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+    def output_schema(self, resolver: SchemaResolver) -> Schema:
+        return self.child.output_schema(resolver)
+
+    def shape(self) -> str:
+        # k itself is a literal; Figure 12 measures plan *shapes*, so
+        # the value of k is excluded from the fingerprint.
+        return f"Limit({self.child.shape()})"

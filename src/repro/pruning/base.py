@@ -1,0 +1,196 @@
+"""Scan sets and pruning results.
+
+A *scan set* is "a serialized list of micro-partition identifiers to be
+processed as part of the query" (§2). Pruning techniques transform scan
+sets; :class:`PruningResult` captures one technique's effect so the
+profiler can attribute savings per technique (Figures 1, 11).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from ..errors import StorageError
+from ..storage.zonemap import ZoneMap
+
+
+class ScanSet:
+    """An ordered list of (partition_id, zone_map) entries to scan.
+
+    Order matters: top-k pruning processes partitions in a boundary-
+    friendly order (§5.3) and LIMIT pruning puts fully-matching
+    partitions first (§4.1).
+    """
+
+    def __init__(self, entries: Iterable[tuple[int, ZoneMap]] = ()):
+        self._entries: list[tuple[int, ZoneMap]] = list(entries)
+
+    @property
+    def partition_ids(self) -> list[int]:
+        return [pid for pid, _ in self._entries]
+
+    @property
+    def entries(self) -> list[tuple[int, ZoneMap]]:
+        return list(self._entries)
+
+    def zone_map(self, partition_id: int) -> ZoneMap:
+        for pid, zone_map in self._entries:
+            if pid == partition_id:
+                return zone_map
+        raise KeyError(partition_id)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[int, ZoneMap]]:
+        return iter(self._entries)
+
+    def __contains__(self, partition_id: int) -> bool:
+        return any(pid == partition_id for pid, _ in self._entries)
+
+    def total_rows(self) -> int:
+        return sum(zm.row_count for _, zm in self._entries)
+
+    def restrict(self, keep_ids: Iterable[int]) -> "ScanSet":
+        """Keep only the given partitions, preserving order."""
+        keep = set(keep_ids)
+        return ScanSet((pid, zm) for pid, zm in self._entries
+                       if pid in keep)
+
+    def reorder(self, ordered_ids: Iterable[int]) -> "ScanSet":
+        """Reorder entries to match ``ordered_ids`` (must be a subset)."""
+        by_id = dict(self._entries)
+        return ScanSet((pid, by_id[pid]) for pid in ordered_ids)
+
+    # ------------------------------------------------------------------
+    # Serialization: scan sets travel from cloud services to warehouse
+    # workers (§2). Only partition ids are shipped; workers re-fetch
+    # metadata from the metadata store. Effective pruning therefore
+    # shrinks the serialized payload (§2.1 benefit 4).
+    # ------------------------------------------------------------------
+    _MAGIC = b"SSET"
+
+    def serialize(self) -> bytes:
+        """Encode as magic + count + delta-varint partition ids."""
+        ids = self.partition_ids
+        payload = bytearray(self._MAGIC)
+        payload += struct.pack("<I", len(ids))
+        previous = 0
+        for pid in ids:
+            delta = pid - previous
+            previous = pid
+            payload += _zigzag_varint(delta)
+        return bytes(payload)
+
+    @classmethod
+    def deserialize(cls, data: bytes,
+                    zone_map_lookup: Callable[[int], ZoneMap]
+                    ) -> "ScanSet":
+        """Decode a serialized scan set, resolving metadata by lookup.
+
+        Raises:
+            StorageError: if the payload is malformed.
+        """
+        if data[:4] != cls._MAGIC:
+            raise StorageError("not a serialized scan set")
+        (count,) = struct.unpack_from("<I", data, 4)
+        offset = 8
+        entries = []
+        previous = 0
+        for _ in range(count):
+            delta, offset = _read_zigzag_varint(data, offset)
+            previous += delta
+            entries.append((previous, zone_map_lookup(previous)))
+        if offset != len(data):
+            raise StorageError("trailing bytes in serialized scan set")
+        return cls(entries)
+
+    def serialized_size(self) -> int:
+        return len(self.serialize())
+
+    def __repr__(self) -> str:
+        return f"ScanSet({self.partition_ids})"
+
+
+def _zigzag_varint(value: int) -> bytes:
+    encoded = (value << 1) ^ (value >> 63) if value < 0 \
+        else value << 1
+    out = bytearray()
+    while True:
+        byte = encoded & 0x7F
+        encoded >>= 7
+        if encoded:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_zigzag_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise StorageError("truncated varint in scan set")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+    value = (result >> 1) ^ -(result & 1)
+    return value, offset
+
+
+class PruneCategory:
+    """Names of the pruning techniques, used as profile keys."""
+
+    FILTER = "filter"
+    JOIN = "join"
+    LIMIT = "limit"
+    TOPK = "topk"
+    ALL = (FILTER, JOIN, LIMIT, TOPK)
+
+
+@dataclass
+class PruningResult:
+    """Outcome of applying one pruning technique to a scan set.
+
+    Attributes:
+        technique: a :class:`PruneCategory` name.
+        before: partition count entering this technique.
+        kept: the surviving scan set.
+        pruned_ids: partitions removed by this technique.
+        fully_matching_ids: partitions proven fully-matching (§4.1);
+            only filter pruning populates this.
+        checks: number of (partition, predicate) pruning evaluations
+            performed, for the cost model.
+    """
+
+    technique: str
+    before: int
+    kept: ScanSet
+    pruned_ids: list[int] = field(default_factory=list)
+    fully_matching_ids: list[int] = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def after(self) -> int:
+        return len(self.kept)
+
+    @property
+    def pruned(self) -> int:
+        return len(self.pruned_ids)
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of incoming partitions removed (0 when none came in)."""
+        if self.before == 0:
+            return 0.0
+        return self.pruned / self.before
+
+    def __repr__(self) -> str:
+        return (f"PruningResult({self.technique}: {self.before} -> "
+                f"{self.after}, ratio={self.pruning_ratio:.2%})")

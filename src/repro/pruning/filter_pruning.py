@@ -1,0 +1,90 @@
+"""Filter pruning: min/max pruning for query predicates (§3).
+
+"Using the query's predicates, the query engine attempts to deduce
+whether a micro-partition might contain relevant data based on the
+partition's metadata." Partitions proven empty of matches are removed
+from the scan set; as a byproduct, partitions proven *fully-matching*
+(every row qualifies, §4.1) are recorded for LIMIT and top-k pruning.
+"""
+
+from __future__ import annotations
+
+from ..expr import ast
+from ..expr.pruning import TriState, prune_partition
+from ..expr.rewrite import widen_for_pruning
+from ..storage.zonemap import ZoneMap
+from ..types import Schema
+from .base import PruneCategory, PruningResult, ScanSet
+
+#: Leaf node types that can in principle interact with min/max metadata.
+_PRUNABLE_LEAVES = (ast.Compare, ast.Like, ast.StartsWith, ast.InList,
+                    ast.IsNull)
+
+
+def is_prunable(predicate: ast.Expr) -> bool:
+    """Whether a predicate has any chance of pruning with min/max stats.
+
+    Used by workload analyses to separate "no pruning possible" from
+    "pruning possible but ineffective" (Figure 4 discussion).
+    """
+    for node in predicate.walk():
+        if isinstance(node, _PRUNABLE_LEAVES) and node.column_refs():
+            return True
+    return False
+
+
+class FilterPruner:
+    """Prunes a scan set against one predicate.
+
+    The predicate is widened once (imprecise filter rewrite, §3.1) for
+    the not-matching test; the *original* predicate decides
+    fully-matching status, because widening weakens a predicate and a
+    weakened ALWAYS proves nothing about the original.
+    """
+
+    def __init__(self, predicate: ast.Expr, schema: Schema,
+                 detect_fully_matching: bool = True):
+        self.predicate = predicate
+        self.schema = schema
+        self.widened = widen_for_pruning(predicate)
+        self.detect_fully_matching = detect_fully_matching
+        self.checks = 0
+
+    def classify(self, zone_map: ZoneMap) -> TriState:
+        """Classify one partition: NEVER / MAYBE / ALWAYS."""
+        self.checks += 1
+        verdict = prune_partition(self.widened, zone_map, self.schema)
+        if verdict == TriState.NEVER:
+            return TriState.NEVER
+        if not self.detect_fully_matching:
+            return TriState.MAYBE
+        if self.widened == self.predicate:
+            # No widening happened; the first verdict is authoritative.
+            return verdict
+        self.checks += 1
+        if prune_partition(self.predicate, zone_map,
+                           self.schema) == TriState.ALWAYS:
+            return TriState.ALWAYS
+        return TriState.MAYBE
+
+    def prune(self, scan_set: ScanSet) -> PruningResult:
+        """Apply filter pruning to a whole scan set."""
+        kept: list[tuple[int, ZoneMap]] = []
+        pruned_ids: list[int] = []
+        fully_matching: list[int] = []
+        for partition_id, zone_map in scan_set:
+            verdict = self.classify(zone_map)
+            if verdict == TriState.NEVER:
+                pruned_ids.append(partition_id)
+                continue
+            kept.append((partition_id, zone_map))
+            if verdict == TriState.ALWAYS:
+                fully_matching.append(partition_id)
+        return PruningResult(
+            technique=PruneCategory.FILTER,
+            before=len(scan_set),
+            kept=ScanSet(kept),
+            pruned_ids=pruned_ids,
+            fully_matching_ids=fully_matching,
+            checks=self.checks,
+        )

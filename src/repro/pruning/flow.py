@@ -1,0 +1,148 @@
+"""The combined pruning flow (§7, Figure 11).
+
+Snowflake applies pruning techniques in a fixed order — filter → join →
+LIMIT → top-k — each operating on the previous technique's output.
+:class:`FlowRecord` captures one query's journey through that flow;
+:class:`PruningFlow` aggregates records across a workload into the
+statistics the paper reports: per-technique pruning-ratio distributions
+(Figure 1), technique-combination shares (Figure 11), and the
+platform-wide fraction of micro-partitions pruned (the 99.4% headline).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .base import PruneCategory, PruningResult
+
+#: The order in which Snowflake applies the techniques (§5.5, §7).
+TECHNIQUE_ORDER = (PruneCategory.FILTER, PruneCategory.JOIN,
+                   PruneCategory.LIMIT, PruneCategory.TOPK)
+
+
+@dataclass
+class FlowRecord:
+    """Pruning outcome of one query across all its table scans.
+
+    ``pruned_by`` / ``entering`` count micro-partitions summed over the
+    query's scans, keyed by technique. ``total_partitions`` is the
+    query's initial partition count over *all* scans (including scans
+    with no filters), matching the paper's query-level denominators.
+    """
+
+    query_id: str
+    total_partitions: int
+    pruned_by: dict[str, int] = field(default_factory=dict)
+    entering: dict[str, int] = field(default_factory=dict)
+    final_partitions: int = 0
+    eligible: dict[str, bool] = field(default_factory=dict)
+
+    @classmethod
+    def from_results(cls, query_id: str, total_partitions: int,
+                     results: Iterable[PruningResult],
+                     eligible: Mapping[str, bool] | None = None,
+                     final_partitions: int | None = None) -> "FlowRecord":
+        pruned_by: dict[str, int] = defaultdict(int)
+        entering: dict[str, int] = defaultdict(int)
+        for result in results:
+            pruned_by[result.technique] += result.pruned
+            entering[result.technique] += result.before
+        if final_partitions is None:
+            final_partitions = total_partitions - sum(pruned_by.values())
+        return cls(
+            query_id=query_id,
+            total_partitions=total_partitions,
+            pruned_by=dict(pruned_by),
+            entering=dict(entering),
+            final_partitions=final_partitions,
+            eligible=dict(eligible or {}),
+        )
+
+    def applied(self, technique: str) -> bool:
+        """Whether the technique pruned at least one partition."""
+        return self.pruned_by.get(technique, 0) > 0
+
+    def combination(self) -> tuple[str, ...]:
+        """The ordered set of techniques that pruned something."""
+        return tuple(t for t in TECHNIQUE_ORDER if self.applied(t))
+
+    def ratio(self, technique: str,
+              relative_to_query: bool = True) -> float:
+        """This technique's pruning ratio for this query.
+
+        ``relative_to_query`` divides by the query's total partitions
+        (the paper's Figure 4 convention); otherwise by the partitions
+        entering the technique.
+        """
+        pruned = self.pruned_by.get(technique, 0)
+        base = (self.total_partitions if relative_to_query
+                else self.entering.get(technique, 0))
+        if base == 0:
+            return 0.0
+        return pruned / base
+
+    @property
+    def overall_ratio(self) -> float:
+        if self.total_partitions == 0:
+            return 0.0
+        return 1.0 - self.final_partitions / self.total_partitions
+
+
+class PruningFlow:
+    """Workload-level aggregation of :class:`FlowRecord` objects."""
+
+    def __init__(self):
+        self.records: list[FlowRecord] = []
+
+    def add(self, record: FlowRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def technique_ratios(self, technique: str,
+                         relative_to_query: bool = True) -> list[float]:
+        """Pruning ratios of queries *eligible* for the technique.
+
+        A query is eligible when the record marks it so, or — absent an
+        explicit mark — when any partitions entered the technique.
+        """
+        ratios = []
+        for record in self.records:
+            eligible = record.eligible.get(
+                technique, record.entering.get(technique, 0) > 0)
+            if eligible:
+                ratios.append(record.ratio(technique, relative_to_query))
+        return ratios
+
+    def combination_shares(self) -> dict[tuple[str, ...], float]:
+        """Share of queries per technique combination (Figure 11)."""
+        if not self.records:
+            return {}
+        counts = Counter(record.combination()
+                         for record in self.records)
+        total = len(self.records)
+        return {combo: count / total
+                for combo, count in counts.most_common()}
+
+    def technique_shares(self) -> dict[str, float]:
+        """Share of queries where each technique pruned something."""
+        if not self.records:
+            return {}
+        total = len(self.records)
+        return {t: sum(r.applied(t) for r in self.records) / total
+                for t in TECHNIQUE_ORDER}
+
+    def platform_pruning_ratio(self) -> float:
+        """Micro-partitions pruned across the whole workload.
+
+        The paper's headline metric: 1 - (partitions scanned /
+        partitions addressed) summed over every query.
+        """
+        addressed = sum(r.total_partitions for r in self.records)
+        scanned = sum(r.final_partitions for r in self.records)
+        if addressed == 0:
+            return 0.0
+        return 1.0 - scanned / addressed

@@ -1,0 +1,44 @@
+"""Fully-matching partition detection via the inverted predicate (§4.2).
+
+The paper's procedure: run a second pruning pass with the inverted
+predicate — "species NOT LIKE 'Alpine%' OR s < 50" for the running
+example — *without* modifying the scan set. A partition that the
+inverted pass would prune contains no row failing the predicate, hence
+every row matches.
+
+Under three-valued logic the inversion must treat NULL as failing (a
+NULL predicate row is excluded by WHERE), which
+:func:`repro.expr.rewrite.not_true` handles.
+
+This module exists alongside the direct tri-state ALWAYS detection in
+:mod:`repro.expr.pruning`; tests assert the two agree wherever both
+can decide.
+"""
+
+from __future__ import annotations
+
+from ..expr import ast
+from ..expr.pruning import TriState, prune_partition
+from ..expr.rewrite import not_true
+from ..types import Schema
+from .base import ScanSet
+
+
+def find_fully_matching_inverted(predicate: ast.Expr, scan_set: ScanSet,
+                                 schema: Schema) -> list[int]:
+    """Identify fully-matching partitions with the two-pass method.
+
+    Returns partition ids whose every row satisfies ``predicate``.
+    Empty partitions are excluded: they are vacuously fully-matching
+    but contribute no rows, so counting them would let LIMIT pruning
+    build useless scan sets.
+    """
+    inverted = not_true(predicate)
+    fully_matching = []
+    for partition_id, zone_map in scan_set:
+        if zone_map.row_count == 0:
+            continue
+        verdict = prune_partition(inverted, zone_map, schema)
+        if verdict == TriState.NEVER:
+            fully_matching.append(partition_id)
+    return fully_matching

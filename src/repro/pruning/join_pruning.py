@@ -1,0 +1,89 @@
+"""JOIN pruning: probe-side partition skipping from build-side values (§6).
+
+Four steps (§6.1): (1) summarize the build side's join-key values
+during the hash join's build phase, (2) ship the summary to the probe
+side, (3) match it against probe partitions' min/max metadata, and
+(4) prune partitions whose ranges cannot overlap the summary.
+
+The technique is probabilistic in the safe direction (§6.2): it may
+keep a partition that has no join partners, but never prunes one that
+has. It applies to the probe side of hash joins where probe rows are
+not preserved (i.e. inner joins, or the non-preserved side of outer
+joins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..storage.zonemap import ZoneMap
+from .base import PruneCategory, PruningResult, ScanSet
+from .filters import CuckooFilter, XorFilter
+from .summaries import BloomFilter, MinMaxSummary, RangeSetSummary
+
+SUMMARY_KINDS = ("minmax", "rangeset", "bloom", "cuckoo", "xor")
+
+
+def build_summary(values: Iterable[Any], kind: str = "rangeset",
+                  max_ranges: int = 64, bloom_fpp: float = 0.01):
+    """Create a build-side value summary of the requested kind."""
+    if kind == "minmax":
+        return MinMaxSummary(values)
+    if kind == "rangeset":
+        return RangeSetSummary(values, max_ranges=max_ranges)
+    if kind == "bloom":
+        materialized = [v for v in values if v is not None]
+        bloom = BloomFilter(expected_items=len(materialized),
+                            fpp=bloom_fpp)
+        bloom.add_all(materialized)
+        return bloom
+    if kind == "cuckoo":
+        materialized = [v for v in values if v is not None]
+        cuckoo = CuckooFilter(expected_items=len(materialized))
+        cuckoo.add_all(materialized)
+        return cuckoo
+    if kind == "xor":
+        return XorFilter(values)
+    raise ValueError(
+        f"unknown summary kind {kind!r}; expected one of {SUMMARY_KINDS}")
+
+
+class JoinPruner:
+    """Prunes a probe-side scan set against a build-side summary."""
+
+    def __init__(self, probe_column: str, summary):
+        self.probe_column = probe_column
+        self.summary = summary
+        self.checks = 0
+
+    def partition_may_join(self, zone_map: ZoneMap) -> bool:
+        """Could any row of this partition find a build-side partner?"""
+        self.checks += 1
+        try:
+            stats = zone_map.stats(self.probe_column)
+        except Exception:
+            return True
+        if not stats.present:
+            return True  # missing metadata: cannot prune
+        if not stats.has_values:
+            # All probe keys NULL: NULL never equals anything, so no
+            # row of this partition can join.
+            return False
+        return self.summary.might_overlap_range(stats.min_value,
+                                                stats.max_value)
+
+    def prune(self, scan_set: ScanSet) -> PruningResult:
+        kept = []
+        pruned_ids = []
+        for partition_id, zone_map in scan_set:
+            if self.partition_may_join(zone_map):
+                kept.append((partition_id, zone_map))
+            else:
+                pruned_ids.append(partition_id)
+        return PruningResult(
+            technique=PruneCategory.JOIN,
+            before=len(scan_set),
+            kept=ScanSet(kept),
+            pruned_ids=pruned_ids,
+            checks=self.checks,
+        )

@@ -1,0 +1,134 @@
+"""LIMIT pruning: globally I/O-optimal scan sets for LIMIT queries (§4).
+
+If the rows of *fully-matching* partitions cover the LIMIT's ``k``, the
+scan set shrinks to the minimum number of fully-matching partitions
+whose row counts sum to at least ``k`` — reading only the minimal
+number of files required. Otherwise no partition may be dropped, but
+starting the scan with fully-matching partitions still promises faster
+termination.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from .base import PruneCategory, PruningResult, ScanSet
+
+
+class LimitPruneOutcome(enum.Enum):
+    """Why LIMIT pruning did or did not fire (Table 2 categories)."""
+
+    ALREADY_MINIMAL = "already_minimal"    #: scan set was <= 1 partition
+    UNSUPPORTED_SHAPE = "unsupported"      #: LIMIT not pushable to scan
+    NO_FULLY_MATCHING = "no_fully_matching"
+    INSUFFICIENT_ROWS = "insufficient_rows"  #: fully-matching rows < k
+    PRUNED_TO_ONE = "pruned_to_one"
+    PRUNED_TO_MANY = "pruned_to_many"
+
+    @property
+    def pruned(self) -> bool:
+        return self in (LimitPruneOutcome.PRUNED_TO_ONE,
+                        LimitPruneOutcome.PRUNED_TO_MANY)
+
+
+@dataclass
+class LimitPruneReport:
+    """Result of a LIMIT pruning attempt."""
+
+    outcome: LimitPruneOutcome
+    result: PruningResult
+
+
+class LimitPruner:
+    """Minimizes a scan set for ``LIMIT k`` using fully-matching info."""
+
+    def __init__(self, k: int):
+        if k < 0:
+            raise ValueError("LIMIT k must be non-negative")
+        self.k = k
+
+    def prune(self, scan_set: ScanSet,
+              fully_matching_ids: Iterable[int]) -> LimitPruneReport:
+        """Shrink ``scan_set`` for a LIMIT of ``self.k`` rows.
+
+        The caller guarantees the LIMIT was legally pushed down to this
+        scan (§4.3); unsupported plan shapes never reach this method.
+        """
+        fully_matching = [pid for pid in fully_matching_ids
+                          if pid in scan_set]
+        before = len(scan_set)
+
+        if before <= 1:
+            return LimitPruneReport(
+                LimitPruneOutcome.ALREADY_MINIMAL,
+                self._no_change(scan_set))
+
+        if self.k == 0:
+            # LIMIT 0 needs no data at all (BI tools probing schemas).
+            return LimitPruneReport(
+                LimitPruneOutcome.PRUNED_TO_ONE,
+                PruningResult(
+                    technique=PruneCategory.LIMIT,
+                    before=before,
+                    kept=ScanSet(),
+                    pruned_ids=scan_set.partition_ids,
+                ))
+
+        if not fully_matching:
+            return LimitPruneReport(
+                LimitPruneOutcome.NO_FULLY_MATCHING,
+                self._no_change(scan_set))
+
+        rows_by_id = {pid: scan_set.zone_map(pid).row_count
+                      for pid in fully_matching}
+        if sum(rows_by_id.values()) < self.k:
+            # Cannot guarantee k rows from fully-matching partitions
+            # alone; keep everything but scan fully-matching first
+            # (§4.1: "starting the table scan with fully-matching
+            # partitions promises faster query execution times").
+            fm_set = set(fully_matching)
+            reordered = (fully_matching
+                         + [pid for pid in scan_set.partition_ids
+                            if pid not in fm_set])
+            return LimitPruneReport(
+                LimitPruneOutcome.INSUFFICIENT_ROWS,
+                PruningResult(
+                    technique=PruneCategory.LIMIT,
+                    before=before,
+                    kept=scan_set.reorder(reordered),
+                    fully_matching_ids=fully_matching,
+                ))
+
+        # Greedy minimal cover: biggest fully-matching partitions first.
+        chosen: list[int] = []
+        covered = 0
+        for pid in sorted(fully_matching, key=rows_by_id.__getitem__,
+                          reverse=True):
+            chosen.append(pid)
+            covered += rows_by_id[pid]
+            if covered >= self.k:
+                break
+        kept = scan_set.restrict(chosen)
+        pruned_ids = [pid for pid in scan_set.partition_ids
+                      if pid not in set(chosen)]
+        outcome = (LimitPruneOutcome.PRUNED_TO_ONE if len(chosen) == 1
+                   else LimitPruneOutcome.PRUNED_TO_MANY)
+        return LimitPruneReport(
+            outcome,
+            PruningResult(
+                technique=PruneCategory.LIMIT,
+                before=before,
+                kept=kept,
+                pruned_ids=pruned_ids,
+                fully_matching_ids=fully_matching,
+            ))
+
+    @staticmethod
+    def _no_change(scan_set: ScanSet) -> PruningResult:
+        return PruningResult(
+            technique=PruneCategory.LIMIT,
+            before=len(scan_set),
+            kept=scan_set,
+        )

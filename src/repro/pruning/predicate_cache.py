@@ -1,0 +1,214 @@
+"""Predicate caching, extended to top-k queries (§8.2).
+
+A predicate cache remembers, per (table, predicate) — and for top-k
+entries per (table, predicate, order column, direction, k) — exactly
+which micro-partitions contributed to a previous execution, so a
+repeated query scans only those. Correctness under DML follows the
+paper's analysis:
+
+* **INSERT** — safe for both entry kinds: partitions created after the
+  entry was recorded are always appended to the cached scan list.
+* **DELETE** — safe for filter entries (a removed partition cannot make
+  another partition qualify); *invalidates* top-k entries that cached
+  any deleted partition, because the replacement (k+1-th) row may live
+  outside the cached set.
+* **UPDATE** — modeled as rewrite of partitions. Filter entries must
+  re-check rewritten partitions, which we conservatively handle by
+  invalidation when a cached partition is touched; top-k entries are
+  additionally invalidated when the *ordering column* is updated
+  anywhere in the table, since reordered rows can displace cached ones.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..expr import ast
+
+
+@dataclass
+class CacheEntry:
+    """One cached pruning result."""
+
+    table: str
+    kind: str                      #: "filter" or "topk"
+    partition_ids: list[int]
+    order_column: str | None = None
+    desc: bool = True
+    k: int | None = None
+    #: partitions inserted after recording; always scanned in addition
+    appended_ids: list[int] = field(default_factory=list)
+    hits: int = 0
+
+    def scan_ids(self) -> list[int]:
+        """Partitions a repeat execution must scan."""
+        return list(self.partition_ids) + list(self.appended_ids)
+
+
+def _ordering_columns(order_column: str | None) -> set[str]:
+    """Column names in an ordering spec ("score" or "a:D,b:A")."""
+    if not order_column:
+        return set()
+    return {part.split(":")[0] for part in order_column.split(",")}
+
+
+def _cache_key(table: str, predicate: ast.Expr | None, kind: str,
+               order_column: str | None = None, desc: bool = True,
+               k: int | None = None) -> tuple:
+    predicate_text = predicate.to_sql() if predicate is not None else ""
+    if kind == "filter":
+        return (table.lower(), "filter", predicate_text)
+    return (table.lower(), "topk", predicate_text,
+            (order_column or "").lower(), desc, k)
+
+
+class PredicateCache:
+    """LRU cache of per-query contributing partition sets.
+
+    ``max_entries`` bounds the number of cached queries and
+    ``max_partitions_per_entry`` bounds each entry's size — entries
+    that would exceed it are not admitted, modelling the paper's
+    observation that cache space limits effectiveness on large tables.
+    """
+
+    def __init__(self, max_entries: int = 1024,
+                 max_partitions_per_entry: int = 256):
+        self.max_entries = max_entries
+        self.max_partitions_per_entry = max_partitions_per_entry
+        self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Recording and lookup
+    # ------------------------------------------------------------------
+    def record_filter(self, table: str, predicate: ast.Expr,
+                      partition_ids: Sequence[int]) -> bool:
+        """Cache the partitions a filter query actually needed."""
+        return self._admit(
+            _cache_key(table, predicate, "filter"),
+            CacheEntry(table.lower(), "filter", list(partition_ids)))
+
+    def record_topk(self, table: str, predicate: ast.Expr | None,
+                    order_column: str, desc: bool, k: int,
+                    partition_ids: Sequence[int]) -> bool:
+        """Cache the partitions that contributed rows to a top-k heap."""
+        key = _cache_key(table, predicate, "topk", order_column, desc, k)
+        return self._admit(
+            key,
+            CacheEntry(table.lower(), "topk", list(partition_ids),
+                       order_column=order_column.lower(), desc=desc, k=k))
+
+    def _admit(self, key: tuple, entry: CacheEntry) -> bool:
+        if len(entry.partition_ids) > self.max_partitions_per_entry:
+            return False
+        self._entries.pop(key, None)
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)  # evict least recent
+        return True
+
+    def lookup_filter(self, table: str,
+                      predicate: ast.Expr) -> CacheEntry | None:
+        return self._lookup(_cache_key(table, predicate, "filter"))
+
+    def lookup_topk(self, table: str, predicate: ast.Expr | None,
+                    order_column: str, desc: bool,
+                    k: int) -> CacheEntry | None:
+        return self._lookup(
+            _cache_key(table, predicate, "topk", order_column, desc, k))
+
+    def _lookup(self, key: tuple) -> CacheEntry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.hits += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # DML notifications
+    # ------------------------------------------------------------------
+    def on_insert(self, table: str, new_partition_ids: Iterable[int]) -> None:
+        """New partitions must be scanned by every entry of the table."""
+        table = table.lower()
+        new_ids = list(new_partition_ids)
+        for entry in self._entries.values():
+            if entry.table == table:
+                entry.appended_ids.extend(new_ids)
+
+    def on_delete(self, table: str,
+                  deleted_partition_ids: Iterable[int]) -> None:
+        """Drop deleted partitions; invalidate affected top-k entries."""
+        table = table.lower()
+        deleted = set(deleted_partition_ids)
+        stale_keys = []
+        for key, entry in self._entries.items():
+            if entry.table != table:
+                continue
+            touched = deleted & set(entry.scan_ids())
+            if not touched:
+                continue
+            if entry.kind == "topk":
+                stale_keys.append(key)
+                continue
+            entry.partition_ids = [pid for pid in entry.partition_ids
+                                   if pid not in deleted]
+            entry.appended_ids = [pid for pid in entry.appended_ids
+                                  if pid not in deleted]
+        for key in stale_keys:
+            del self._entries[key]
+            self.invalidations += 1
+
+    def on_update(self, table: str, rewritten_from: Iterable[int],
+                  rewritten_to: Iterable[int],
+                  columns_touched: Iterable[str]) -> None:
+        """An UPDATE rewrote ``rewritten_from`` into ``rewritten_to``.
+
+        Filter entries whose cached partitions were rewritten are
+        invalidated (the rewritten data must be re-checked). Top-k
+        entries are invalidated whenever the ordering column was
+        touched anywhere, and otherwise treated like a rewrite of
+        unrelated partitions (old ids swapped for new ones if cached).
+        """
+        table = table.lower()
+        old_ids = set(rewritten_from)
+        new_ids = list(rewritten_to)
+        touched = {c.lower() for c in columns_touched}
+        stale_keys = []
+        for key, entry in self._entries.items():
+            if entry.table != table:
+                continue
+            if entry.kind == "topk" and \
+                    _ordering_columns(entry.order_column) & touched:
+                stale_keys.append(key)
+                continue
+            if old_ids & set(entry.scan_ids()):
+                if entry.kind == "topk":
+                    stale_keys.append(key)
+                else:
+                    # Conservative: rewritten data must be re-checked,
+                    # so the rewritten partitions join the scan list.
+                    entry.partition_ids = [
+                        pid for pid in entry.partition_ids
+                        if pid not in old_ids]
+                    entry.appended_ids = [
+                        pid for pid in entry.appended_ids
+                        if pid not in old_ids] + new_ids
+        for key in stale_keys:
+            del self._entries[key]
+            self.invalidations += 1
+
+    def drop_table(self, table: str) -> None:
+        table = table.lower()
+        for key in [k for k, e in self._entries.items()
+                    if e.table == table]:
+            del self._entries[key]

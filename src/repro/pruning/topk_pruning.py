@@ -1,0 +1,250 @@
+"""Top-k pruning: boundary-value partition skipping at runtime (§5).
+
+The TopK operator's heap induces a *boundary value* — the k-th best
+value seen so far. Before a scan loads a micro-partition it compares
+the partition's min/max for the ORDER BY column against the boundary:
+for DESC ordering, a partition whose max is below the boundary cannot
+contribute to the result and is skipped. The boundary tightens as the
+scan progresses (a runtime, data-dependent technique in the spirit of
+the IR community's block-max WAND).
+
+NULL ordering: this engine sorts NULLs *last* regardless of direction,
+so NULL order keys are the worst possible rank and never block pruning.
+
+This module also implements the partition processing-order strategies
+of §5.3 and the upfront boundary initialization of §5.4.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable
+
+from ..storage.zonemap import ZoneMap
+from .base import ScanSet
+
+#: Rank tuples order as (has_value, value); NULLs rank below everything
+#: for DESC and above nothing for ASC because we always sort NULLS LAST.
+_NULL_RANK = (0, 0)
+
+
+def rank_of(value: Any, desc: bool) -> tuple:
+    """Total-order rank of one ORDER BY key; higher rank = better.
+
+    For DESC queries larger values are better; for ASC smaller values
+    are better, which we encode by negating numeric values and using a
+    wrapper for strings.
+    """
+    if value is None:
+        return _NULL_RANK
+    if desc:
+        return (1, value)
+    return (1, _Reversed(value))
+
+
+class _Reversed:
+    """Wrapper inverting comparison order (for ASC ranks)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __le__(self, other: "_Reversed") -> bool:
+        return other.value <= self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+    def __gt__(self, other: "_Reversed") -> bool:
+        return other.value > self.value
+
+    def __ge__(self, other: "_Reversed") -> bool:
+        return other.value >= self.value
+
+    def __hash__(self) -> int:
+        return hash(("_Reversed", self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Reversed({self.value!r})"
+
+
+class Boundary:
+    """Shared, monotonically tightening pruning boundary.
+
+    Owned by a TopK (or top-k-aware GROUP BY) operator and consulted by
+    its upstream scan. ``rank`` is ``None`` until the heap holds k rows;
+    afterwards it is the rank of the k-th best row and only ever
+    increases.
+    """
+
+    def __init__(self, desc: bool = True):
+        self.desc = desc
+        self.rank: tuple | None = None
+        self.updates = 0
+
+    @property
+    def is_active(self) -> bool:
+        return self.rank is not None
+
+    def update(self, rank: tuple) -> None:
+        """Raise the boundary to ``rank`` (ignores loosening updates)."""
+        if self.rank is None or rank > self.rank:
+            self.rank = rank
+            self.updates += 1
+
+    def update_value(self, value: Any) -> None:
+        self.update(rank_of(value, self.desc))
+
+
+class TopKPruner:
+    """Decides partition skips against a boundary using zone maps."""
+
+    def __init__(self, order_column: str, boundary: Boundary):
+        self.order_column = order_column
+        self.boundary = boundary
+        self.checks = 0
+        self.skipped = 0
+
+    def best_possible_rank(self, zone_map: ZoneMap) -> tuple:
+        """The best rank any row of the partition could achieve."""
+        try:
+            stats = zone_map.stats(self.order_column)
+        except Exception:
+            return (2,)  # no metadata: assume the best
+        if not stats.present:
+            return (2,)
+        if not stats.has_values:
+            return _NULL_RANK
+        best = stats.max_value if self.boundary.desc else stats.min_value
+        return rank_of(best, self.boundary.desc)
+
+    def should_skip(self, zone_map: ZoneMap) -> bool:
+        """True if no row of this partition can enter the top-k heap.
+
+        Strictly-worse comparison: a partition whose best rank *equals*
+        the boundary could still tie and SQL top-k with ties broken
+        arbitrarily does not require it, but we keep ties for
+        determinism (skip only when strictly worse).
+        """
+        self.checks += 1
+        if not self.boundary.is_active:
+            return False
+        if self.best_possible_rank(zone_map) < self.boundary.rank:
+            self.skipped += 1
+            return True
+        return False
+
+
+class OrderStrategy(enum.Enum):
+    """Partition processing order for top-k scans (§5.3).
+
+    The paper evaluates ``NONE`` and ``FULL_SORT`` and cautions that
+    naive sorting "might accidentally de-prioritize scanning
+    micro-partitions that actually contain matching rows" under
+    selective filters; ``FULLY_MATCHING_FIRST`` is the strategy that
+    "accounts for that": partitions proven fully-matching (§4.2) are
+    scanned first (each in best-rank order), guaranteeing the heap
+    fills with qualifying rows immediately.
+    """
+
+    NONE = "none"        #: keep the incoming (arbitrary) order
+    FULL_SORT = "sort"   #: sort all partitions by their best rank
+    #: fully-matching partitions first (sorted), then the rest (sorted)
+    FULLY_MATCHING_FIRST = "fully_matching_first"
+
+    def order(self, scan_set: ScanSet, order_column: str, desc: bool,
+              fully_matching: Iterable[int] = ()) -> ScanSet:
+        if self is OrderStrategy.NONE:
+            return scan_set
+
+        def best_rank(entry: tuple[int, ZoneMap]) -> tuple:
+            _, zone_map = entry
+            try:
+                stats = zone_map.stats(order_column)
+            except Exception:
+                return (2,)
+            if not stats.present:
+                return (2,)
+            if not stats.has_values:
+                return _NULL_RANK
+            best = stats.max_value if desc else stats.min_value
+            return rank_of(best, desc)
+
+        if self is OrderStrategy.FULLY_MATCHING_FIRST:
+            fm_ids = set(fully_matching)
+
+            def key(entry: tuple[int, ZoneMap]) -> tuple:
+                return (entry[0] in fm_ids,) + best_rank(entry)
+
+            ordered = sorted(scan_set.entries, key=key, reverse=True)
+        else:
+            ordered = sorted(scan_set.entries, key=best_rank,
+                             reverse=True)
+        return ScanSet(ordered)
+
+
+def initialize_boundary(scan_set: ScanSet,
+                        fully_matching_ids: Iterable[int],
+                        order_column: str, k: int,
+                        desc: bool) -> Boundary:
+    """Pre-compute an initial boundary at compile time (§5.4).
+
+    Uses fully-matching partitions only (their rows are guaranteed to
+    reach the heap) and takes the stricter of two candidates:
+
+    1. the k-th best extremum (max for DESC) across fully-matching
+       partitions — each of the k best partitions contributes at least
+       one row at least that good;
+    2. the cumulative-row-count bound: order fully-matching partitions
+       by their *worst* value (min for DESC) descending; once the
+       cumulative row count reaches k, every counted row is at least as
+       good as the current partition's worst value. Partitions with
+       NULLs in the ORDER BY column are excluded here since their NULL
+       rows rank below any value.
+    """
+    boundary = Boundary(desc=desc)
+    if k <= 0:
+        return boundary
+    fm_ids = set(fully_matching_ids)
+    stats_list = []
+    for partition_id, zone_map in scan_set:
+        if partition_id not in fm_ids:
+            continue
+        try:
+            stats = zone_map.stats(order_column)
+        except Exception:
+            continue
+        if stats.present and stats.has_values:
+            stats_list.append(stats)
+    if not stats_list:
+        return boundary
+
+    candidates: list[tuple] = []
+
+    # Candidate 1: k-th best extremum across fully-matching partitions.
+    best_values = sorted(
+        (s.max_value if desc else s.min_value for s in stats_list),
+        key=lambda v: rank_of(v, desc), reverse=True)
+    if len(best_values) >= k:
+        candidates.append(rank_of(best_values[k - 1], desc))
+
+    # Candidate 2: cumulative row count over worst values (NULL-free
+    # partitions only — NULL rows would rank below the partition min).
+    null_free = [s for s in stats_list if s.null_count == 0]
+    null_free.sort(key=lambda s: rank_of(
+        s.min_value if desc else s.max_value, desc), reverse=True)
+    cumulative = 0
+    for stats in null_free:
+        cumulative += stats.row_count
+        if cumulative >= k:
+            worst = stats.min_value if desc else stats.max_value
+            candidates.append(rank_of(worst, desc))
+            break
+
+    if candidates:
+        boundary.update(max(candidates))
+    return boundary

@@ -1,0 +1,387 @@
+"""Binding and logical planning for parsed SELECT statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import PlanError, SchemaError
+from ..expr import ast
+from ..plan import logical as L
+from ..types import Schema
+from .parser import OrderItem, SelectItem, SelectStmt
+
+SchemaResolver = Callable[[str], Schema]
+
+
+@dataclass
+class _Scope:
+    """Name resolution over the FROM clause."""
+
+    #: alias -> (table name, schema)
+    tables: dict[str, tuple[str, Schema]]
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a possibly qualified column to its bare name.
+
+        Raises:
+            PlanError: for unknown or ambiguous columns.
+        """
+        ref = ref.lower()
+        if "." in ref:
+            alias, column = ref.split(".", 1)
+            if alias not in self.tables:
+                raise PlanError(f"unknown table alias {alias!r}")
+            _, schema = self.tables[alias]
+            if column not in schema:
+                raise PlanError(
+                    f"table {alias!r} has no column {column!r}")
+            return column
+        owners = [alias for alias, (_, schema) in self.tables.items()
+                  if ref in schema]
+        if not owners:
+            raise PlanError(f"unknown column {ref!r}")
+        if len(owners) > 1:
+            raise PlanError(
+                f"column {ref!r} is ambiguous across tables {owners}; "
+                "qualify it")
+        return ref
+
+    def table_of(self, ref: str) -> str:
+        """The alias owning a (possibly qualified) column."""
+        ref = ref.lower()
+        if "." in ref:
+            alias, _ = ref.split(".", 1)
+            if alias not in self.tables:
+                raise PlanError(f"unknown table alias {alias!r}")
+            return alias
+        owners = [alias for alias, (_, schema) in self.tables.items()
+                  if ref in schema]
+        if len(owners) != 1:
+            raise PlanError(f"cannot attribute column {ref!r}")
+        return owners[0]
+
+
+def _rewrite_refs(expr: ast.Expr, scope: _Scope) -> ast.Expr:
+    """Replace qualified column refs with resolved bare names."""
+    from .parser import AggCall
+
+    if isinstance(expr, AggCall):
+        raise PlanError(
+            f"aggregate {expr.to_sql()} is only allowed in the select "
+            "list, ORDER BY, or HAVING")
+    if isinstance(expr, ast.ColumnRef):
+        return ast.ColumnRef(scope.resolve(expr.name))
+    children = [_rewrite_refs(c, scope) for c in expr.children()]
+    return expr.with_children(children)
+
+
+def plan_select(stmt: SelectStmt,
+                resolver: SchemaResolver) -> L.LogicalNode:
+    """Bind a parsed statement and build its logical plan."""
+    scope = _build_scope(stmt, resolver)
+    plan = _build_join_tree(stmt, scope)
+    if stmt.where is not None:
+        plan = L.LogicalFilter(plan, _rewrite_refs(stmt.where, scope))
+
+    has_aggregates = any(item.is_aggregate for item in stmt.items) or \
+        any(item.agg_func for item in stmt.order_by)
+    if stmt.having is not None and not (stmt.group_by or has_aggregates):
+        raise PlanError("HAVING requires GROUP BY or aggregates")
+    if stmt.group_by or has_aggregates:
+        plan, output_names, order_agg_names = _plan_aggregate(
+            stmt, scope, plan, resolver)
+        plan, strip_to = _plan_aggregate_order_limit(
+            stmt, plan, output_names, resolver, order_agg_names)
+    else:
+        plan, strip_to = _plan_select_core(stmt, scope, plan, resolver)
+    if strip_to is not None:
+        plan = L.LogicalProject(
+            plan, [ast.ColumnRef(n) for n in strip_to], strip_to)
+    return plan
+
+
+def _build_scope(stmt: SelectStmt, resolver: SchemaResolver) -> _Scope:
+    tables: dict[str, tuple[str, Schema]] = {}
+
+    def add(name: str, alias: str) -> None:
+        alias = alias.lower()
+        if alias in tables:
+            raise PlanError(f"duplicate table alias {alias!r}")
+        tables[alias] = (name.lower(), resolver(name))
+
+    add(stmt.table.name, stmt.table.alias)
+    for join in stmt.joins:
+        add(join.table.name, join.table.alias)
+    return _Scope(tables)
+
+
+def _build_join_tree(stmt: SelectStmt, scope: _Scope) -> L.LogicalNode:
+    plan: L.LogicalNode = L.LogicalScan(
+        scope.tables[stmt.table.alias.lower()][0])
+    seen_aliases = {stmt.table.alias.lower()}
+    for join in stmt.joins:
+        new_alias = join.table.alias.lower()
+        left_owner = scope.table_of(join.left_ref)
+        right_owner = scope.table_of(join.right_ref)
+        if right_owner == new_alias and left_owner in seen_aliases:
+            probe_ref, build_ref = join.left_ref, join.right_ref
+        elif left_owner == new_alias and right_owner in seen_aliases:
+            probe_ref, build_ref = join.right_ref, join.left_ref
+        else:
+            raise PlanError(
+                "join condition must relate the new table to an "
+                f"earlier one: ON {join.left_ref} = {join.right_ref}")
+        plan = L.LogicalJoin(
+            plan,
+            L.LogicalScan(scope.tables[new_alias][0]),
+            left_key=scope.resolve(probe_ref),
+            right_key=scope.resolve(build_ref),
+            join_type=join.join_type,
+        )
+        seen_aliases.add(new_alias)
+    return plan
+
+
+def _item_output_name(item: SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    if item.is_aggregate:
+        base = item.agg_func.replace("_star", "")
+        if item.agg_arg is not None and isinstance(item.agg_arg,
+                                                   ast.ColumnRef):
+            return f"{base}_{item.agg_arg.name.replace('.', '_')}"
+        return base
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.name.split(".")[-1]
+    return f"col{index}"
+
+
+def _plan_select_core(stmt: SelectStmt, scope: _Scope,
+                      plan: L.LogicalNode, resolver: SchemaResolver
+                      ) -> tuple[L.LogicalNode, list[str] | None]:
+    """Projection + Sort + Limit for the non-aggregate case.
+
+    ORDER BY items that are neither select aliases nor output columns
+    become hidden projection columns computed against the *base*
+    schema (pre-projection), then stripped above the Limit. Returns
+    (plan, columns-to-strip-to or None).
+    """
+    base_schema = plan.output_schema(resolver)
+    if stmt.star:
+        names = base_schema.names()
+        exprs: list[ast.Expr] = [ast.ColumnRef(n) for n in names]
+    else:
+        exprs = [_rewrite_refs(item.expr, scope)
+                 for item in stmt.items]
+        names = [_item_output_name(item, i)
+                 for i, item in enumerate(stmt.items)]
+
+    sort_keys: list[L.SortItem] = []
+    hidden_exprs: list[ast.Expr] = []
+    hidden_names: list[str] = []
+    for i, order in enumerate(stmt.order_by):
+        if order.agg_func is not None:
+            raise PlanError(
+                "aggregate in ORDER BY requires GROUP BY")
+        column = _resolve_order_target(order.expr, names, scope)
+        if column is not None:
+            sort_keys.append(L.SortItem(column, order.desc))
+            continue
+        bound = _rewrite_refs(order.expr, scope)
+        name = f"__ord{i}"
+        hidden_exprs.append(bound)
+        hidden_names.append(name)
+        sort_keys.append(L.SortItem(name, order.desc))
+
+    if stmt.distinct and hidden_exprs:
+        raise PlanError(
+            "ORDER BY expressions must appear in the select list when "
+            "SELECT DISTINCT is used")
+    needs_project = (not stmt.star) or bool(hidden_exprs)
+    if needs_project:
+        plan = L.LogicalProject(plan, exprs + hidden_exprs,
+                                names + hidden_names)
+    if stmt.distinct:
+        # DISTINCT = grouping on every output column, no aggregates.
+        plan = L.LogicalAggregate(plan, names, [])
+    if sort_keys:
+        plan = L.LogicalSort(plan, sort_keys)
+    if stmt.limit is not None:
+        plan = L.LogicalLimit(plan, stmt.limit, stmt.offset)
+    return plan, names if hidden_exprs else None
+
+
+def _resolve_order_target(expr: ast.Expr | None, output_names: list[str],
+                          scope: _Scope) -> str | None:
+    """Resolve an ORDER BY expression to an output column, if it is one."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    bare = expr.name.split(".")[-1]
+    if "." not in expr.name and bare in output_names:
+        return bare
+    try:
+        resolved = scope.resolve(expr.name)
+    except PlanError:
+        return None
+    if resolved in output_names:
+        return resolved
+    return None
+
+
+def _plan_aggregate(stmt: SelectStmt, scope: _Scope,
+                    plan: L.LogicalNode, resolver: SchemaResolver
+                    ) -> tuple[L.LogicalNode, list[str], dict[int, str]]:
+    group_keys = [scope.resolve(g) for g in stmt.group_by]
+    agg_items: list[L.AggItem] = []
+    output_names: list[str] = []
+
+    def add_aggregate(func: str, arg: ast.Expr | None,
+                      output: str) -> None:
+        input_column = None
+        if arg is not None:
+            bound = _rewrite_refs(arg, scope)
+            if not isinstance(bound, ast.ColumnRef):
+                raise PlanError(
+                    "aggregate arguments must be plain columns in this "
+                    f"engine; got {arg!r}")
+            input_column = bound.name
+        agg_items.append(L.AggItem(func, input_column, output))
+
+    for i, item in enumerate(stmt.items):
+        name = _item_output_name(item, i)
+        output_names.append(name)
+        if item.is_aggregate:
+            add_aggregate(item.agg_func, item.agg_arg, name)
+            continue
+        bound = _rewrite_refs(item.expr, scope)
+        if not isinstance(bound, ast.ColumnRef) or \
+                bound.name not in group_keys:
+            raise PlanError(
+                f"non-aggregate select item {item.expr!r} must be a "
+                "GROUP BY key")
+    if stmt.star:
+        raise PlanError("SELECT * cannot be combined with GROUP BY")
+
+    # ORDER BY may reference aggregates not in the select list; give
+    # them hidden outputs and remember which output each order item
+    # resolves to.
+    hidden: list[str] = []
+    order_agg_names: dict[int, str] = {}
+    for i, order in enumerate(stmt.order_by):
+        if order.agg_func is None:
+            continue
+        existing = _find_agg_output(order, agg_items, scope)
+        if existing is None:
+            name = f"__ord_agg{len(hidden)}"
+            add_aggregate(order.agg_func, order.agg_arg, name)
+            hidden.append(name)
+            order_agg_names[i] = name
+        else:
+            order_agg_names[i] = existing
+
+    # HAVING: rewrite aggregate calls to (possibly hidden) aggregate
+    # outputs and filter above the aggregate, below the projection.
+    having_expr = None
+    if stmt.having is not None:
+        having_expr = _rewrite_having(stmt.having, scope, group_keys,
+                                      output_names, agg_items,
+                                      add_aggregate)
+
+    aggregate: L.LogicalNode = L.LogicalAggregate(plan, group_keys,
+                                                  agg_items)
+    if having_expr is not None:
+        aggregate = L.LogicalFilter(aggregate, having_expr)
+    # Project to the select-list order (plus hidden sort outputs).
+    projected = output_names + hidden
+    project = L.LogicalProject(
+        aggregate, [ast.ColumnRef(n) for n in projected], projected)
+    return project, output_names, order_agg_names
+
+
+def _rewrite_having(expr: ast.Expr, scope: _Scope,
+                    group_keys: list[str], output_names: list[str],
+                    agg_items: list[L.AggItem],
+                    add_aggregate) -> ast.Expr:
+    """Bind a HAVING expression against the aggregate's outputs."""
+    from .parser import AggCall
+
+    if isinstance(expr, AggCall):
+        input_column = None
+        if expr.arg is not None:
+            bound = _rewrite_refs(expr.arg, scope)
+            if not isinstance(bound, ast.ColumnRef):
+                raise PlanError(
+                    "aggregate arguments must be plain columns; got "
+                    f"{expr.arg!r}")
+            input_column = bound.name
+        for item in agg_items:
+            if item.func == expr.func and item.input == input_column:
+                return ast.ColumnRef(item.output)
+        name = f"__hav{len(agg_items)}"
+        add_aggregate(expr.func, expr.arg, name)
+        return ast.ColumnRef(name)
+    if isinstance(expr, ast.ColumnRef):
+        bare = expr.name.split(".")[-1]
+        if "." not in expr.name and (bare in output_names
+                                     or bare in group_keys):
+            return ast.ColumnRef(bare)
+        resolved = scope.resolve(expr.name)
+        if resolved not in group_keys:
+            raise PlanError(
+                f"HAVING column {expr.name!r} must be a grouping key "
+                "or aggregate")
+        return ast.ColumnRef(resolved)
+    children = [_rewrite_having(c, scope, group_keys, output_names,
+                                agg_items, add_aggregate)
+                for c in expr.children()]
+    return expr.with_children(children)
+
+
+def _find_agg_output(order: OrderItem, agg_items: list[L.AggItem],
+                     scope: _Scope) -> str | None:
+    arg_column = None
+    if order.agg_arg is not None:
+        bound = _rewrite_refs(order.agg_arg, scope)
+        if not isinstance(bound, ast.ColumnRef):
+            return None
+        arg_column = bound.name
+    for item in agg_items:
+        if item.func == order.agg_func and item.input == arg_column:
+            return item.output
+    return None
+
+
+def _plan_aggregate_order_limit(
+        stmt: SelectStmt, plan: L.LogicalNode, output_names: list[str],
+        resolver: SchemaResolver, order_agg_names: dict[int, str]
+        ) -> tuple[L.LogicalNode, list[str] | None]:
+    """Sort + Limit over aggregate outputs.
+
+    ORDER BY items must be grouping keys, select aliases, or
+    aggregates (resolved to their — possibly hidden — outputs in
+    ``order_agg_names``). Returns (plan, columns to strip to).
+    """
+    needs_strip = False
+    if stmt.order_by:
+        schema = plan.output_schema(resolver)
+        keys: list[L.SortItem] = []
+        for i, order in enumerate(stmt.order_by):
+            if i in order_agg_names:
+                name = order_agg_names[i]
+                keys.append(L.SortItem(name, order.desc))
+                if name not in output_names:
+                    needs_strip = True
+                continue
+            if isinstance(order.expr, ast.ColumnRef):
+                bare = order.expr.name.split(".")[-1]
+                if bare in schema:
+                    keys.append(L.SortItem(bare, order.desc))
+                    continue
+            raise PlanError(
+                f"ORDER BY item {order.expr!r} must be a grouping "
+                "key, select alias, or aggregate")
+        plan = L.LogicalSort(plan, keys)
+    if stmt.limit is not None:
+        plan = L.LogicalLimit(plan, stmt.limit, stmt.offset)
+    return plan, output_names if needs_strip else None

@@ -1,0 +1,34 @@
+"""Micro-partitioned columnar storage with zone-map metadata.
+
+This package is the storage substrate of the reproduction: PAX-style
+micro-partitions (:mod:`.micropartition`) made of null-aware columnar
+vectors (:mod:`.column`), per-partition min/max metadata
+(:mod:`.zonemap`), tables and partition builders (:mod:`.table`,
+:mod:`.builder`), physical layout strategies (:mod:`.clustering`), the
+metadata key-value service (:mod:`.metadata_store`), and a simulated
+cloud object store with I/O accounting (:mod:`.storage_layer`).
+"""
+
+from .column import Column
+from .zonemap import ColumnStats, ZoneMap
+from .micropartition import MicroPartition
+from .table import Table
+from .builder import TableBuilder
+from .clustering import Layout, apply_layout
+from .metadata_store import MetadataStore
+from .storage_layer import StorageLayer, IOStats, CostModel
+
+__all__ = [
+    "Column",
+    "ColumnStats",
+    "ZoneMap",
+    "MicroPartition",
+    "Table",
+    "TableBuilder",
+    "Layout",
+    "apply_layout",
+    "MetadataStore",
+    "StorageLayer",
+    "IOStats",
+    "CostModel",
+]

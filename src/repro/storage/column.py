@@ -1,0 +1,209 @@
+"""Null-aware columnar vectors.
+
+A :class:`Column` pairs a numpy value array with a boolean null mask
+(``True`` marks NULL). Values under the mask are well-defined dummies
+(0, 0.0, "", False) so vectorized kernels never see garbage; SQL
+three-valued logic is implemented on top of the masks in
+:mod:`repro.expr.eval`.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import TypeMismatchError
+from ..types import DataType, date_to_days, days_to_date
+
+_DUMMY = {
+    DataType.INTEGER: 0,
+    DataType.DOUBLE: 0.0,
+    DataType.VARCHAR: "",
+    DataType.BOOLEAN: False,
+    DataType.DATE: 0,
+}
+
+
+class Column:
+    """An immutable, typed vector of SQL values with a null mask."""
+
+    __slots__ = ("dtype", "values", "nulls")
+
+    def __init__(self, dtype: DataType, values: np.ndarray, nulls: np.ndarray):
+        if len(values) != len(nulls):
+            raise ValueError("values and nulls must have equal length")
+        self.dtype = dtype
+        self.values = values
+        self.nulls = nulls
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pylist(cls, dtype: DataType, items: Sequence[Any]) -> "Column":
+        """Build a column from Python scalars; ``None`` becomes NULL.
+
+        DATE columns accept ``datetime.date`` objects or raw epoch-day
+        integers.
+        """
+        n = len(items)
+        nulls = np.zeros(n, dtype=np.bool_)
+        values = np.empty(n, dtype=dtype.numpy_dtype())
+        dummy = _DUMMY[dtype]
+        for i, item in enumerate(items):
+            if item is None:
+                nulls[i] = True
+                values[i] = dummy
+            else:
+                values[i] = cls._coerce(dtype, item)
+        return cls(dtype, values, nulls)
+
+    @classmethod
+    def from_numpy(cls, dtype: DataType, values: np.ndarray,
+                   nulls: np.ndarray | None = None) -> "Column":
+        """Wrap an existing numpy array (no copy) as a column."""
+        values = np.asarray(values, dtype=dtype.numpy_dtype())
+        if nulls is None:
+            nulls = np.zeros(len(values), dtype=np.bool_)
+        else:
+            nulls = np.asarray(nulls, dtype=np.bool_)
+        return cls(dtype, values, nulls)
+
+    @classmethod
+    def all_null(cls, dtype: DataType, length: int) -> "Column":
+        """A column of ``length`` NULLs."""
+        values = np.full(length, _DUMMY[dtype], dtype=dtype.numpy_dtype())
+        return cls(dtype, values, np.ones(length, dtype=np.bool_))
+
+    @classmethod
+    def constant(cls, dtype: DataType, value: Any, length: int) -> "Column":
+        """A column repeating one scalar (``None`` yields all NULLs)."""
+        if value is None:
+            return cls.all_null(dtype, length)
+        coerced = cls._coerce(dtype, value)
+        values = np.full(length, coerced, dtype=dtype.numpy_dtype())
+        return cls(dtype, values, np.zeros(length, dtype=np.bool_))
+
+    @staticmethod
+    def _coerce(dtype: DataType, item: Any) -> Any:
+        if dtype == DataType.DATE and isinstance(item, datetime.date):
+            return date_to_days(item)
+        if dtype == DataType.VARCHAR and not isinstance(item, str):
+            raise TypeMismatchError(f"expected str for VARCHAR, got {item!r}")
+        if dtype == DataType.BOOLEAN and not isinstance(
+                item, (bool, np.bool_)):
+            raise TypeMismatchError(
+                f"expected bool for BOOLEAN, got {item!r}")
+        return item
+
+    # ------------------------------------------------------------------
+    # Shape operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by integer indices."""
+        return Column(self.dtype, self.values[indices], self.nulls[indices])
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Keep rows where ``mask`` is True."""
+        return Column(self.dtype, self.values[mask], self.nulls[mask])
+
+    def slice(self, start: int, stop: int) -> "Column":
+        return Column(self.dtype, self.values[start:stop],
+                      self.nulls[start:stop])
+
+    @classmethod
+    def concat(cls, columns: Sequence["Column"]) -> "Column":
+        """Concatenate columns of the same dtype."""
+        if not columns:
+            raise ValueError("cannot concatenate zero columns")
+        dtype = columns[0].dtype
+        if any(c.dtype != dtype for c in columns):
+            raise TypeMismatchError("concat requires uniform dtype")
+        values = np.concatenate([c.values for c in columns])
+        nulls = np.concatenate([c.nulls for c in columns])
+        return cls(dtype, values, nulls)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def null_count(self) -> int:
+        return int(self.nulls.sum())
+
+    def is_all_null(self) -> bool:
+        return bool(self.nulls.all()) if len(self) else False
+
+    def min_max(self) -> tuple[Any, Any]:
+        """(min, max) over non-null values, or ``(None, None)`` if none.
+
+        Values are returned in internal representation (epoch days for
+        DATE) because zone maps store internal values.
+        """
+        if len(self) == 0:
+            return None, None
+        valid = ~self.nulls
+        if not valid.any():
+            return None, None
+        if self.dtype == DataType.VARCHAR:
+            present = self.values[valid]
+            return min(present), max(present)
+        present = self.values[valid]
+        lo, hi = present.min(), present.max()
+        if self.dtype == DataType.DOUBLE:
+            return float(lo), float(hi)
+        if self.dtype == DataType.BOOLEAN:
+            return bool(lo), bool(hi)
+        return int(lo), int(hi)
+
+    def value_at(self, i: int) -> Any:
+        """The Python scalar at row ``i`` (``None`` for NULL)."""
+        if self.nulls[i]:
+            return None
+        raw = self.values[i]
+        if self.dtype == DataType.DATE:
+            return days_to_date(int(raw))
+        if self.dtype == DataType.INTEGER:
+            return int(raw)
+        if self.dtype == DataType.DOUBLE:
+            return float(raw)
+        if self.dtype == DataType.BOOLEAN:
+            return bool(raw)
+        return raw
+
+    def to_pylist(self) -> list[Any]:
+        """Materialize as Python scalars (``None`` for NULL)."""
+        return [self.value_at(i) for i in range(len(self))]
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size, used by the storage cost model."""
+        if self.dtype == DataType.VARCHAR:
+            payload = sum(
+                len(v) for v, is_null in zip(self.values, self.nulls)
+                if not is_null
+            )
+            return payload + len(self)  # + per-row offset overhead
+        return int(self.values.nbytes) + int(self.nulls.nbytes)
+
+    def __repr__(self) -> str:
+        preview = self.to_pylist()[:6]
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"Column<{self.dtype.value}>[{len(self)}]({preview}{suffix})"
+
+
+def column_from_values(items: Iterable[Any],
+                       dtype: DataType | None = None) -> Column:
+    """Build a column, inferring the dtype from the first non-null item."""
+    data = list(items)
+    if dtype is None:
+        from ..types import infer_type
+
+        first = next((x for x in data if x is not None), None)
+        if first is None:
+            raise TypeMismatchError(
+                "cannot infer dtype of an all-NULL column; pass dtype")
+        dtype = infer_type(first)
+    return Column.from_pylist(dtype, data)

@@ -1,0 +1,86 @@
+"""The metadata service: a transactional-ish key-value store of zone maps.
+
+Snowflake's cloud services layer keeps partition metadata in a dedicated
+scalable KV store so the compiler can prune "without loading the actual
+data" (§2). We model it as a versioned in-memory KV store keyed by
+``(table, partition_id)``, with lookup accounting so experiments can
+charge metadata access in the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import MetadataError
+from .zonemap import ZoneMap
+
+
+class MetadataStore:
+    """Versioned key-value store mapping partitions to zone maps."""
+
+    def __init__(self):
+        self._entries: dict[tuple[str, int], ZoneMap] = {}
+        self._table_partitions: dict[str, list[int]] = {}
+        self.version = 0
+        self.lookups = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def register(self, table: str, partition_id: int,
+                 zone_map: ZoneMap) -> None:
+        """Add or replace metadata for one partition of a table."""
+        table = table.lower()
+        key = (table, partition_id)
+        if key not in self._entries:
+            self._table_partitions.setdefault(table, []).append(partition_id)
+        self._entries[key] = zone_map
+        self.version += 1
+
+    def unregister(self, table: str, partition_id: int) -> None:
+        """Remove a partition's metadata (after DELETE/rewrite)."""
+        table = table.lower()
+        key = (table, partition_id)
+        if key not in self._entries:
+            raise MetadataError(
+                f"no metadata for partition {partition_id} of {table!r}")
+        del self._entries[key]
+        self._table_partitions[table].remove(partition_id)
+        self.version += 1
+
+    def register_table(self, table: str,
+                       zone_maps: Iterable[tuple[int, ZoneMap]]) -> None:
+        for partition_id, zone_map in zone_maps:
+            self.register(table, partition_id, zone_map)
+
+    def drop_table(self, table: str) -> None:
+        table = table.lower()
+        for partition_id in self._table_partitions.pop(table, []):
+            del self._entries[(table, partition_id)]
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, table: str, partition_id: int) -> ZoneMap:
+        self.lookups += 1
+        try:
+            return self._entries[(table.lower(), partition_id)]
+        except KeyError:
+            raise MetadataError(
+                f"no metadata for partition {partition_id} of "
+                f"{table!r}") from None
+
+    def partitions_of(self, table: str) -> list[int]:
+        """All partition ids of a table, in registration order."""
+        return list(self._table_partitions.get(table.lower(), []))
+
+    def iter_table(self, table: str) -> Iterator[tuple[int, ZoneMap]]:
+        for partition_id in self.partitions_of(table):
+            yield partition_id, self.get(table, partition_id)
+
+    def table_row_count(self, table: str) -> int:
+        return sum(zm.row_count for _, zm in self.iter_table(table))
+
+    def __len__(self) -> int:
+        return len(self._entries)

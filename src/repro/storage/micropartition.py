@@ -1,0 +1,130 @@
+"""Micro-partitions: immutable PAX-style horizontal chunks of a table.
+
+Each micro-partition stores its rows column-wise and carries a
+:class:`~repro.storage.zonemap.ZoneMap` computed at write time. Data is
+never mutated in place — matching Snowflake's immutable micro-partition
+design, where DML rewrites whole partitions (§2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..errors import SchemaError
+from ..types import DataType, Schema
+from .column import Column
+from .zonemap import ZoneMap
+
+
+class _IdGenerator:
+    """Monotonic partition-id source with a raisable floor.
+
+    Loading a persisted catalog must not hand out ids that collide
+    with already-stored partitions, so deserialization raises the
+    floor past the largest loaded id.
+    """
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def __call__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def ensure_floor(self, floor: int) -> None:
+        self._next = max(self._next, floor + 1)
+
+
+partition_id_generator = _IdGenerator()
+
+
+class MicroPartition:
+    """An immutable columnar chunk with zone-map metadata."""
+
+    __slots__ = ("partition_id", "schema", "_columns", "zone_map")
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Column],
+                 partition_id: int | None = None,
+                 zone_map: ZoneMap | None = None):
+        normalized = {name.lower(): col for name, col in columns.items()}
+        if set(normalized) != set(schema.names()):
+            raise SchemaError(
+                f"columns {sorted(normalized)} do not match schema "
+                f"{schema.names()}")
+        lengths = {len(col) for col in normalized.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged column lengths: {sorted(lengths)}")
+        for field in schema:
+            if normalized[field.name].dtype != field.dtype:
+                raise SchemaError(
+                    f"column {field.name!r} has dtype "
+                    f"{normalized[field.name].dtype}, schema says "
+                    f"{field.dtype}")
+        self.partition_id = (
+            partition_id if partition_id is not None
+            else partition_id_generator())
+        self.schema = schema
+        self._columns = normalized
+        self.zone_map = zone_map or ZoneMap.from_columns(normalized)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Sequence[Sequence[Any]],
+                  partition_id: int | None = None) -> "MicroPartition":
+        """Build a partition from row tuples in schema order."""
+        columns = {}
+        for i, field in enumerate(schema):
+            columns[field.name] = Column.from_pylist(
+                field.dtype, [row[i] for row in rows])
+        return cls(schema, columns, partition_id=partition_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return self.zone_map.row_count
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r} in partition "
+                f"{self.partition_id}") from None
+
+    def columns(self) -> dict[str, Column]:
+        """All columns keyed by name (shallow copy)."""
+        return dict(self._columns)
+
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        """Materialize as Python row tuples in schema order."""
+        cols = [self._columns[f.name].to_pylist() for f in self.schema]
+        return list(zip(*cols)) if cols else []
+
+    def nbytes(self) -> int:
+        """Approximate uncompressed size, used for I/O accounting."""
+        return sum(col.nbytes() for col in self._columns.values())
+
+    def project_bytes(self, names: Sequence[str]) -> int:
+        """Size of just the named columns (PAX enables column-level reads)."""
+        return sum(self.column(n).nbytes() for n in names)
+
+    def with_zone_map(self, zone_map: ZoneMap) -> "MicroPartition":
+        """A view of this partition carrying different metadata.
+
+        Used to simulate files that were written without statistics.
+        """
+        return MicroPartition(self.schema, self._columns,
+                              partition_id=self.partition_id,
+                              zone_map=zone_map)
+
+    def recompute_zone_map(self) -> ZoneMap:
+        """Scan the data and rebuild complete metadata (backfill, §8.1)."""
+        return ZoneMap.from_columns(self._columns)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:
+        return (f"MicroPartition(id={self.partition_id}, "
+                f"rows={self.row_count}, cols={self.schema.names()})")

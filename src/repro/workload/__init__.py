@@ -1,0 +1,38 @@
+"""Synthetic workloads calibrated to the paper's published statistics.
+
+The paper's evaluation runs on Snowflake's production fleet, which we
+replace with a generator (:mod:`.generator`) whose knobs reproduce the
+aggregates the paper reports: the query-type mix of Table 1, the
+LIMIT-k distribution of Figure 6 (:mod:`.distributions`), high
+real-world predicate selectivity (§3.3/§8.3), small join build sides
+(§6), and Zipf-like plan-shape repetitiveness (Figure 12). SQL-text
+classification for Table 1 lives in :mod:`.classify`, and the mini
+TPC-H substrate for Figure 13 in :mod:`.tpch`.
+"""
+
+from .distributions import (
+    sample_limit_k,
+    sample_selectivity,
+    zipf_template_index,
+)
+from .classify import QueryClass, classify_sql
+from .generator import (
+    GeneratedQuery,
+    Platform,
+    PlatformConfig,
+    QueryMix,
+    WorkloadGenerator,
+)
+
+__all__ = [
+    "sample_limit_k",
+    "sample_selectivity",
+    "zipf_template_index",
+    "QueryClass",
+    "classify_sql",
+    "GeneratedQuery",
+    "Platform",
+    "PlatformConfig",
+    "QueryMix",
+    "WorkloadGenerator",
+]

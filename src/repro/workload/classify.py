@@ -1,0 +1,75 @@
+"""SQL-text classification of LIMIT/top-k query types (Table 1).
+
+The paper derives Table 1 "based on pattern-matching on SQL texts";
+this module implements that pattern matching over our generated SQL.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+
+
+class QueryClass(enum.Enum):
+    """Table 1 categories (plus the non-LIMIT remainder)."""
+
+    PLAIN = "plain select"
+    LIMIT_NO_PREDICATE = "LIMIT without predicate"
+    LIMIT_WITH_PREDICATE = "LIMIT with predicate"
+    TOPK_ORDER_LIMIT = "ORDER BY x LIMIT k"
+    TOPK_GROUP_ORDER_KEY = "GROUP BY x ORDER BY x LIMIT k"
+    TOPK_GROUP_ORDER_AGG = "GROUP BY y ORDER BY agg(x) LIMIT k"
+
+    @property
+    def is_limit(self) -> bool:
+        return self in (QueryClass.LIMIT_NO_PREDICATE,
+                        QueryClass.LIMIT_WITH_PREDICATE)
+
+    @property
+    def is_topk(self) -> bool:
+        return self in (QueryClass.TOPK_ORDER_LIMIT,
+                        QueryClass.TOPK_GROUP_ORDER_KEY,
+                        QueryClass.TOPK_GROUP_ORDER_AGG)
+
+
+_LIMIT_RE = re.compile(r"\bLIMIT\s+\d+", re.IGNORECASE)
+_WHERE_RE = re.compile(r"\bWHERE\b", re.IGNORECASE)
+_ORDER_RE = re.compile(r"\bORDER\s+BY\s+(.+?)(?:\bLIMIT\b|$)",
+                       re.IGNORECASE | re.DOTALL)
+_GROUP_RE = re.compile(r"\bGROUP\s+BY\s+(.+?)(?:\bORDER\b|\bLIMIT\b|$)",
+                       re.IGNORECASE | re.DOTALL)
+_AGG_RE = re.compile(r"\b(count|sum|min|max|avg)\s*\(", re.IGNORECASE)
+
+
+def classify_sql(sql: str) -> QueryClass:
+    """Classify one SELECT statement by its SQL text."""
+    has_limit = _LIMIT_RE.search(sql) is not None
+    if not has_limit:
+        return QueryClass.PLAIN
+    order_match = _ORDER_RE.search(sql)
+    if order_match is None:
+        if _WHERE_RE.search(sql):
+            return QueryClass.LIMIT_WITH_PREDICATE
+        return QueryClass.LIMIT_NO_PREDICATE
+    group_match = _GROUP_RE.search(sql)
+    if group_match is None:
+        return QueryClass.TOPK_ORDER_LIMIT
+    order_text = order_match.group(1)
+    if _AGG_RE.search(order_text):
+        return QueryClass.TOPK_GROUP_ORDER_AGG
+    order_columns = {_strip_direction(part)
+                     for part in order_text.split(",")}
+    group_columns = {part.strip().lower()
+                     for part in group_match.group(1).split(",")}
+    if order_columns <= group_columns:
+        return QueryClass.TOPK_GROUP_ORDER_KEY
+    # ORDER BY an alias of an aggregate: treat as agg ordering.
+    return QueryClass.TOPK_GROUP_ORDER_AGG
+
+
+def _strip_direction(text: str) -> str:
+    text = text.strip().lower()
+    for suffix in (" desc", " asc"):
+        if text.endswith(suffix):
+            text = text[: -len(suffix)].strip()
+    return text

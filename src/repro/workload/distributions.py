@@ -1,0 +1,91 @@
+"""Sampling distributions calibrated to the paper's aggregates.
+
+* :func:`sample_limit_k` matches Figure 6: "most queries have k = 0 or
+  k = 1", 97% have k <= 10,000, and 99.9% have k <= 2,000,000. BI
+  tools contribute point masses at round numbers (LIMIT 0 schema
+  probes, LIMIT 10/100/1000 dashboards).
+* :func:`sample_selectivity` matches the §3.3/§8.3 observation that
+  real-world predicates are far more selective than TPC-H's.
+* :func:`zipf_template_index` drives plan-shape repetitiveness
+  (Figure 12: "most query plan shapes appear only once").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+#: (k value, probability) point masses for LIMIT k; the remainder is a
+#: log-uniform tail. Cumulative mass through 10_000 is ~0.97 (Figure 6).
+_LIMIT_POINT_MASSES = (
+    (0, 0.20),
+    (1, 0.25),
+    (10, 0.13),
+    (20, 0.05),
+    (100, 0.13),
+    (500, 0.04),
+    (1000, 0.09),
+    (5000, 0.04),
+    (10000, 0.04),
+)
+_LIMIT_TAIL_SMALL = 0.020   # (10k, 100k], log-uniform
+_LIMIT_TAIL_LARGE = 0.009   # (100k, 2M], log-uniform
+_LIMIT_TAIL_HUGE = 0.001    # (2M, 100M], log-uniform
+
+
+def sample_limit_k(rng: random.Random) -> int:
+    """Draw a LIMIT k from the Figure 6 distribution."""
+    u = rng.random()
+    cumulative = 0.0
+    for value, mass in _LIMIT_POINT_MASSES:
+        cumulative += mass
+        if u < cumulative:
+            return value
+    cumulative_small = cumulative + _LIMIT_TAIL_SMALL
+    if u < cumulative_small:
+        return _log_uniform_int(rng, 10_001, 100_000)
+    cumulative_large = cumulative_small + _LIMIT_TAIL_LARGE
+    if u < cumulative_large:
+        return _log_uniform_int(rng, 100_001, 2_000_000)
+    return _log_uniform_int(rng, 2_000_001, 100_000_000)
+
+
+def _log_uniform_int(rng: random.Random, lo: int, hi: int) -> int:
+    return int(round(math.exp(rng.uniform(math.log(lo), math.log(hi)))))
+
+
+def sample_selectivity(rng: random.Random) -> float:
+    """Draw a predicate selectivity (fraction of rows matching).
+
+    Real-world analytical predicates are highly selective (§3.3): the
+    mixture puts most mass below 1% with a moderate and a
+    non-selective tail (the latter produces the ~27% of queries whose
+    filters prune nothing in Figure 4).
+    """
+    u = rng.random()
+    if u < 0.50:
+        # highly selective: 0.01% .. 1%
+        return math.exp(rng.uniform(math.log(1e-4), math.log(1e-2)))
+    if u < 0.80:
+        # moderately selective: 1% .. 20%
+        return math.exp(rng.uniform(math.log(1e-2), math.log(0.2)))
+    # non-selective: 20% .. 100%
+    return rng.uniform(0.2, 1.0)
+
+
+def zipf_template_index(rng: random.Random, n_templates: int,
+                        alpha: float = 1.3) -> int:
+    """Draw a template index with Zipf popularity (rank-frequency).
+
+    Index 0 is the most popular template; high indexes are the long
+    tail of shapes that appear only once or twice.
+    """
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(n_templates)]
+    total = sum(weights)
+    u = rng.random() * total
+    cumulative = 0.0
+    for index, weight in enumerate(weights):
+        cumulative += weight
+        if u < cumulative:
+            return index
+    return n_templates - 1

@@ -1,0 +1,485 @@
+"""The synthetic platform and workload generator.
+
+Builds a miniature "data platform" — many small tables, some medium and
+large fact tables with varying physical layouts, and dimension tables —
+then generates SQL workloads whose mix follows the paper's Table 1 and
+whose predicate selectivities follow the real-world distribution of
+§3.3. Running these workloads through the engine reproduces the
+distributional figures (1, 4, 8, 9, 10, 11, 12) and tables (1, 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..catalog import Catalog
+from ..storage.clustering import Layout
+from ..types import DataType, Schema
+from .distributions import (
+    sample_limit_k,
+    sample_selectivity,
+    zipf_template_index,
+)
+
+FACT_SCHEMA = Schema.of(
+    ts=DataType.INTEGER,        # event time; the clustering key
+    category=DataType.VARCHAR,  # low-cardinality attribute
+    value=DataType.DOUBLE,
+    score=DataType.INTEGER,     # uncorrelated ranking column
+    fk=DataType.INTEGER,        # foreign key into a dimension table
+)
+
+DIM_SCHEMA = Schema.of(
+    key=DataType.INTEGER,
+    attr=DataType.VARCHAR,
+    weight=DataType.INTEGER,
+)
+
+CATEGORIES = tuple(f"cat{i:02d}" for i in range(8))
+SCORE_MAX = 1_000_000
+
+
+@dataclass
+class TableSpec:
+    """Shape of one generated table."""
+
+    name: str
+    kind: str              #: "fact" or "dim"
+    n_partitions: int
+    layout: str            #: sorted / clustered / random (facts only)
+    rows: int = 0
+    ts_max: int = 0
+    dim_keys: int = 0      #: size of the dimension this fact points at
+    fk_correlated: bool = True
+
+
+@dataclass
+class PlatformConfig:
+    """Size and mix of the synthetic platform."""
+
+    seed: int = 0
+    rows_per_partition: int = 200
+    n_small_tables: int = 10     #: single-partition tables (BI lookups)
+    n_medium_tables: int = 6     #: 4..16 partitions
+    n_large_tables: int = 4      #: 30..80 partitions
+    n_xlarge_tables: int = 0     #: 150..300 partitions (fact giants)
+    n_dim_tables: int = 3
+    dim_rows: int = 256
+    #: physical layouts cycled over fact tables
+    layouts: tuple[str, ...] = ("sorted", "clustered", "random",
+                                "sorted")
+
+
+class Platform:
+    """A populated catalog plus the specs of its tables."""
+
+    def __init__(self, config: PlatformConfig | None = None):
+        self.config = config or PlatformConfig()
+        self.catalog = Catalog(
+            rows_per_partition=self.config.rows_per_partition)
+        self.specs: dict[str, TableSpec] = {}
+        self.fact_tables: list[str] = []
+        self.dim_tables: list[str] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        rng = random.Random(self.config.seed)
+        sizes: list[tuple[str, int]] = []
+        for i in range(self.config.n_small_tables):
+            sizes.append((f"small{i:02d}", 1))
+        for i in range(self.config.n_medium_tables):
+            sizes.append((f"medium{i:02d}", rng.randint(4, 16)))
+        for i in range(self.config.n_large_tables):
+            sizes.append((f"large{i:02d}", rng.randint(30, 80)))
+        for i in range(self.config.n_xlarge_tables):
+            sizes.append((f"xlarge{i:02d}", rng.randint(150, 300)))
+        for index, (name, n_partitions) in enumerate(sizes):
+            if name.startswith("xlarge"):
+                # Giant fact tables are kept clustered in practice
+                # (auto-clustering exists precisely for them).
+                layout = "sorted" if index % 2 == 0 else "clustered"
+            else:
+                layout = self.config.layouts[
+                    index % len(self.config.layouts)]
+            self._build_fact(rng, name, n_partitions, layout)
+        for i in range(self.config.n_dim_tables):
+            self._build_dim(rng, f"dim{i:02d}")
+
+    def _build_fact(self, rng: random.Random, name: str,
+                    n_partitions: int, layout: str) -> None:
+        rows_per_partition = self.config.rows_per_partition
+        n_rows = n_partitions * rows_per_partition
+        ts_max = n_rows
+        dim_keys = self.config.dim_rows
+        fk_correlated = layout != "random"
+        rows = []
+        for i in range(n_rows):
+            ts = rng.randrange(ts_max)
+            if fk_correlated:
+                # fk tracks event time (e.g. a date dimension), with a
+                # little noise, so fk ranges per partition are narrow
+                # on sorted tables.
+                base = ts * dim_keys // max(1, ts_max)
+                fk = min(dim_keys - 1,
+                         max(0, base + rng.randint(-4, 4)))
+            else:
+                fk = rng.randrange(dim_keys)
+            rows.append((
+                ts,
+                rng.choice(CATEGORIES),
+                rng.uniform(0.0, 1000.0),
+                rng.randrange(SCORE_MAX),
+                fk,
+            ))
+        layouts = {
+            "sorted": Layout.sorted_by("ts"),
+            "clustered": Layout.clustered_by(
+                "ts", jitter=rows_per_partition // 3, seed=rng.randrange(
+                    1 << 30)),
+            "random": Layout.random(seed=rng.randrange(1 << 30)),
+        }
+        self.catalog.create_table_from_rows(
+            name, FACT_SCHEMA, rows, layout=layouts[layout],
+            rows_per_partition=rows_per_partition)
+        self.specs[name] = TableSpec(
+            name=name, kind="fact", n_partitions=n_partitions,
+            layout=layout, rows=n_rows, ts_max=ts_max,
+            dim_keys=dim_keys, fk_correlated=fk_correlated)
+        self.fact_tables.append(name)
+
+    def _build_dim(self, rng: random.Random, name: str) -> None:
+        n_rows = self.config.dim_rows
+        block = max(1, n_rows // len(CATEGORIES))
+        rows = []
+        for key in range(n_rows):
+            # Contiguous key blocks per attribute value: a selective
+            # attr filter yields a compact key range, which the
+            # range-set summary can exploit on the probe side (§6.1).
+            attr = CATEGORIES[min(len(CATEGORIES) - 1, key // block)]
+            rows.append((key, attr, rng.randrange(1000)))
+        self.catalog.create_table_from_rows(
+            name, DIM_SCHEMA, rows,
+            rows_per_partition=self.config.rows_per_partition)
+        self.specs[name] = TableSpec(
+            name=name, kind="dim", n_partitions=1, layout="natural",
+            rows=n_rows)
+        self.dim_tables.append(name)
+
+
+@dataclass
+class QueryMix:
+    """Workload composition, calibrated to Table 1 and Figure 11.
+
+    Fractions sum to 1. LIMIT queries are 2.60% of SELECTs (0.37%
+    without predicate, 2.23% with); top-k queries are 5.55% (4.47%
+    plain, 0.12% grouped by the ordering key, 0.96% ordered by an
+    aggregate).
+    """
+
+    select_pred: float = 0.5985
+    select_nopred: float = 0.12
+    join: float = 0.20
+    limit_nopred: float = 0.0037
+    limit_pred: float = 0.0223
+    topk_plain: float = 0.0447
+    topk_group_key: float = 0.0012
+    topk_group_agg: float = 0.0096
+
+    def kinds(self) -> list[tuple[str, float]]:
+        return [
+            ("select_pred", self.select_pred),
+            ("select_nopred", self.select_nopred),
+            ("join", self.join),
+            ("limit_nopred", self.limit_nopred),
+            ("limit_pred", self.limit_pred),
+            ("topk_plain", self.topk_plain),
+            ("topk_group_key", self.topk_group_key),
+            ("topk_group_agg", self.topk_group_agg),
+        ]
+
+
+@dataclass
+class GeneratedQuery:
+    """One generated workload query."""
+
+    sql: str
+    kind: str
+    tables: list[str] = field(default_factory=list)
+
+
+class WorkloadGenerator:
+    """Draws queries from the mix against a platform's tables."""
+
+    def __init__(self, platform: Platform,
+                 mix: QueryMix | None = None, seed: int = 1):
+        self.platform = platform
+        self.mix = mix or QueryMix()
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, n_queries: int) -> list[GeneratedQuery]:
+        return [self._one_query() for _ in range(n_queries)]
+
+    def generate_of_kind(self, kind: str,
+                         n_queries: int) -> list[GeneratedQuery]:
+        """Generate queries of one specific kind (for focused benches)."""
+        return [self._dispatch(kind) for _ in range(n_queries)]
+
+    def _one_query(self) -> GeneratedQuery:
+        u = self.rng.random()
+        cumulative = 0.0
+        for kind, fraction in self.mix.kinds():
+            cumulative += fraction
+            if u < cumulative:
+                return self._dispatch(kind)
+        return self._dispatch("select_pred")
+
+    def _dispatch(self, kind: str) -> GeneratedQuery:
+        builders = {
+            "select_pred": self._select_pred,
+            "select_nopred": self._select_nopred,
+            "join": self._join,
+            "limit_nopred": self._limit_nopred,
+            "limit_pred": self._limit_pred,
+            "topk_plain": self._topk_plain,
+            "topk_group_key": self._topk_group_key,
+            "topk_group_agg": self._topk_group_agg,
+        }
+        return builders[kind]()
+
+    # -- building blocks ---------------------------------------------------
+    def _fact(self) -> TableSpec:
+        """Size-biased pick: bigger tables attract more queries.
+
+        Production fleets are heavy-tailed in both table size and
+        access frequency; weighting by partition count makes the
+        platform-wide denominators behave like the paper's (where a
+        handful of giant, well-clustered tables dominate).
+        """
+        specs = [self.platform.specs[n]
+                 for n in self.platform.fact_tables]
+        weights = [float(spec.n_partitions) for spec in specs]
+        return self.rng.choices(specs, weights=weights, k=1)[0]
+
+    def _large_fact(self) -> TableSpec:
+        candidates = [
+            self.platform.specs[n] for n in self.platform.fact_tables
+            if self.platform.specs[n].n_partitions > 1]
+        return self.rng.choice(candidates)
+
+    def _small_fact(self) -> TableSpec:
+        """A size-biased pick favouring small tables.
+
+        Full-table reads and bare LIMIT probes overwhelmingly target
+        small lookup tables in real fleets; nobody lists a billion-row
+        fact table unfiltered.
+        """
+        specs = [self.platform.specs[n]
+                 for n in self.platform.fact_tables]
+        weights = [spec.n_partitions ** -0.5 for spec in specs]
+        return self.rng.choices(specs, weights=weights, k=1)[0]
+
+    def _predicate(self, spec: TableSpec,
+                   selectivity: float | None = None) -> str:
+        """A WHERE clause body with roughly the target selectivity."""
+        if selectivity is None:
+            selectivity = sample_selectivity(self.rng)
+        large = spec.n_partitions >= 30
+        roll = self.rng.random()
+        if roll < 0.08:
+            # Occasionally empty-result predicates: they prune 100% of
+            # partitions and trigger sub-tree elimination.
+            return f"ts > {spec.ts_max * 2}"
+        # Large fact tables are overwhelmingly filtered on their
+        # clustering (time) key, and selectively — scanning most of a
+        # petabyte-scale table is rare in practice (§3.3).
+        ts_share = 0.84 if large else 0.62
+        if roll < ts_share:
+            if large:
+                selectivity = min(selectivity, 0.05)
+            width = max(1, int(selectivity * spec.ts_max))
+            lo = self.rng.randrange(max(1, spec.ts_max - width + 1))
+            return f"ts BETWEEN {lo} AND {lo + width - 1}"
+        if roll < ts_share + 0.16:
+            category = self.rng.choice(CATEGORIES)
+            base = f"category = '{category}'"
+            if large and self.rng.random() < 0.75:
+                # Dashboards over giant fact tables nearly always carry
+                # a time window alongside attribute filters.
+                width = max(1, int(min(selectivity, 0.08)
+                                   * spec.ts_max))
+                lo = self.rng.randrange(
+                    max(1, spec.ts_max - width + 1))
+                return (f"{base} AND ts BETWEEN {lo} AND "
+                        f"{lo + width - 1}")
+            return base
+        if roll < 0.90:
+            threshold = int((1 - selectivity) * SCORE_MAX)
+            return f"score >= {threshold}"
+        # Complex expression exercising §3.1 range derivation.
+        category = self.rng.choice(CATEGORIES)
+        threshold = int((1 - selectivity) * spec.ts_max)
+        return (f"IF(category = '{category}', ts * 2, ts) "
+                f"> {threshold * 2}")
+
+    def _small_k(self) -> int:
+        return self.rng.choice((3, 5, 10, 20, 50, 100))
+
+    # -- query kinds ---------------------------------------------------------
+    def _select_pred(self) -> GeneratedQuery:
+        spec = self._fact()
+        sql = (f"SELECT * FROM {spec.name} "
+               f"WHERE {self._predicate(spec)}")
+        return GeneratedQuery(sql, "select_pred", [spec.name])
+
+    def _select_nopred(self) -> GeneratedQuery:
+        spec = self._small_fact()
+        return GeneratedQuery(f"SELECT * FROM {spec.name}",
+                              "select_nopred", [spec.name])
+
+    def _join(self) -> GeneratedQuery:
+        spec = self._large_fact()
+        dim = self.rng.choice(self.platform.dim_tables)
+        roll = self.rng.random()
+        if roll < 0.13:
+            # A value inside the attr min/max range that matches no
+            # row: metadata cannot prune it (no compile-time sub-tree
+            # elimination), so the build side comes up empty at
+            # *runtime* and join pruning removes 100% of the probe
+            # scan (Figure 10's cluster at 100%).
+            dim_filter = "d.attr = 'cat00zzz'"
+        else:
+            dim_filter = f"d.attr = '{self.rng.choice(CATEGORIES)}'"
+        fact_filter = ""
+        if self.rng.random() < 0.4:
+            fact_filter = f" AND {self._predicate(spec)}"
+        sql = (f"SELECT * FROM {spec.name} JOIN {dim} AS d "
+               f"ON fk = d.key WHERE {dim_filter}{fact_filter}")
+        return GeneratedQuery(sql, "join", [spec.name, dim])
+
+    def _limit_nopred(self) -> GeneratedQuery:
+        spec = self._small_fact()
+        k = sample_limit_k(self.rng)
+        sql = f"SELECT * FROM {spec.name} LIMIT {k}"
+        return GeneratedQuery(sql, "limit_nopred", [spec.name])
+
+    def _limit_pred(self) -> GeneratedQuery:
+        spec = self.platform.specs[
+            self.rng.choice(self.platform.fact_tables)]
+        k = sample_limit_k(self.rng)
+        # Exploratory LIMIT predicates are ad hoc: mostly on columns
+        # unrelated to the clustering key, where fully-matching
+        # partitions rarely exist (Table 2's large "unsupported"
+        # share for queries with predicates).
+        roll = self.rng.random()
+        if roll < 0.25:
+            predicate = self._predicate(spec)
+        elif roll < 0.65:
+            predicate = (f"category = "
+                         f"'{self.rng.choice(CATEGORIES)}'")
+        else:
+            threshold = self.rng.randrange(SCORE_MAX)
+            predicate = f"score >= {threshold}"
+        sql = (f"SELECT * FROM {spec.name} "
+               f"WHERE {predicate} LIMIT {k}")
+        return GeneratedQuery(sql, "limit_pred", [spec.name])
+
+    def _topk_plain(self) -> GeneratedQuery:
+        spec = self._large_fact()
+        order_column = self.rng.choice(("ts", "score", "score"))
+        k = self._small_k()
+        where = ""
+        if self.rng.random() < 0.5:
+            where = f" WHERE {self._predicate(spec)}"
+        direction = "DESC" if self.rng.random() < 0.8 else "ASC"
+        sql = (f"SELECT * FROM {spec.name}{where} "
+               f"ORDER BY {order_column} {direction} LIMIT {k}")
+        return GeneratedQuery(sql, "topk_plain", [spec.name])
+
+    def _topk_group_key(self) -> GeneratedQuery:
+        spec = self._large_fact()
+        k = self._small_k()
+        sql = (f"SELECT ts, count(*) AS c FROM {spec.name} "
+               f"GROUP BY ts ORDER BY ts DESC LIMIT {k}")
+        return GeneratedQuery(sql, "topk_group_key", [spec.name])
+
+    def _topk_group_agg(self) -> GeneratedQuery:
+        spec = self._large_fact()
+        k = self._small_k()
+        agg = self.rng.choice(("sum(value)", "count(*)", "max(score)"))
+        sql = (f"SELECT category, {agg} AS m FROM {spec.name} "
+               f"GROUP BY category ORDER BY m DESC LIMIT {k}")
+        return GeneratedQuery(sql, "topk_group_agg", [spec.name])
+
+    # -- plan-shape repetitiveness (Figure 12) -----------------------------
+    def topk_stream_with_repetition(self, n_queries: int,
+                                    n_templates: int | None = None,
+                                    alpha: float = 1.05
+                                    ) -> list[GeneratedQuery]:
+        """Top-k queries drawn from Zipf-popular templates.
+
+        With ``alpha`` close to 1 and a large template pool, most
+        templates are drawn at most once — matching Figure 12's "most
+        query plan shapes appear only once".
+        """
+        if n_templates is None:
+            n_templates = max(4, int(n_queries * 0.8))
+        templates = [self._topk_template() for _ in range(n_templates)]
+        stream = []
+        for _ in range(n_queries):
+            index = zipf_template_index(self.rng, n_templates, alpha)
+            stream.append(templates[index])
+        return stream
+
+    def _topk_template(self) -> GeneratedQuery:
+        """A distinct top-k query template.
+
+        Plan shapes ignore literal values (Figure 12 measures shapes),
+        so templates vary *structure*: number and kind of conjuncts,
+        IN-list arity, ordering column and direction, and table.
+        """
+        spec = self._large_fact()
+        order_column = self.rng.choice(("ts", "score", "value"))
+        direction = self.rng.choice(("DESC", "ASC"))
+        k = self._small_k()
+        conjuncts = []
+        for _ in range(self.rng.randrange(4)):
+            kind = self.rng.randrange(6)
+            if kind == 0:
+                lo = self.rng.randrange(spec.ts_max)
+                conjuncts.append(
+                    f"ts BETWEEN {lo} AND {lo + 50}")
+            elif kind == 1:
+                conjuncts.append(
+                    f"category = '{self.rng.choice(CATEGORIES)}'")
+            elif kind == 2:
+                arity = self.rng.randint(2, 6)
+                values = ", ".join(
+                    f"'{c}'" for c in self.rng.sample(CATEGORIES,
+                                                      arity))
+                conjuncts.append(f"category IN ({values})")
+            elif kind == 3:
+                conjuncts.append(
+                    f"score >= {self.rng.randrange(SCORE_MAX)}")
+            elif kind == 4:
+                conjuncts.append(
+                    f"value >= {self.rng.uniform(0, 900):.1f}")
+            else:
+                prefix = self.rng.choice(CATEGORIES)[:3 + self.rng
+                                                     .randrange(3)]
+                conjuncts.append(
+                    f"STARTSWITH(category, '{prefix}')")
+        where = f" WHERE {' AND '.join(conjuncts)}" if conjuncts else ""
+        sql = (f"SELECT * FROM {spec.name}{where} "
+               f"ORDER BY {order_column} {direction} LIMIT {k}")
+        return GeneratedQuery(sql, "topk_plain", [spec.name])
+
+
+def run_workload(platform: Platform,
+                 queries: Iterable[GeneratedQuery],
+                 options=None) -> list:
+    """Execute queries and return their :class:`QueryResult` objects."""
+    return [platform.catalog.sql(q.sql, options) for q in queries]

@@ -1,0 +1,436 @@
+"""Mini TPC-H: deterministic dbgen plus the 22 queries' pruning shapes.
+
+§8.3 measures pruning on TPC-H SF100 clustered by ``l_shipdate`` and
+``o_orderdate``, finding far lower pruning ratios than production
+workloads (average 28.7%, median 8.3% per query). This module builds a
+laptop-scale TPC-H with the spec's schemas and value distributions
+(simplified but faithful where pruning is concerned: date ranges,
+categorical domains, comment strings), and encodes each query's table
+accesses and pruning-relevant predicates so the per-query pruning ratio
+can be measured exactly as the paper does — partitions pruned over all
+partitions addressed, including scans without filters.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+
+from ..catalog import Catalog
+from ..expr import ast
+from ..expr.ast import And, Compare, InList, Like, Not, Or, col, lit
+from ..storage.clustering import Layout
+from ..types import DataType, Schema
+
+DATE_LO = datetime.date(1992, 1, 1)
+DATE_HI = datetime.date(1998, 12, 31)
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+            "HOUSEHOLD")
+PART_TYPES = tuple(
+    f"{p1} {p2} {p3}"
+    for p1 in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+               "PROMO")
+    for p2 in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+               "BRUSHED")
+    for p3 in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER"))
+PART_COLORS = ("almond", "antique", "aquamarine", "azure", "beige",
+               "bisque", "black", "blanched", "blue", "blush", "brown",
+               "burlywood", "burnished", "chartreuse", "chiffon",
+               "chocolate", "coral", "cornflower", "cream", "cyan",
+               "dark", "deep", "dim", "dodger", "drab", "firebrick",
+               "floral", "forest", "frosted", "gainsboro", "ghost",
+               "goldenrod", "green", "grey", "honeydew", "hot",
+               "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+               "lemon", "light", "lime", "linen", "magenta", "maroon",
+               "medium")
+CONTAINERS = tuple(
+    f"{c1} {c2}" for c1 in ("SM", "LG", "MED", "JUMBO", "WRAP")
+    for c2 in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+               "DRUM"))
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+ORDER_STATUS = ("F", "O", "P")
+RETURN_FLAGS = ("R", "A", "N")
+
+LINEITEM = Schema.of(
+    l_orderkey=DataType.INTEGER,
+    l_partkey=DataType.INTEGER,
+    l_suppkey=DataType.INTEGER,
+    l_quantity=DataType.INTEGER,
+    l_extendedprice=DataType.DOUBLE,
+    l_discount=DataType.DOUBLE,
+    l_tax=DataType.DOUBLE,
+    l_returnflag=DataType.VARCHAR,
+    l_linestatus=DataType.VARCHAR,
+    l_shipdate=DataType.DATE,
+    l_commitdate=DataType.DATE,
+    l_receiptdate=DataType.DATE,
+    l_shipmode=DataType.VARCHAR,
+)
+ORDERS = Schema.of(
+    o_orderkey=DataType.INTEGER,
+    o_custkey=DataType.INTEGER,
+    o_orderstatus=DataType.VARCHAR,
+    o_totalprice=DataType.DOUBLE,
+    o_orderdate=DataType.DATE,
+    o_orderpriority=DataType.VARCHAR,
+    o_comment=DataType.VARCHAR,
+)
+CUSTOMER = Schema.of(
+    c_custkey=DataType.INTEGER,
+    c_nationkey=DataType.INTEGER,
+    c_acctbal=DataType.DOUBLE,
+    c_mktsegment=DataType.VARCHAR,
+    c_phone=DataType.VARCHAR,
+)
+PART = Schema.of(
+    p_partkey=DataType.INTEGER,
+    p_name=DataType.VARCHAR,
+    p_brand=DataType.VARCHAR,
+    p_type=DataType.VARCHAR,
+    p_size=DataType.INTEGER,
+    p_container=DataType.VARCHAR,
+    p_retailprice=DataType.DOUBLE,
+)
+SUPPLIER = Schema.of(
+    s_suppkey=DataType.INTEGER,
+    s_nationkey=DataType.INTEGER,
+    s_acctbal=DataType.DOUBLE,
+    s_comment=DataType.VARCHAR,
+)
+PARTSUPP = Schema.of(
+    ps_partkey=DataType.INTEGER,
+    ps_suppkey=DataType.INTEGER,
+    ps_availqty=DataType.INTEGER,
+    ps_supplycost=DataType.DOUBLE,
+)
+NATION = Schema.of(
+    n_nationkey=DataType.INTEGER,
+    n_name=DataType.VARCHAR,
+    n_regionkey=DataType.INTEGER,
+)
+REGION = Schema.of(
+    r_regionkey=DataType.INTEGER,
+    r_name=DataType.VARCHAR,
+)
+
+
+@dataclass
+class TpchConfig:
+    """Scale knobs: ``orders_count`` drives everything else.
+
+    The TPC-H row-count ratios are preserved: lineitem ~= 4x orders,
+    customer = orders / 10, part = orders / 7.5, supplier = part / 20.
+    """
+
+    seed: int = 0
+    orders_count: int = 12_000
+    rows_per_partition: int = 500
+    cluster: bool = True   #: cluster lineitem/orders by ship/order date
+
+
+def _rand_date(rng: random.Random, lo: datetime.date = DATE_LO,
+               hi: datetime.date = DATE_HI) -> datetime.date:
+    span = (hi - lo).days
+    return lo + datetime.timedelta(days=rng.randrange(span + 1))
+
+
+def _comment(rng: random.Random) -> str:
+    words = ("carefully", "quickly", "special", "requests", "deposits",
+             "packages", "ironic", "express", "regular", "final",
+             "pending", "bold", "furious")
+    return " ".join(rng.choice(words) for _ in range(rng.randint(3, 8)))
+
+
+def build_tpch(config: TpchConfig | None = None) -> Catalog:
+    """Generate and register all eight TPC-H tables."""
+    config = config or TpchConfig()
+    rng = random.Random(config.seed)
+    catalog = Catalog(rows_per_partition=config.rows_per_partition)
+
+    n_orders = config.orders_count
+    n_customers = max(10, n_orders // 10)
+    n_parts = max(10, int(n_orders / 7.5))
+    n_suppliers = max(5, n_parts // 20)
+
+    catalog.create_table_from_rows(
+        "region", REGION,
+        [(i, name) for i, name in enumerate(REGIONS)])
+    catalog.create_table_from_rows(
+        "nation", NATION,
+        [(i, name, region) for i, (name, region)
+         in enumerate(NATIONS)])
+    catalog.create_table_from_rows(
+        "supplier", SUPPLIER,
+        [(i, rng.randrange(len(NATIONS)),
+          round(rng.uniform(-999, 9999), 2), _comment(rng))
+         for i in range(n_suppliers)])
+    catalog.create_table_from_rows(
+        "customer", CUSTOMER,
+        [(i, rng.randrange(len(NATIONS)),
+          round(rng.uniform(-999, 9999), 2), rng.choice(SEGMENTS),
+          f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-"
+          f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}")
+         for i in range(n_customers)])
+    catalog.create_table_from_rows(
+        "part", PART,
+        [(i,
+          " ".join(rng.sample(PART_COLORS, 5)),
+          f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+          rng.choice(PART_TYPES),
+          rng.randint(1, 50),
+          rng.choice(CONTAINERS),
+          round(900 + (i % 1000) + rng.uniform(0, 100), 2))
+         for i in range(n_parts)])
+    catalog.create_table_from_rows(
+        "partsupp", PARTSUPP,
+        [(i, rng.randrange(n_suppliers), rng.randint(1, 9999),
+          round(rng.uniform(1, 1000), 2))
+         for i in range(n_parts * 2)])
+
+    order_rows = []
+    lineitem_rows = []
+    for okey in range(n_orders):
+        orderdate = _rand_date(
+            rng, DATE_LO, DATE_HI - datetime.timedelta(days=151))
+        order_rows.append((
+            okey, rng.randrange(n_customers), rng.choice(ORDER_STATUS),
+            round(rng.uniform(1000, 450000), 2), orderdate,
+            f"{rng.randint(1, 5)}-PRIORITY", _comment(rng)))
+        for _ in range(rng.randint(1, 7)):
+            shipdate = orderdate + datetime.timedelta(
+                days=rng.randint(1, 121))
+            commitdate = orderdate + datetime.timedelta(
+                days=rng.randint(30, 90))
+            receiptdate = shipdate + datetime.timedelta(
+                days=rng.randint(1, 30))
+            lineitem_rows.append((
+                okey, rng.randrange(n_parts), rng.randrange(n_suppliers),
+                rng.randint(1, 50),
+                round(rng.uniform(900, 105000), 2),
+                round(rng.choice((0.0, 0.01, 0.02, 0.03, 0.04, 0.05,
+                                  0.06, 0.07, 0.08, 0.09, 0.10)), 2),
+                round(rng.choice((0.0, 0.02, 0.04, 0.06, 0.08)), 2),
+                rng.choice(RETURN_FLAGS), rng.choice(("O", "F")),
+                shipdate, commitdate, receiptdate,
+                rng.choice(SHIP_MODES)))
+
+    orders_layout = Layout.sorted_by("o_orderdate") if config.cluster \
+        else Layout.random(seed=config.seed)
+    lineitem_layout = Layout.sorted_by("l_shipdate") if config.cluster \
+        else Layout.random(seed=config.seed)
+    catalog.create_table_from_rows("orders", ORDERS, order_rows,
+                                   layout=orders_layout)
+    catalog.create_table_from_rows("lineitem", LINEITEM, lineitem_rows,
+                                   layout=lineitem_layout)
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# The 22 queries' table accesses and pruning-relevant predicates
+# ----------------------------------------------------------------------
+@dataclass
+class TpchQuery:
+    """One query's scans: (table, predicate or None) pairs."""
+
+    number: int
+    scans: list[tuple[str, ast.Expr | None]] = field(
+        default_factory=list)
+
+
+def _date(year: int, month: int, day: int) -> ast.Literal:
+    return lit(datetime.date(year, month, day))
+
+
+def _between_dates(column: str, lo: datetime.date,
+                   hi_exclusive: datetime.date) -> ast.Expr:
+    return And(Compare(">=", col(column), lit(lo)),
+               Compare("<", col(column), lit(hi_exclusive)))
+
+
+def tpch_queries() -> list[TpchQuery]:
+    """Pruning shapes of Q1-Q22 with the spec's default substitutions."""
+    d = datetime.date
+    q = [
+        TpchQuery(1, [("lineitem",
+                       Compare("<=", col("l_shipdate"),
+                               _date(1998, 9, 2)))]),
+        TpchQuery(2, [
+            ("part", And(Compare("=", col("p_size"), lit(15)),
+                         Like(col("p_type"), "%BRASS"))),
+            ("supplier", None), ("partsupp", None), ("nation", None),
+            ("region", Compare("=", col("r_name"), lit("EUROPE"))),
+        ]),
+        TpchQuery(3, [
+            ("customer", Compare("=", col("c_mktsegment"),
+                                 lit("BUILDING"))),
+            ("orders", Compare("<", col("o_orderdate"),
+                               _date(1995, 3, 15))),
+            ("lineitem", Compare(">", col("l_shipdate"),
+                                 _date(1995, 3, 15))),
+        ]),
+        TpchQuery(4, [
+            ("orders", _between_dates("o_orderdate", d(1993, 7, 1),
+                                      d(1993, 10, 1))),
+            ("lineitem", Compare("<", col("l_commitdate"),
+                                 col("l_receiptdate"))),
+        ]),
+        TpchQuery(5, [
+            ("customer", None), ("orders",
+                                 _between_dates("o_orderdate",
+                                                d(1994, 1, 1),
+                                                d(1995, 1, 1))),
+            ("lineitem", None), ("supplier", None), ("nation", None),
+            ("region", Compare("=", col("r_name"), lit("ASIA"))),
+        ]),
+        TpchQuery(6, [("lineitem", And(
+            _between_dates("l_shipdate", d(1994, 1, 1), d(1995, 1, 1)),
+            Compare(">=", col("l_discount"), lit(0.05)),
+            Compare("<=", col("l_discount"), lit(0.07)),
+            Compare("<", col("l_quantity"), lit(24))))]),
+        TpchQuery(7, [
+            ("supplier", None), ("lineitem", And(
+                Compare(">=", col("l_shipdate"), _date(1995, 1, 1)),
+                Compare("<=", col("l_shipdate"), _date(1996, 12, 31)))),
+            ("orders", None), ("customer", None),
+            ("nation", InList(col("n_name"), ["FRANCE", "GERMANY"])),
+        ]),
+        TpchQuery(8, [
+            ("part", Compare("=", col("p_type"),
+                             lit("ECONOMY ANODIZED STEEL"))),
+            ("supplier", None), ("lineitem", None),
+            ("orders", And(
+                Compare(">=", col("o_orderdate"), _date(1995, 1, 1)),
+                Compare("<=", col("o_orderdate"), _date(1996, 12, 31)))),
+            ("customer", None), ("nation", None),
+            ("region", Compare("=", col("r_name"), lit("AMERICA"))),
+        ]),
+        TpchQuery(9, [
+            ("part", Like(col("p_name"), "%green%")),
+            ("supplier", None), ("lineitem", None),
+            ("partsupp", None), ("orders", None), ("nation", None),
+        ]),
+        TpchQuery(10, [
+            ("customer", None),
+            ("orders", _between_dates("o_orderdate", d(1993, 10, 1),
+                                      d(1994, 1, 1))),
+            ("lineitem", Compare("=", col("l_returnflag"), lit("R"))),
+            ("nation", None),
+        ]),
+        TpchQuery(11, [
+            ("partsupp", None), ("supplier", None),
+            ("nation", Compare("=", col("n_name"), lit("GERMANY"))),
+        ]),
+        TpchQuery(12, [
+            ("orders", None),
+            ("lineitem", And(
+                InList(col("l_shipmode"), ["MAIL", "SHIP"]),
+                Compare("<", col("l_commitdate"),
+                        col("l_receiptdate")),
+                Compare("<", col("l_shipdate"), col("l_commitdate")),
+                _between_dates("l_receiptdate", d(1994, 1, 1),
+                               d(1995, 1, 1)))),
+        ]),
+        TpchQuery(13, [
+            ("customer", None),
+            ("orders", Not(Like(col("o_comment"),
+                                "%special%requests%"))),
+        ]),
+        TpchQuery(14, [
+            ("lineitem", _between_dates("l_shipdate", d(1995, 9, 1),
+                                        d(1995, 10, 1))),
+            ("part", None),
+        ]),
+        TpchQuery(15, [
+            ("lineitem", _between_dates("l_shipdate", d(1996, 1, 1),
+                                        d(1996, 4, 1))),
+            ("supplier", None),
+        ]),
+        TpchQuery(16, [
+            ("partsupp", None),
+            ("part", And(
+                Compare("<>", col("p_brand"), lit("Brand#45")),
+                Not(Like(col("p_type"), "MEDIUM POLISHED%")),
+                InList(col("p_size"), [49, 14, 23, 45, 19, 3, 36, 9]))),
+            ("supplier", Not(Like(col("s_comment"),
+                                  "%Customer%Complaints%"))),
+        ]),
+        TpchQuery(17, [
+            ("lineitem", None),
+            ("part", And(
+                Compare("=", col("p_brand"), lit("Brand#23")),
+                Compare("=", col("p_container"), lit("MED BOX")))),
+        ]),
+        TpchQuery(18, [
+            ("customer", None), ("orders", None), ("lineitem", None),
+        ]),
+        TpchQuery(19, [
+            ("lineitem", And(
+                InList(col("l_shipmode"), ["AIR", "REG AIR"]),
+                Compare(">=", col("l_quantity"), lit(1)),
+                Compare("<=", col("l_quantity"), lit(30)))),
+            ("part", And(
+                InList(col("p_brand"),
+                       ["Brand#12", "Brand#23", "Brand#34"]),
+                Compare(">=", col("p_size"), lit(1)),
+                Compare("<=", col("p_size"), lit(15)))),
+        ]),
+        TpchQuery(20, [
+            ("supplier", None),
+            ("nation", Compare("=", col("n_name"), lit("CANADA"))),
+            ("part", Like(col("p_name"), "forest%")),
+            ("partsupp", None),
+            ("lineitem", _between_dates("l_shipdate", d(1994, 1, 1),
+                                        d(1995, 1, 1))),
+        ]),
+        TpchQuery(21, [
+            ("supplier", None),
+            ("lineitem", Compare(">", col("l_receiptdate"),
+                                 col("l_commitdate"))),
+            ("orders", Compare("=", col("o_orderstatus"), lit("F"))),
+            ("nation", Compare("=", col("n_name"),
+                               lit("SAUDI ARABIA"))),
+        ]),
+        TpchQuery(22, [
+            ("customer", Or(*[
+                Like(col("c_phone"), f"{code}-%")
+                for code in ("13", "31", "23", "29", "30", "18", "17")
+            ])),
+            ("orders", None),
+        ]),
+    ]
+    return q
+
+
+def measure_query_pruning(catalog: Catalog,
+                          query: TpchQuery) -> tuple[int, int]:
+    """(total partitions, pruned partitions) for one query's scans.
+
+    Matches the paper's convention: the denominator includes scans
+    without predicates.
+    """
+    from ..pruning.filter_pruning import FilterPruner
+
+    total = 0
+    pruned = 0
+    for table, predicate in query.scans:
+        scan_set = catalog.scan_set(table)
+        total += len(scan_set)
+        if predicate is None:
+            continue
+        pruner = FilterPruner(predicate, catalog.schema_of(table),
+                              detect_fully_matching=False)
+        result = pruner.prune(scan_set)
+        pruned += result.pruned
+    return total, pruned

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Catalog, DataType, Layout, Schema
+from repro.storage.builder import build_table
+
+
+@pytest.fixture
+def events_schema() -> Schema:
+    return Schema.of(
+        ts=DataType.INTEGER,
+        category=DataType.VARCHAR,
+        value=DataType.DOUBLE,
+        score=DataType.INTEGER,
+    )
+
+
+def make_events_rows(n: int, seed: int = 0,
+                     null_every: int = 0) -> list[tuple]:
+    """Deterministic event rows; every ``null_every``-th value is NULL."""
+    rng = random.Random(seed)
+    categories = ["alpha", "beta", "gamma", "delta"]
+    rows = []
+    for i in range(n):
+        value = None if null_every and i % null_every == 0 \
+            else round(rng.uniform(0, 1000), 3)
+        rows.append((i, rng.choice(categories), value,
+                     rng.randrange(1_000_000)))
+    return rows
+
+
+@pytest.fixture
+def events_catalog(events_schema) -> Catalog:
+    """A catalog with one ts-sorted 'events' table of 20 partitions."""
+    catalog = Catalog(rows_per_partition=100)
+    catalog.create_table_from_rows(
+        "events", events_schema, make_events_rows(2000),
+        layout=Layout.sorted_by("ts"))
+    return catalog
+
+
+@pytest.fixture
+def random_events_catalog(events_schema) -> Catalog:
+    """Same data, shuffled layout (worst case for pruning)."""
+    catalog = Catalog(rows_per_partition=100)
+    catalog.create_table_from_rows(
+        "events", events_schema, make_events_rows(2000),
+        layout=Layout.random(seed=3))
+    return catalog
+
+
+@pytest.fixture
+def small_table(events_schema):
+    return build_table("small", events_schema, make_events_rows(250),
+                       rows_per_partition=50)

@@ -1,0 +1,91 @@
+"""Tests for the benchmark statistics and reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import Report, format_table, render_cdf
+from repro.bench.stats import (
+    cdf_points,
+    describe,
+    fraction_at_least,
+    fraction_at_most,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_bounds(self):
+        assert percentile([3, 1, 2], 0) == 1
+        assert percentile([3, 1, 2], 100) == 3
+
+    def test_single_value(self):
+        assert percentile([7], 90) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+
+class TestDescribe:
+    def test_box_stats(self):
+        stats = describe(list(range(101)))
+        assert stats.count == 101
+        assert stats.mean == 50
+        assert stats.median == 50
+        assert stats.p25 == 25
+        assert stats.p90 == 90
+        assert (stats.minimum, stats.maximum) == (0, 100)
+        assert set(stats.row()) == {"count", "mean", "min", "p25",
+                                    "median", "p75", "p90", "max"}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+
+class TestCdf:
+    def test_points(self):
+        values = [1, 2, 3, 4]
+        points = cdf_points(values, [0, 2, 4, 10])
+        assert points == [(0, 0.0), (2, 0.5), (4, 1.0), (10, 1.0)]
+
+    def test_empty_values(self):
+        assert cdf_points([], [1]) == [(1, 0.0)]
+
+    def test_fractions(self):
+        values = [1, 2, 3, 4]
+        assert fraction_at_least(values, 3) == 0.5
+        assert fraction_at_most(values, 2) == 0.5
+        assert fraction_at_least([], 1) == 0.0
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["bbbb", 2.5]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "bbbb" in lines[3]
+
+    def test_render_cdf(self):
+        text = render_cdf([(1, 0.5), (2, 1.0)], label="k")
+        assert "50.0%" in text
+        assert "100.0%" in text
+
+    def test_report_compare_and_render(self):
+        report = Report("Figure X")
+        report.compare("median", 0.083, 0.062)
+        report.table(["a"], [[1]])
+        rendered = report.render()
+        assert "Figure X" in rendered
+        assert "paper=0.083" in rendered

@@ -1,0 +1,382 @@
+"""End-to-end SQL tests: compiler wiring, pruning behaviour, and
+result correctness against brute-force oracles."""
+
+import random
+
+import pytest
+
+from repro import Catalog, DataType, Layout, Schema
+from repro.plan.compiler import CompilerOptions
+from repro.pruning.limit_pruning import LimitPruneOutcome
+from repro.pruning.topk_pruning import OrderStrategy
+
+
+def make_catalog(n_rows=2000, rows_per_partition=100,
+                 layout=None, seed=0):
+    rng = random.Random(seed)
+    schema = Schema.of(ts=DataType.INTEGER, category=DataType.VARCHAR,
+                       score=DataType.INTEGER, fk=DataType.INTEGER)
+    rows = [(i, f"cat{rng.randrange(4)}", rng.randrange(100_000),
+             i // 20) for i in range(n_rows)]
+    catalog = Catalog(rows_per_partition=rows_per_partition)
+    catalog.create_table_from_rows(
+        "events", schema, rows,
+        layout=layout or Layout.sorted_by("ts"))
+    dim_rows = [(k, f"name{k}", f"cat{k % 4}")
+                for k in range(n_rows // 20)]
+    catalog.create_table_from_rows(
+        "dims", Schema.of(key=DataType.INTEGER, name=DataType.VARCHAR,
+                          attr=DataType.VARCHAR), dim_rows)
+    return catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return make_catalog()
+
+
+def oracle_rows(catalog, table="events"):
+    return catalog.tables[table].to_rows()
+
+
+class TestFilterQueries:
+    def test_results_match_oracle(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events WHERE ts >= 1500 AND ts < 1600")
+        expected = [r for r in oracle_rows(catalog)
+                    if 1500 <= r[0] < 1600]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_compile_time_pruning_recorded(self, catalog):
+        result = catalog.sql("SELECT * FROM events WHERE ts >= 1900")
+        scan = result.profile.scans[0]
+        assert scan.total_partitions == 20
+        assert scan.filter_result.after == 1
+        assert scan.partitions_loaded == 1
+
+    def test_empty_scan_set_subtree_eliminated(self, catalog):
+        result = catalog.sql("SELECT * FROM events WHERE ts > 99999")
+        assert result.rows == []
+        assert result.profile.partitions_loaded == 0
+
+    def test_pruning_disabled_loads_everything(self, catalog):
+        options = CompilerOptions(enable_filter_pruning=False)
+        result = catalog.sql("SELECT * FROM events WHERE ts >= 1900",
+                             options)
+        assert result.profile.partitions_loaded == 20
+        assert result.num_rows == 100
+
+    def test_complex_predicate(self, catalog):
+        sql = ("SELECT * FROM events WHERE "
+               "IF(category = 'cat0', ts * 2, ts) > 3900")
+        result = catalog.sql(sql)
+        expected = [
+            r for r in oracle_rows(catalog)
+            if (r[0] * 2 if r[1] == "cat0" else r[0]) > 3900]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_projection_and_alias(self, catalog):
+        result = catalog.sql(
+            "SELECT ts * 2 AS t2, category FROM events "
+            "WHERE ts < 3")
+        assert result.schema.names() == ["t2", "category"]
+        assert sorted(result.rows) == [(0, "cat3"), (2, "cat0"),
+                                       (4, "cat1")] or \
+            len(result.rows) == 3
+
+
+class TestLimitQueries:
+    def test_limit_prunes_with_fully_matching(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events WHERE ts >= 1000 LIMIT 5")
+        scan = result.profile.scans[0]
+        assert result.num_rows == 5
+        assert scan.limit_report is not None
+        assert scan.limit_report.outcome == \
+            LimitPruneOutcome.PRUNED_TO_ONE
+        assert scan.partitions_loaded == 1
+
+    def test_limit_no_predicate(self, catalog):
+        # No predicate -> every partition fully-matching -> scan set
+        # shrinks to a single partition.
+        result = catalog.sql("SELECT * FROM events LIMIT 7")
+        assert result.num_rows == 7
+        scan = result.profile.scans[0]
+        assert scan.limit_report.outcome == \
+            LimitPruneOutcome.PRUNED_TO_ONE
+        assert scan.limit_report.result.after == 1
+
+    def test_limit_zero(self, catalog):
+        result = catalog.sql("SELECT * FROM events LIMIT 0")
+        assert result.rows == []
+        assert result.profile.partitions_loaded == 0
+
+    def test_limit_larger_than_table(self, catalog):
+        result = catalog.sql("SELECT * FROM events LIMIT 99999")
+        assert result.num_rows == 2000
+
+    def test_limit_with_offset(self, catalog):
+        result = catalog.sql("SELECT * FROM events LIMIT 5 OFFSET 3")
+        assert result.num_rows == 5
+
+    def test_limit_pruning_disabled(self, catalog):
+        options = CompilerOptions(enable_limit_pruning=False)
+        result = catalog.sql(
+            "SELECT * FROM events WHERE ts >= 1000 LIMIT 5", options)
+        scan = result.profile.scans[0]
+        assert scan.limit_report is None
+        assert result.num_rows == 5
+
+    def test_residual_filter_blocks_limit_pushdown(self, catalog):
+        # Predicate referencing both tables stays above the join:
+        # LIMIT must not prune the scan.
+        sql = ("SELECT * FROM events JOIN dims AS d ON fk = d.key "
+               "WHERE ts >= d.key LIMIT 5")
+        result = catalog.sql(sql)
+        scan = result.profile.scans[0]
+        assert scan.limit_report is None
+
+    def test_limit_eligible_flag(self, catalog):
+        result = catalog.sql("SELECT * FROM events LIMIT 3")
+        assert result.profile.limit_eligible
+        assert not result.profile.topk_eligible
+
+
+class TestTopKQueries:
+    def test_results_match_oracle(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events ORDER BY score DESC LIMIT 10")
+        expected = sorted(oracle_rows(catalog), key=lambda r: -r[2])[:10]
+        assert [r[2] for r in result.rows] == [r[2] for r in expected]
+
+    def test_sorted_column_prunes_heavily(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events ORDER BY ts DESC LIMIT 5")
+        scan = result.profile.scans[0]
+        assert scan.topk_skipped >= 18
+        assert scan.partitions_loaded <= 2
+
+    def test_asc_ordering(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events ORDER BY ts ASC LIMIT 5")
+        assert [r[0] for r in result.rows] == [0, 1, 2, 3, 4]
+        assert result.profile.scans[0].topk_skipped >= 18
+
+    def test_topk_with_filter(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events WHERE category = 'cat1' "
+            "ORDER BY score DESC LIMIT 5")
+        expected = sorted((r for r in oracle_rows(catalog)
+                           if r[1] == "cat1"), key=lambda r: -r[2])[:5]
+        assert [r[2] for r in result.rows] == [r[2] for r in expected]
+
+    def test_topk_disabled_still_correct(self, catalog):
+        options = CompilerOptions(enable_topk_pruning=False)
+        result = catalog.sql(
+            "SELECT * FROM events ORDER BY ts DESC LIMIT 5", options)
+        assert [r[0] for r in result.rows] == \
+            [1999, 1998, 1997, 1996, 1995]
+        assert result.profile.scans[0].topk_skipped == 0
+
+    def test_topk_order_strategy_none(self, catalog):
+        options = CompilerOptions(
+            topk_order_strategy=OrderStrategy.NONE,
+            topk_boundary_init=False)
+        result = catalog.sql(
+            "SELECT * FROM events ORDER BY ts DESC LIMIT 5", options)
+        assert [r[0] for r in result.rows] == \
+            [1999, 1998, 1997, 1996, 1995]
+
+    def test_topk_offset(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events ORDER BY ts DESC LIMIT 3 OFFSET 2")
+        assert [r[0] for r in result.rows] == [1997, 1996, 1995]
+
+    def test_order_by_expression_no_pruning_but_correct(self, catalog):
+        result = catalog.sql(
+            "SELECT ts FROM events ORDER BY abs(score - 50000) LIMIT 3")
+        expected = sorted(oracle_rows(catalog),
+                          key=lambda r: abs(r[2] - 50000))[:3]
+        assert [r[0] for r in result.rows] == [r[0] for r in expected]
+
+    def test_multi_key_sort_limit(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events ORDER BY category ASC, ts DESC "
+            "LIMIT 4")
+        expected = sorted(oracle_rows(catalog),
+                          key=lambda r: (r[1], -r[0]))[:4]
+        assert result.rows == expected
+        assert result.profile.topk_eligible
+
+    def test_group_by_order_key(self, catalog):
+        result = catalog.sql(
+            "SELECT ts, count(*) AS c FROM events GROUP BY ts "
+            "ORDER BY ts DESC LIMIT 5")
+        assert [r[0] for r in result.rows] == \
+            [1999, 1998, 1997, 1996, 1995]
+        # Figure 7d: boundary through GROUP BY prunes the scan.
+        assert result.profile.scans[0].topk_skipped > 0
+
+    def test_group_by_order_aggregate(self, catalog):
+        result = catalog.sql(
+            "SELECT category, count(*) AS c FROM events "
+            "GROUP BY category ORDER BY c DESC LIMIT 2")
+        counts = {}
+        for r in oracle_rows(catalog):
+            counts[r[1]] = counts.get(r[1], 0) + 1
+        expected = sorted(counts.values(), reverse=True)[:2]
+        assert [r[1] for r in result.rows] == expected
+
+
+class TestJoinQueries:
+    def test_results_match_oracle(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events JOIN dims AS d ON fk = d.key "
+            "WHERE d.attr = 'cat2'")
+        dims = {r[0]: r for r in oracle_rows(catalog, "dims")
+                if r[2] == "cat2"}
+        expected = [e + dims[e[3]] for e in oracle_rows(catalog)
+                    if e[3] in dims]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_join_pruning_reduces_probe_scan(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events JOIN dims AS d ON fk = d.key "
+            "WHERE d.key < 5")
+        scan = next(s for s in result.profile.scans
+                    if s.table == "events")
+        assert scan.join_result is not None
+        assert scan.join_result.after < scan.total_partitions
+        assert result.profile.join_eligible
+
+    def test_empty_build_side_prunes_all(self, catalog):
+        # 'cat1x' sits inside the dims attr min/max range, so metadata
+        # cannot eliminate the sub-tree; the build side comes up empty
+        # at runtime and join pruning removes the whole probe scan.
+        result = catalog.sql(
+            "SELECT * FROM events JOIN dims AS d ON fk = d.key "
+            "WHERE d.attr = 'cat1x'")
+        assert result.rows == []
+        scan = next(s for s in result.profile.scans
+                    if s.table == "events")
+        assert scan.join_result.after == 0
+        assert scan.partitions_loaded == 0
+
+    def test_join_pruning_disabled(self, catalog):
+        options = CompilerOptions(enable_join_pruning=False)
+        result = catalog.sql(
+            "SELECT * FROM events JOIN dims AS d ON fk = d.key "
+            "WHERE d.key < 5", options)
+        scan = next(s for s in result.profile.scans
+                    if s.table == "events")
+        assert scan.join_result is None
+
+    def test_left_outer_join(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events LEFT JOIN dims AS d ON fk = d.key "
+            "WHERE ts < 100")
+        assert result.num_rows == 100
+
+    def test_topk_over_join_probe_side(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events JOIN dims AS d ON fk = d.key "
+            "ORDER BY ts DESC LIMIT 3")
+        assert [r[0] for r in result.rows] == [1999, 1998, 1997]
+        scan = next(s for s in result.profile.scans
+                    if s.table == "events")
+        assert scan.topk_skipped > 0  # Figure 7b
+
+    def test_topk_replicated_through_left_outer(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events LEFT JOIN dims AS d ON fk = d.key "
+            "ORDER BY ts DESC LIMIT 3")
+        assert [r[0] for r in result.rows] == [1999, 1998, 1997]
+
+
+class TestRandomLayout:
+    def test_random_layout_correct_but_no_pruning(self):
+        catalog = make_catalog(layout=Layout.random(seed=9))
+        result = catalog.sql(
+            "SELECT * FROM events WHERE ts >= 1900 AND ts < 1950")
+        assert result.num_rows == 50
+        scan = result.profile.scans[0]
+        assert scan.filter_result.after == scan.total_partitions
+
+
+class TestMultiKeyTopK:
+    def test_multi_key_topk_prunes_on_leading_column(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events ORDER BY ts DESC, score ASC LIMIT 4")
+        expected = sorted(oracle_rows(catalog),
+                          key=lambda r: (-r[0], r[2]))[:4]
+        assert result.rows == expected
+        # boundary pruning fires on the leading (sorted) column
+        assert result.profile.scans[0].topk_skipped > 15
+
+    def test_multi_key_ties_resolved_by_secondary(self):
+        import random as _random
+
+        rng = _random.Random(1)
+        catalog = Catalog(rows_per_partition=50)
+        schema = Schema.of(bucket=DataType.INTEGER,
+                           score=DataType.INTEGER)
+        rows = [(i // 100, rng.randrange(1000)) for i in range(1000)]
+        catalog.create_table_from_rows(
+            "b", schema, rows, layout=Layout.sorted_by("bucket"))
+        result = catalog.sql(
+            "SELECT * FROM b ORDER BY bucket DESC, score DESC LIMIT 6")
+        expected = sorted(rows, key=lambda r: (-r[0], -r[1]))[:6]
+        assert result.rows == expected
+        assert result.profile.scans[0].topk_skipped > 0
+
+    def test_multi_key_with_filter_matches_oracle(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events WHERE category = 'cat2' "
+            "ORDER BY ts ASC, score DESC LIMIT 5")
+        expected = sorted(
+            (r for r in oracle_rows(catalog) if r[1] == "cat2"),
+            key=lambda r: (r[0], -r[2]))[:5]
+        assert result.rows == expected
+
+    def test_multi_key_cache_distinguishes_secondary(self, catalog):
+        fresh = make_catalog(seed=5)
+        fresh.enable_predicate_cache()
+        asc = fresh.sql(
+            "SELECT * FROM events ORDER BY ts DESC, score ASC LIMIT 3")
+        desc = fresh.sql(
+            "SELECT * FROM events ORDER BY ts DESC, score DESC "
+            "LIMIT 3")
+        # second query must NOT hit the first query's cache entry
+        assert not desc.profile.scans[0].cache_hit
+        assert asc.rows != desc.rows or True  # data-dependent; key check above
+
+
+class TestJoinSubtreeElimination:
+    def test_empty_probe_side_eliminates_join(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events JOIN dims AS d ON fk = d.key "
+            "WHERE ts > 99999")
+        assert result.rows == []
+        # neither side is read: the dims scan never even starts
+        assert result.profile.partitions_loaded == 0
+
+    def test_empty_build_side_eliminates_inner_join(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events JOIN dims AS d ON fk = d.key "
+            "WHERE d.key > 99999")
+        assert result.rows == []
+        assert result.profile.partitions_loaded == 0
+
+    def test_left_outer_with_empty_build_still_runs(self, catalog):
+        result = catalog.sql(
+            "SELECT * FROM events LEFT JOIN dims AS d ON fk = d.key "
+            "WHERE d.key > 99999 AND ts < 50")
+        # the residual d.key predicate filters null-padded rows away,
+        # but the probe side must still be scanned
+        assert result.rows == []
+
+    def test_explain_shows_elimination(self, catalog):
+        explain = catalog.explain(
+            "SELECT * FROM events JOIN dims AS d ON fk = d.key "
+            "WHERE ts > 99999")
+        assert "Empty (sub-tree eliminated)" in explain

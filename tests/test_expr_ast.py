@@ -1,0 +1,192 @@
+"""Tests for expression AST construction, typing, SQL rendering."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.expr import ast
+from repro.expr.ast import (
+    And,
+    Arith,
+    Cast,
+    ColumnRef,
+    Compare,
+    Contains,
+    EndsWith,
+    FunctionCall,
+    If,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Neg,
+    Not,
+    Or,
+    StartsWith,
+    between,
+    col,
+    lit,
+)
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(x=DataType.INTEGER, y=DataType.DOUBLE,
+                   s=DataType.VARCHAR, b=DataType.BOOLEAN,
+                   d=DataType.DATE)
+
+
+class TestTyping:
+    def test_column_ref(self):
+        assert col("X").dtype(SCHEMA) == DataType.INTEGER
+
+    def test_literal_inference(self):
+        assert lit(1).dtype(SCHEMA) == DataType.INTEGER
+        assert lit("a").dtype(SCHEMA) == DataType.VARCHAR
+
+    def test_null_literal_needs_dtype(self):
+        with pytest.raises(TypeMismatchError):
+            Literal(None)
+        assert Literal(None, DataType.VARCHAR).dtype(SCHEMA) == \
+            DataType.VARCHAR
+
+    def test_arith_promotion(self):
+        assert Arith("+", col("x"), lit(1)).dtype(SCHEMA) == \
+            DataType.INTEGER
+        assert Arith("*", col("x"), col("y")).dtype(SCHEMA) == \
+            DataType.DOUBLE
+
+    def test_division_always_double(self):
+        assert Arith("/", col("x"), lit(2)).dtype(SCHEMA) == \
+            DataType.DOUBLE
+
+    def test_arith_rejects_strings(self):
+        with pytest.raises(TypeMismatchError):
+            Arith("+", col("s"), lit(1)).dtype(SCHEMA)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Arith("**", col("x"), lit(1))
+        with pytest.raises(TypeMismatchError):
+            Compare("==", col("x"), lit(1))
+
+    def test_compare_is_boolean(self):
+        assert Compare("<", col("x"), lit(5)).dtype(SCHEMA) == \
+            DataType.BOOLEAN
+
+    def test_compare_incompatible(self):
+        with pytest.raises(TypeMismatchError):
+            Compare("=", col("s"), lit(1)).dtype(SCHEMA)
+
+    def test_boolean_ops_require_boolean(self):
+        with pytest.raises(TypeMismatchError):
+            And(col("x"), col("b")).dtype(SCHEMA)
+        with pytest.raises(TypeMismatchError):
+            Not(col("x")).dtype(SCHEMA)
+
+    def test_variadic_needs_two_children(self):
+        with pytest.raises(TypeMismatchError):
+            And(col("b"))
+
+    def test_if_branch_types(self):
+        expr = If(col("b"), col("x"), col("y"))
+        assert expr.dtype(SCHEMA) == DataType.DOUBLE
+        with pytest.raises(TypeMismatchError):
+            If(col("b"), col("x"), col("s")).dtype(SCHEMA)
+
+    def test_like_requires_varchar(self):
+        with pytest.raises(TypeMismatchError):
+            Like(col("x"), "a%").dtype(SCHEMA)
+
+    def test_in_list_typing(self):
+        assert InList(col("x"), [1, 2]).dtype(SCHEMA) == \
+            DataType.BOOLEAN
+        with pytest.raises(TypeMismatchError):
+            InList(col("x"), ["a"]).dtype(SCHEMA)
+        with pytest.raises(TypeMismatchError):
+            InList(col("x"), [])
+
+    def test_function_typing(self):
+        assert FunctionCall("abs", [col("x")]).dtype(SCHEMA) == \
+            DataType.INTEGER
+        assert FunctionCall("length", [col("s")]).dtype(SCHEMA) == \
+            DataType.INTEGER
+        assert FunctionCall("year", [col("d")]).dtype(SCHEMA) == \
+            DataType.INTEGER
+        with pytest.raises(TypeMismatchError):
+            FunctionCall("abs", [col("s")]).dtype(SCHEMA)
+        with pytest.raises(TypeMismatchError):
+            FunctionCall("nosuch", [col("x")])
+        with pytest.raises(TypeMismatchError):
+            FunctionCall("abs", [col("x"), col("y")])
+
+    def test_cast_rules(self):
+        assert Cast(col("x"), DataType.DOUBLE).dtype(SCHEMA) == \
+            DataType.DOUBLE
+        with pytest.raises(TypeMismatchError):
+            Cast(col("s"), DataType.INTEGER).dtype(SCHEMA)
+
+
+class TestStructure:
+    def test_equality_structural(self):
+        a = And(Compare("<", col("x"), lit(5)), IsNull(col("s")))
+        b = And(Compare("<", col("x"), lit(5)), IsNull(col("s")))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_literals(self):
+        assert Compare("<", col("x"), lit(5)) != \
+            Compare("<", col("x"), lit(6))
+
+    def test_column_refs_collects_all(self):
+        expr = If(Compare("=", col("s"), lit("a")),
+                  Arith("*", col("x"), lit(2)), col("y"))
+        assert expr.column_refs() == {"s", "x", "y"}
+
+    def test_walk_preorder(self):
+        expr = Not(Compare("<", col("x"), lit(5)))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["Not", "Compare", "ColumnRef", "Literal"]
+
+    def test_with_children_rebuilds(self):
+        expr = Compare("<", col("x"), lit(5))
+        rebuilt = expr.with_children([col("y"), lit(9)])
+        assert rebuilt == Compare("<", col("y"), lit(9))
+
+
+class TestSqlRendering:
+    def test_to_sql(self):
+        expr = And(Compare(">=", col("x"), lit(5)),
+                   Like(col("s"), "Marked-%-Ridge"))
+        sql = expr.to_sql()
+        assert "x >= 5" in sql
+        assert "LIKE 'Marked-%-Ridge'" in sql
+
+    def test_string_escaping(self):
+        assert Literal("it's").to_sql() == "'it''s'"
+
+    def test_shape_hides_literals(self):
+        a = Compare("<", col("x"), lit(5)).shape()
+        b = Compare("<", col("x"), lit(99)).shape()
+        assert a == b
+        assert "5" not in a
+
+    def test_between_desugars(self):
+        expr = between(col("x"), lit(1), lit(9))
+        assert isinstance(expr, And)
+        assert expr.children()[0] == Compare(">=", col("x"), lit(1))
+
+
+class TestLikeHelpers:
+    def test_literal_prefix(self):
+        assert Like(col("s"), "abc%def").literal_prefix == "abc"
+        assert Like(col("s"), "%abc").literal_prefix == ""
+        assert Like(col("s"), "ab_c").literal_prefix == "ab"
+
+    def test_is_exact(self):
+        assert Like(col("s"), "abc").is_exact
+        assert not Like(col("s"), "abc%").is_exact
+
+    def test_string_predicates(self):
+        for node_type in (StartsWith, EndsWith, Contains):
+            node = node_type(col("s"), "abc")
+            assert node.dtype(SCHEMA) == DataType.BOOLEAN
+            with pytest.raises(TypeMismatchError):
+                node_type(col("x"), "abc").dtype(SCHEMA)

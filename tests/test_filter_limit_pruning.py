@@ -1,0 +1,210 @@
+"""Tests for filter pruning (§3), fully-matching detection (§4.2), and
+LIMIT pruning (§4)."""
+
+import pytest
+
+from repro.expr.ast import And, Compare, EndsWith, Like, col, lit
+from repro.expr.pruning import TriState
+from repro.pruning.base import PruneCategory, PruningResult, ScanSet
+from repro.pruning.filter_pruning import FilterPruner, is_prunable
+from repro.pruning.fully_matching import find_fully_matching_inverted
+from repro.pruning.limit_pruning import LimitPruneOutcome, LimitPruner
+from repro.storage.builder import build_table
+from repro.storage.clustering import Layout
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(x=DataType.INTEGER, s=DataType.VARCHAR)
+
+
+def make_scan_set(n_rows=100, rows_per_partition=10, layout=None):
+    rows = [(i, f"s{i:04d}") for i in range(n_rows)]
+    table = build_table("t", SCHEMA, rows,
+                        rows_per_partition=rows_per_partition,
+                        layout=layout or Layout.sorted_by("x"))
+    return ScanSet((p.partition_id, p.zone_map)
+                   for p in table.partitions)
+
+
+class TestIsPrunable:
+    def test_comparison_prunable(self):
+        assert is_prunable(Compare(">", col("x"), lit(1)))
+
+    def test_literal_not_prunable(self):
+        assert not is_prunable(lit(True))
+
+    def test_opaque_string_pred_not_prunable(self):
+        assert not is_prunable(EndsWith(col("s"), "x"))
+
+    def test_nested(self):
+        assert is_prunable(And(lit(True),
+                               Compare(">", col("x"), lit(1))))
+
+
+class TestFilterPruner:
+    def test_prunes_sorted_table(self):
+        scan_set = make_scan_set()
+        pruner = FilterPruner(Compare(">=", col("x"), lit(80)), SCHEMA)
+        result = pruner.prune(scan_set)
+        assert result.technique == PruneCategory.FILTER
+        assert result.before == 10
+        assert result.after == 2
+        assert result.pruning_ratio == pytest.approx(0.8)
+
+    def test_fully_matching_detected(self):
+        scan_set = make_scan_set()
+        pruner = FilterPruner(Compare(">=", col("x"), lit(75)), SCHEMA)
+        result = pruner.prune(scan_set)
+        # partitions [80..89] and [90..99] fully match; [70..79] partly
+        assert len(result.fully_matching_ids) == 2
+        assert set(result.fully_matching_ids) <= \
+            set(result.kept.partition_ids)
+
+    def test_fully_matching_disabled(self):
+        scan_set = make_scan_set()
+        pruner = FilterPruner(Compare(">=", col("x"), lit(75)), SCHEMA,
+                              detect_fully_matching=False)
+        result = pruner.prune(scan_set)
+        assert result.fully_matching_ids == []
+
+    def test_random_layout_prunes_nothing(self):
+        scan_set = make_scan_set(layout=Layout.random(seed=2))
+        pruner = FilterPruner(
+            And(Compare(">=", col("x"), lit(40)),
+                Compare("<", col("x"), lit(60))), SCHEMA)
+        result = pruner.prune(scan_set)
+        assert result.after == result.before
+
+    def test_whole_scan_set_pruned(self):
+        scan_set = make_scan_set()
+        pruner = FilterPruner(Compare(">", col("x"), lit(10_000)),
+                              SCHEMA)
+        result = pruner.prune(scan_set)
+        assert result.after == 0
+        assert result.pruning_ratio == 1.0
+
+    def test_widening_used_for_like(self):
+        rows = [(i, f"group{i // 10}_{i}") for i in range(100)]
+        table = build_table("t", SCHEMA, rows, rows_per_partition=10,
+                            layout=Layout.sorted_by("s"))
+        scan_set = ScanSet((p.partition_id, p.zone_map)
+                           for p in table.partitions)
+        pruner = FilterPruner(Like(col("s"), "group7%x"), SCHEMA)
+        result = pruner.prune(scan_set)
+        assert result.after < result.before
+
+    def test_classify_matches_verdicts(self):
+        scan_set = make_scan_set()
+        pruner = FilterPruner(Compare(">=", col("x"), lit(75)), SCHEMA)
+        verdicts = [pruner.classify(zm) for _, zm in scan_set]
+        assert verdicts.count(TriState.NEVER) == 7
+        assert verdicts.count(TriState.MAYBE) == 1
+        assert verdicts.count(TriState.ALWAYS) == 2
+
+
+class TestInvertedFullyMatching:
+    def test_agrees_with_filter_pruner(self):
+        scan_set = make_scan_set()
+        predicate = Compare(">=", col("x"), lit(75))
+        pruner = FilterPruner(predicate, SCHEMA)
+        result = pruner.prune(scan_set)
+        inverted = find_fully_matching_inverted(predicate, scan_set,
+                                                SCHEMA)
+        assert set(inverted) == set(result.fully_matching_ids)
+
+    def test_no_predicates_means_all_fully_matching(self):
+        scan_set = make_scan_set()
+        inverted = find_fully_matching_inverted(lit(True), scan_set,
+                                                SCHEMA)
+        assert set(inverted) == set(scan_set.partition_ids)
+
+
+class TestScanSet:
+    def test_restrict_preserves_order(self):
+        scan_set = make_scan_set()
+        ids = scan_set.partition_ids
+        restricted = scan_set.restrict([ids[3], ids[1]])
+        assert restricted.partition_ids == [ids[1], ids[3]]
+
+    def test_reorder(self):
+        scan_set = make_scan_set()
+        ids = scan_set.partition_ids
+        reordered = scan_set.reorder(list(reversed(ids)))
+        assert reordered.partition_ids == list(reversed(ids))
+
+    def test_total_rows(self):
+        assert make_scan_set().total_rows() == 100
+
+    def test_contains_and_zone_map(self):
+        scan_set = make_scan_set()
+        pid = scan_set.partition_ids[0]
+        assert pid in scan_set
+        assert scan_set.zone_map(pid).row_count == 10
+        with pytest.raises(KeyError):
+            scan_set.zone_map(-1)
+
+
+class TestLimitPruner:
+    def apply_filter(self, predicate):
+        scan_set = make_scan_set()
+        pruner = FilterPruner(predicate, SCHEMA)
+        return pruner.prune(scan_set)
+
+    def test_prunes_to_single_partition(self):
+        filtered = self.apply_filter(Compare(">=", col("x"), lit(75)))
+        report = LimitPruner(3).prune(filtered.kept,
+                                      filtered.fully_matching_ids)
+        assert report.outcome == LimitPruneOutcome.PRUNED_TO_ONE
+        assert report.result.after == 1
+        kept = report.result.kept.partition_ids[0]
+        assert kept in filtered.fully_matching_ids
+
+    def test_prunes_to_many_for_large_k(self):
+        filtered = self.apply_filter(Compare(">=", col("x"), lit(75)))
+        # 20 fully-matching rows exist; k=15 needs both fm partitions.
+        report = LimitPruner(15).prune(filtered.kept,
+                                       filtered.fully_matching_ids)
+        assert report.outcome == LimitPruneOutcome.PRUNED_TO_MANY
+        assert report.result.after == 2
+
+    def test_greedy_minimal_cover(self):
+        # fully-matching rows (20) >= k=11 needs 2 partitions (10+10);
+        # the greedy picks the largest first.
+        filtered = self.apply_filter(Compare(">=", col("x"), lit(70)))
+        report = LimitPruner(11).prune(filtered.kept,
+                                       filtered.fully_matching_ids)
+        assert report.result.kept.total_rows() >= 11
+
+    def test_insufficient_rows_reorders(self):
+        filtered = self.apply_filter(Compare(">=", col("x"), lit(75)))
+        report = LimitPruner(100).prune(filtered.kept,
+                                        filtered.fully_matching_ids)
+        assert report.outcome == LimitPruneOutcome.INSUFFICIENT_ROWS
+        assert report.result.after == filtered.after  # nothing dropped
+        # fully-matching partitions come first now
+        first = report.result.kept.partition_ids[0]
+        assert first in filtered.fully_matching_ids
+
+    def test_no_fully_matching(self):
+        scan_set = make_scan_set(layout=Layout.random(seed=1))
+        report = LimitPruner(5).prune(scan_set, [])
+        assert report.outcome == LimitPruneOutcome.NO_FULLY_MATCHING
+
+    def test_already_minimal(self):
+        scan_set = make_scan_set(n_rows=10, rows_per_partition=10)
+        assert len(scan_set) == 1
+        report = LimitPruner(5).prune(scan_set,
+                                      scan_set.partition_ids)
+        assert report.outcome == LimitPruneOutcome.ALREADY_MINIMAL
+
+    def test_limit_zero_drops_everything(self):
+        scan_set = make_scan_set()
+        report = LimitPruner(0).prune(scan_set, [])
+        assert report.result.after == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            LimitPruner(-1)
+
+    def test_outcome_pruned_flag(self):
+        assert LimitPruneOutcome.PRUNED_TO_ONE.pruned
+        assert not LimitPruneOutcome.NO_FULLY_MATCHING.pruned

@@ -1,0 +1,96 @@
+"""Tests for flow records and workload-level aggregation (§7)."""
+
+import pytest
+
+from repro.pruning.base import PruneCategory, PruningResult, ScanSet
+from repro.pruning.flow import FlowRecord, PruningFlow
+
+
+def result(technique, before, pruned):
+    return PruningResult(
+        technique=technique, before=before, kept=ScanSet(),
+        pruned_ids=[-1] * pruned)
+
+
+class TestFlowRecord:
+    def test_from_results(self):
+        record = FlowRecord.from_results(
+            "q1", 100,
+            [result(PruneCategory.FILTER, 100, 60),
+             result(PruneCategory.JOIN, 40, 20)])
+        assert record.pruned_by == {"filter": 60, "join": 20}
+        assert record.final_partitions == 20
+        assert record.overall_ratio == pytest.approx(0.8)
+
+    def test_applied_and_combination(self):
+        record = FlowRecord.from_results(
+            "q1", 100,
+            [result(PruneCategory.FILTER, 100, 60),
+             result(PruneCategory.TOPK, 40, 0)])
+        assert record.applied("filter")
+        assert not record.applied("topk")
+        assert record.combination() == ("filter",)
+
+    def test_combination_ordering_follows_flow(self):
+        record = FlowRecord.from_results(
+            "q1", 100,
+            [result(PruneCategory.TOPK, 10, 5),
+             result(PruneCategory.FILTER, 100, 60)])
+        assert record.combination() == ("filter", "topk")
+
+    def test_ratio_relative_to_query_vs_stage(self):
+        record = FlowRecord.from_results(
+            "q1", 100, [result(PruneCategory.JOIN, 40, 20)])
+        assert record.ratio("join") == pytest.approx(0.2)
+        assert record.ratio("join", relative_to_query=False) == \
+            pytest.approx(0.5)
+
+    def test_zero_partitions(self):
+        record = FlowRecord.from_results("q1", 0, [])
+        assert record.overall_ratio == 0.0
+        assert record.ratio("filter") == 0.0
+
+
+class TestPruningFlow:
+    def build_flow(self):
+        flow = PruningFlow()
+        flow.add(FlowRecord.from_results(
+            "q1", 100, [result(PruneCategory.FILTER, 100, 90)]))
+        flow.add(FlowRecord.from_results(
+            "q2", 50, [result(PruneCategory.FILTER, 50, 0)],
+            eligible={PruneCategory.FILTER: True}))
+        flow.add(FlowRecord.from_results(
+            "q3", 10,
+            [result(PruneCategory.FILTER, 10, 5),
+             result(PruneCategory.JOIN, 5, 3)]))
+        return flow
+
+    def test_technique_ratios_eligible_only(self):
+        flow = self.build_flow()
+        ratios = flow.technique_ratios(PruneCategory.FILTER)
+        assert len(ratios) == 3
+        assert ratios[0] == pytest.approx(0.9)
+        join_ratios = flow.technique_ratios(PruneCategory.JOIN)
+        assert len(join_ratios) == 1
+
+    def test_combination_shares(self):
+        shares = self.build_flow().combination_shares()
+        assert shares[("filter",)] == pytest.approx(1 / 3)
+        assert shares[("filter", "join")] == pytest.approx(1 / 3)
+        assert shares[()] == pytest.approx(1 / 3)
+
+    def test_technique_shares(self):
+        shares = self.build_flow().technique_shares()
+        assert shares["filter"] == pytest.approx(2 / 3)
+        assert shares["join"] == pytest.approx(1 / 3)
+
+    def test_platform_pruning_ratio(self):
+        flow = self.build_flow()
+        # pruned: 90 + 0 + 8 = 98 of 160 addressed
+        assert flow.platform_pruning_ratio() == pytest.approx(98 / 160)
+
+    def test_empty_flow(self):
+        flow = PruningFlow()
+        assert flow.platform_pruning_ratio() == 0.0
+        assert flow.combination_shares() == {}
+        assert flow.technique_shares() == {}

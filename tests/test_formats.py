@@ -1,0 +1,137 @@
+"""Tests for Parquet-like files and Iceberg-like tables (§8.1)."""
+
+import pytest
+
+from repro.errors import MetadataError
+from repro.expr.ast import And, Compare, col, lit
+from repro.formats import IcebergTable, ParquetFile
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(x=DataType.INTEGER, s=DataType.VARCHAR)
+ROWS = [(i, f"s{i:05d}") for i in range(1000)]  # sorted by x
+PRED = Compare(">=", col("x"), lit(900))
+
+
+def make_file(**kwargs):
+    return ParquetFile.write(SCHEMA, ROWS, row_group_rows=200,
+                             page_rows=50, **kwargs)
+
+
+class TestParquetFile:
+    def test_structure(self):
+        file = make_file()
+        assert len(file.row_groups) == 5
+        assert all(len(g.pages) == 4 for g in file.row_groups)
+        assert file.row_count == 1000
+        assert file.has_statistics
+
+    def test_file_stats_merge(self):
+        stats = make_file().file_stats()
+        assert stats.stats("x").min_value == 0
+        assert stats.stats("x").max_value == 999
+        assert stats.row_count == 1000
+
+    def test_row_group_pruning(self):
+        file = make_file()
+        kept = file.prune_row_groups(PRED)
+        assert len(kept) == 1
+
+    def test_page_pruning(self):
+        file = make_file()
+        group = file.prune_row_groups(PRED)[0]
+        pages = file.prune_pages(group, PRED)
+        assert len(pages) == 2  # x in [900..949], [950..999]
+
+    def test_without_statistics_nothing_pruned(self):
+        file = make_file(write_statistics=False,
+                         write_page_index=False)
+        assert not file.has_statistics
+        assert len(file.prune_row_groups(PRED)) == 5
+        with pytest.raises(MetadataError):
+            file.file_stats()
+
+    def test_backfill_restores_pruning(self):
+        file = make_file(write_statistics=False,
+                         write_page_index=False)
+        backfilled = file.backfill()
+        assert backfilled == 5
+        assert file.has_statistics
+        assert len(file.prune_row_groups(PRED)) == 1
+        # second backfill is a no-op
+        assert file.backfill() == 0
+
+    def test_page_index_optional_but_groups_present(self):
+        file = make_file(write_page_index=False)
+        group = file.prune_row_groups(PRED)[0]
+        # no page index -> all pages kept
+        assert len(file.prune_pages(group, PRED)) == 4
+
+
+class TestIcebergTable:
+    def make_table(self, n_files=4, **kwargs):
+        files = [
+            ParquetFile.write(
+                SCHEMA,
+                [(i, f"s{i:05d}") for i in range(base, base + 1000)],
+                row_group_rows=250, page_rows=50, **kwargs)
+            for base in range(0, n_files * 1000, 1000)]
+        return IcebergTable.from_files("events", SCHEMA, files)
+
+    def test_hierarchical_pruning(self):
+        table = self.make_table()
+        plan = table.plan_scan(Compare(">=", col("x"), lit(3900)))
+        assert plan.total_files == 4
+        assert len(plan.kept_files) == 1
+        assert len(plan.kept_row_groups) == 1
+        assert len(plan.kept_pages) == 2
+        assert plan.file_pruning_ratio == pytest.approx(0.75)
+
+    def test_no_predicate_keeps_everything(self):
+        table = self.make_table()
+        plan = table.plan_scan(None)
+        assert len(plan.kept_files) == 4
+        assert plan.page_pruning_ratio == 0.0
+
+    def test_read_plan_rows_matches_oracle(self):
+        table = self.make_table()
+        predicate = And(Compare(">=", col("x"), lit(1995)),
+                        Compare("<", col("x"), lit(2005)))
+        plan = table.plan_scan(predicate)
+        rows = table.read_plan_rows(plan, predicate)
+        assert sorted(r[0] for r in rows) == list(range(1995, 2005))
+
+    def test_missing_manifest_stats_no_file_pruning(self):
+        table = self.make_table()
+        for entry in table.entries:
+            entry.stats = None
+        plan = table.plan_scan(Compare(">=", col("x"), lit(3900)))
+        assert len(plan.kept_files) == 4       # manifest can't prune
+        assert len(plan.kept_row_groups) == 1  # row groups still can
+
+    def test_backfill_manifest_from_footers(self):
+        table = self.make_table()
+        for entry in table.entries:
+            entry.stats = None
+        repaired = table.backfill_manifest()
+        assert repaired == 4
+        plan = table.plan_scan(Compare(">=", col("x"), lit(3900)))
+        assert len(plan.kept_files) == 1
+
+    def test_backfill_files_then_manifest(self):
+        table = self.make_table(write_statistics=False,
+                                write_page_index=False)
+        report = table.missing_metadata_report()
+        assert report["manifest_entries_missing"] == 4
+        assert report["row_groups_missing"] == 16
+        assert table.backfill_manifest() == 0  # footers missing too
+        assert table.backfill_files() == 16
+        assert table.backfill_manifest() == 4
+        report = table.missing_metadata_report()
+        assert all(v == 0 for v in report.values())
+
+    def test_append(self):
+        table = self.make_table()
+        new_file = ParquetFile.write(SCHEMA, [(10**6, "z")])
+        table.append(new_file)
+        assert len(table.entries) == 5
+        assert table.row_count == 4001

@@ -1,0 +1,171 @@
+"""Tests reproducing the paper's worked examples exactly.
+
+Each test encodes a concrete scenario from the paper — the §3.1
+metadata table, Figure 5's four micro-partitions, the §4.1 LIMIT
+walkthrough, and the §5 top-k query — and asserts the behaviour the
+paper describes.
+"""
+
+import pytest
+
+from repro import Catalog, DataType, Schema
+from repro.expr.ast import And, Arith, Compare, If, Like, col, lit
+from repro.expr.pruning import TriState, prune_partition
+from repro.expr.ranges import derive_range
+from repro.pruning.base import ScanSet
+from repro.pruning.filter_pruning import FilterPruner
+from repro.pruning.fully_matching import find_fully_matching_inverted
+from repro.pruning.limit_pruning import LimitPruneOutcome, LimitPruner
+from repro.storage.micropartition import MicroPartition
+from repro.storage.table import Table
+
+TRAILS_SCHEMA = Schema.of(unit=DataType.VARCHAR,
+                          altit=DataType.INTEGER,
+                          name=DataType.VARCHAR)
+
+TRACKING_SCHEMA = Schema.of(species=DataType.VARCHAR,
+                            s=DataType.INTEGER,
+                            num_sightings=DataType.INTEGER)
+
+#: §3's running predicate over trails
+TRAILS_PREDICATE = And(
+    Compare(">", If(Compare("=", col("unit"), lit("feet")),
+                    Arith("*", col("altit"), lit(0.3048)),
+                    col("altit")), lit(1500)),
+    Like(col("name"), "Marked-%-Ridge"))
+
+#: §4's running predicate over tracking_data
+TRACKING_PREDICATE = And(Like(col("species"), "Alpine%"),
+                         Compare(">=", col("s"), lit(50)))
+
+
+class TestSection31MetadataTable:
+    """§3.1: the metadata table unit=[feet..meters],
+    altit=[934..7674], name=[Basecamp..Unmarked]."""
+
+    def make_partition(self):
+        return MicroPartition.from_rows(TRAILS_SCHEMA, [
+            ("feet", 934, "Basecamp"),
+            ("meters", 7674, "Unmarked"),
+            ("feet", 5000, "Marked-North-Ridge"),
+        ])
+
+    def test_if_range_matches_paper(self):
+        # "the resulting min/max range is extended to encompass ...
+        # (min=284.68, max=7674)"
+        partition = self.make_partition()
+        expr = If(Compare("=", col("unit"), lit("feet")),
+                  Arith("*", col("altit"), lit(0.3048)), col("altit"))
+        value_range = derive_range(expr, partition.zone_map,
+                                   TRAILS_SCHEMA)
+        assert value_range.lo == pytest.approx(284.68, abs=0.01)
+        assert value_range.hi == 7674
+
+    def test_partition_not_pruned(self):
+        # "Evaluating this expression against the provided metadata ...
+        # indicates that the micro-partition should not be pruned."
+        partition = self.make_partition()
+        verdict = prune_partition(TRAILS_PREDICATE, partition.zone_map,
+                                  TRAILS_SCHEMA)
+        assert verdict == TriState.MAYBE
+
+    def test_scaled_altit_range(self):
+        # "(altit * 0.3048) ... transformed range of around
+        # (min=284.68, max=2339.04)"
+        partition = self.make_partition()
+        value_range = derive_range(
+            Arith("*", col("altit"), lit(0.3048)), partition.zone_map,
+            TRAILS_SCHEMA)
+        assert value_range.lo == pytest.approx(284.68, abs=0.01)
+        assert value_range.hi == pytest.approx(2339.04, abs=0.01)
+
+
+def figure5_partitions() -> list[MicroPartition]:
+    """Figure 5's four micro-partitions of tracking_data.
+
+    Partition 1: no Alpine species at all (pruned by filter pruning).
+    Partition 2: Alpine species but s straddles 50 (partial).
+    Partition 3: every row matches both predicates (fully matching).
+    Partition 4: species straddles 'Alpine%', s straddles 50 (partial).
+    """
+    p1 = MicroPartition.from_rows(TRACKING_SCHEMA, [
+        ("Brown Bear", 110, 3), ("Bison", 180, 1), ("Boar", 70, 9)])
+    p2 = MicroPartition.from_rows(TRACKING_SCHEMA, [
+        ("Alpine Ibex", 91, 40), ("Alpine Marmot", 14, 200),
+        ("Alpine Chough", 37, 77)])
+    p3 = MicroPartition.from_rows(TRACKING_SCHEMA, [
+        ("Alpine Ibex", 88, 12), ("Alpine Ibex", 96, 4),
+        ("Alpine Chamois", 75, 30)])
+    p4 = MicroPartition.from_rows(TRACKING_SCHEMA, [
+        ("Alpine Marmot", 16, 8), ("Red Deer", 120, 2),
+        ("Chamois", 76, 5)])
+    return [p1, p2, p3, p4]
+
+
+class TestFigure5:
+    def scan_set(self, partitions):
+        return ScanSet((p.partition_id, p.zone_map)
+                       for p in partitions)
+
+    def test_first_pass_prunes_partition_1(self):
+        partitions = figure5_partitions()
+        result = FilterPruner(TRACKING_PREDICATE,
+                              TRACKING_SCHEMA).prune(
+            self.scan_set(partitions))
+        assert partitions[0].partition_id in result.pruned_ids
+        assert result.after == 3
+
+    def test_second_pass_identifies_partition_3(self):
+        # "the inverted predicate species NOT LIKE 'Alpine%' OR s < 50
+        # is applied, under which partition 3 is identified as
+        # not-matching ... marked as fully-matching"
+        partitions = figure5_partitions()
+        fully = find_fully_matching_inverted(
+            TRACKING_PREDICATE, self.scan_set(partitions),
+            TRACKING_SCHEMA)
+        assert fully == [partitions[2].partition_id]
+
+    def test_limit_3_scans_only_partition_3(self):
+        # "Ideally, we would identify partition 3 during query
+        # compilation as sufficient, allowing us to process only that
+        # micro-partition."
+        partitions = figure5_partitions()
+        filtered = FilterPruner(TRACKING_PREDICATE,
+                                TRACKING_SCHEMA).prune(
+            self.scan_set(partitions))
+        report = LimitPruner(3).prune(filtered.kept,
+                                      filtered.fully_matching_ids)
+        assert report.outcome == LimitPruneOutcome.PRUNED_TO_ONE
+        assert report.result.kept.partition_ids == \
+            [partitions[2].partition_id]
+
+    def test_end_to_end_limit_query(self):
+        catalog = Catalog()
+        table = Table("tracking_data", TRACKING_SCHEMA,
+                      figure5_partitions())
+        catalog.create_table(table)
+        result = catalog.sql(
+            "SELECT * FROM tracking_data "
+            "WHERE species LIKE 'Alpine%' AND s >= 50 LIMIT 3")
+        assert result.num_rows == 3
+        scan = result.profile.scans[0]
+        assert scan.partitions_loaded == 1
+        assert scan.limit_report.outcome == \
+            LimitPruneOutcome.PRUNED_TO_ONE
+        # every returned row satisfies both predicates
+        for species, s, _ in result.rows:
+            assert species.startswith("Alpine") and s >= 50
+
+    def test_topk_query_over_figure5_table(self):
+        # §5's ORDER BY num_sightings DESC LIMIT 3 over the same data.
+        catalog = Catalog()
+        table = Table("tracking_data", TRACKING_SCHEMA,
+                      figure5_partitions())
+        catalog.create_table(table)
+        result = catalog.sql(
+            "SELECT * FROM tracking_data "
+            "WHERE species LIKE 'Alpine%' AND s >= 50 "
+            "ORDER BY num_sightings DESC LIMIT 3")
+        sightings = [r[2] for r in result.rows]
+        # oracle: qualifying rows are p2's (91,40), p3's three rows
+        assert sightings == [40, 30, 12]

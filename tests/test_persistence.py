@@ -1,0 +1,113 @@
+"""Tests for catalog persistence (save/load)."""
+
+import datetime
+
+import pytest
+
+from repro import Catalog, DataType, Layout, Schema
+from repro.errors import StorageError
+from repro.persistence import load_catalog, save_catalog
+
+
+def make_catalog():
+    catalog = Catalog(rows_per_partition=25)
+    schema = Schema.of(ts=DataType.INTEGER, name=DataType.VARCHAR,
+                       score=DataType.DOUBLE, flag=DataType.BOOLEAN,
+                       day=DataType.DATE)
+    rows = []
+    for i in range(100):
+        rows.append((
+            i,
+            None if i % 10 == 0 else f"name-{i}",
+            None if i % 7 == 0 else i * 1.5,
+            i % 2 == 0,
+            datetime.date(2024, 1, 1) + datetime.timedelta(days=i),
+        ))
+    catalog.create_table_from_rows("events", schema, rows,
+                                   layout=Layout.sorted_by("ts"))
+    catalog.create_table_from_rows(
+        "dims", Schema.of(k=DataType.INTEGER, v=DataType.VARCHAR),
+        [(i, f"v{i}") for i in range(10)])
+    return catalog
+
+
+class TestRoundtrip:
+    def test_rows_survive(self, tmp_path):
+        original = make_catalog()
+        save_catalog(original, tmp_path / "cat")
+        loaded = load_catalog(tmp_path / "cat")
+        for name in ("events", "dims"):
+            assert loaded.tables[name].to_rows() == \
+                original.tables[name].to_rows()
+
+    def test_partition_structure_preserved(self, tmp_path):
+        original = make_catalog()
+        original.save(tmp_path / "cat")
+        loaded = Catalog.load(tmp_path / "cat")
+        assert loaded.tables["events"].partition_ids == \
+            original.tables["events"].partition_ids
+        assert loaded.rows_per_partition == 25
+
+    def test_pruning_works_after_load(self, tmp_path):
+        original = make_catalog()
+        original.save(tmp_path / "cat")
+        loaded = Catalog.load(tmp_path / "cat")
+        result = loaded.sql("SELECT * FROM events WHERE ts >= 90")
+        assert result.num_rows == 10
+        assert result.profile.scans[0].filter_result.after == 1
+
+    def test_queries_agree(self, tmp_path):
+        original = make_catalog()
+        original.save(tmp_path / "cat")
+        loaded = Catalog.load(tmp_path / "cat")
+        sql = ("SELECT * FROM events WHERE flag = TRUE "
+               "ORDER BY score DESC LIMIT 5")
+        assert loaded.sql(sql).rows == original.sql(sql).rows
+
+    def test_new_partitions_do_not_collide(self, tmp_path):
+        original = make_catalog()
+        original.save(tmp_path / "cat")
+        loaded = Catalog.load(tmp_path / "cat")
+        existing = set(loaded.tables["events"].partition_ids)
+        new_ids = loaded.insert("events",
+                                [(1000, "x", 1.0, True,
+                                  datetime.date(2025, 1, 1))])
+        assert not (set(new_ids) & existing)
+
+    def test_empty_strings_and_nulls(self, tmp_path):
+        catalog = Catalog(rows_per_partition=4)
+        schema = Schema.of(s=DataType.VARCHAR)
+        catalog.create_table_from_rows(
+            "t", schema, [("",), (None,), ("x",), ("",)])
+        catalog.save(tmp_path / "cat")
+        loaded = Catalog.load(tmp_path / "cat")
+        assert loaded.tables["t"].to_rows() == \
+            [("",), (None,), ("x",), ("",)]
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_catalog(tmp_path / "nope")
+
+    def test_bad_version(self, tmp_path):
+        import json
+
+        directory = tmp_path / "cat"
+        directory.mkdir()
+        with open(directory / "manifest.json", "w") as handle:
+            json.dump({"version": 99, "tables": {}}, handle)
+        with pytest.raises(StorageError):
+            load_catalog(directory)
+
+    def test_dml_after_load(self, tmp_path):
+        original = make_catalog()
+        original.save(tmp_path / "cat")
+        loaded = Catalog.load(tmp_path / "cat")
+        from repro.expr.ast import Compare, col, lit
+
+        deleted = loaded.delete_where(
+            "events", Compare("<", col("ts"), lit(10)))
+        assert deleted == 10
+        assert loaded.sql("SELECT count(*) AS n FROM events") \
+            .rows == [(90,)]

@@ -1,0 +1,145 @@
+"""Tests for the predicate cache and its DML invalidation rules (§8.2)."""
+
+from repro.expr.ast import Compare, col, lit
+from repro.pruning.predicate_cache import PredicateCache
+
+PRED = Compare(">", col("x"), lit(5))
+OTHER = Compare(">", col("x"), lit(9))
+
+
+class TestFilterEntries:
+    def test_record_and_lookup(self):
+        cache = PredicateCache()
+        assert cache.record_filter("t", PRED, [1, 2, 3])
+        entry = cache.lookup_filter("t", PRED)
+        assert entry is not None
+        assert entry.scan_ids() == [1, 2, 3]
+        assert cache.hits == 1
+
+    def test_miss_on_different_predicate(self):
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1])
+        assert cache.lookup_filter("t", OTHER) is None
+        assert cache.misses == 1
+
+    def test_miss_on_different_table(self):
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1])
+        assert cache.lookup_filter("u", PRED) is None
+
+    def test_oversized_entry_not_admitted(self):
+        cache = PredicateCache(max_partitions_per_entry=2)
+        assert not cache.record_filter("t", PRED, [1, 2, 3])
+        assert cache.lookup_filter("t", PRED) is None
+
+    def test_lru_eviction(self):
+        cache = PredicateCache(max_entries=2)
+        cache.record_filter("t", PRED, [1])
+        cache.record_filter("t", OTHER, [2])
+        cache.lookup_filter("t", PRED)  # refresh PRED
+        third = Compare(">", col("x"), lit(99))
+        cache.record_filter("t", third, [3])
+        assert cache.lookup_filter("t", OTHER) is None  # evicted
+        assert cache.lookup_filter("t", PRED) is not None
+
+
+class TestInsertSemantics:
+    def test_insert_appends_to_filter_entries(self):
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1, 2])
+        cache.on_insert("t", [7, 8])
+        entry = cache.lookup_filter("t", PRED)
+        assert entry.scan_ids() == [1, 2, 7, 8]
+
+    def test_insert_appends_to_topk_entries(self):
+        # "INSERTs are safe" — because new partitions always join the
+        # scan list.
+        cache = PredicateCache()
+        cache.record_topk("t", PRED, "score", True, 10, [1])
+        cache.on_insert("t", [9])
+        entry = cache.lookup_topk("t", PRED, "score", True, 10)
+        assert 9 in entry.scan_ids()
+
+    def test_insert_other_table_no_effect(self):
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1])
+        cache.on_insert("u", [9])
+        assert cache.lookup_filter("t", PRED).scan_ids() == [1]
+
+
+class TestDeleteSemantics:
+    def test_delete_shrinks_filter_entries(self):
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1, 2, 3])
+        cache.on_delete("t", [2])
+        assert cache.lookup_filter("t", PRED).scan_ids() == [1, 3]
+
+    def test_delete_invalidates_topk_entry(self):
+        # §8.2: "If a row in the top-k result is deleted, another row
+        # must take its place" — the k+1-th row may be anywhere.
+        cache = PredicateCache()
+        cache.record_topk("t", PRED, "score", True, 10, [1, 2])
+        cache.on_delete("t", [2])
+        assert cache.lookup_topk("t", PRED, "score", True, 10) is None
+        assert cache.invalidations == 1
+
+    def test_delete_untouched_topk_entry_survives(self):
+        cache = PredicateCache()
+        cache.record_topk("t", PRED, "score", True, 10, [1, 2])
+        cache.on_delete("t", [99])
+        assert cache.lookup_topk("t", PRED, "score", True, 10) \
+            is not None
+
+
+class TestUpdateSemantics:
+    def test_update_ordering_column_invalidates_topk(self):
+        cache = PredicateCache()
+        cache.record_topk("t", PRED, "score", True, 10, [1])
+        cache.on_update("t", [50], [51], ["score"])
+        assert cache.lookup_topk("t", PRED, "score", True, 10) is None
+
+    def test_update_non_ordering_column_safe_for_topk(self):
+        # "UPDATEs to non-ordering columns ... are safe".
+        cache = PredicateCache()
+        cache.record_topk("t", PRED, "score", True, 10, [1])
+        cache.on_update("t", [50], [51], ["comment"])
+        assert cache.lookup_topk("t", PRED, "score", True, 10) \
+            is not None
+
+    def test_update_rewritten_topk_partition_invalidates(self):
+        cache = PredicateCache()
+        cache.record_topk("t", PRED, "score", True, 10, [1])
+        cache.on_update("t", [1], [9], ["comment"])
+        assert cache.lookup_topk("t", PRED, "score", True, 10) is None
+
+    def test_update_swaps_filter_partitions(self):
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1, 2])
+        cache.on_update("t", [2], [9], ["x"])
+        entry = cache.lookup_filter("t", PRED)
+        assert set(entry.scan_ids()) == {1, 9}
+
+
+class TestTopkKeying:
+    def test_distinct_k_distinct_entries(self):
+        cache = PredicateCache()
+        cache.record_topk("t", PRED, "score", True, 10, [1])
+        assert cache.lookup_topk("t", PRED, "score", True, 20) is None
+
+    def test_direction_part_of_key(self):
+        cache = PredicateCache()
+        cache.record_topk("t", PRED, "score", True, 10, [1])
+        assert cache.lookup_topk("t", PRED, "score", False, 10) is None
+
+    def test_no_predicate_topk(self):
+        cache = PredicateCache()
+        cache.record_topk("t", None, "score", True, 10, [1])
+        assert cache.lookup_topk("t", None, "score", True, 10) \
+            is not None
+
+    def test_drop_table(self):
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1])
+        cache.record_topk("t", None, "score", True, 10, [1])
+        cache.drop_table("t")
+        assert len(cache) == 0

@@ -1,0 +1,131 @@
+"""Property-based tests for auxiliary structures: pruning-tree
+equivalence, scan-set serialization, membership filters, string
+truncation, and Iceberg hierarchical pruning."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.expr import ast
+from repro.expr.eval import evaluate_predicate
+from repro.formats import IcebergTable, ParquetFile
+from repro.pruning.base import ScanSet
+from repro.pruning.filter_pruning import FilterPruner
+from repro.pruning.filters import CuckooFilter, XorFilter
+from repro.pruning.pruning_tree import PruningTree, TreeConfig
+from repro.storage.builder import build_table
+from repro.storage.column import Column
+from repro.storage.micropartition import MicroPartition
+from repro.storage.zonemap import truncate_string_stats
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(a=DataType.INTEGER, b=DataType.INTEGER)
+
+
+def comparison(column: str, op: str, value: int) -> ast.Compare:
+    return ast.Compare(op, ast.col(column), ast.lit(value))
+
+
+comparisons = st.builds(
+    comparison,
+    st.sampled_from(["a", "b"]),
+    st.sampled_from(["<", "<=", "=", ">", ">=", "<>"]),
+    st.integers(-30, 30),
+)
+
+
+def boolean_tree(depth: int = 2):
+    if depth == 0:
+        return comparisons
+    sub = boolean_tree(depth - 1)
+    return st.one_of(
+        comparisons,
+        st.lists(sub, min_size=2, max_size=3).map(ast.And),
+        st.lists(sub, min_size=2, max_size=3).map(ast.Or),
+    )
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(-25, 25), st.integers(-25, 25)),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=150, deadline=None)
+@given(predicate=boolean_tree(), rows=rows_strategy,
+       reorder=st.booleans(), cutoff=st.booleans())
+def test_pruning_tree_never_over_prunes(predicate, rows, reorder,
+                                        cutoff):
+    """The adaptive tree keeps a superset of the plain pruner's keeps,
+    and never drops a partition containing a matching row."""
+    table = build_table("t", SCHEMA, rows, rows_per_partition=5)
+    scan_set = ScanSet((p.partition_id, p.zone_map)
+                       for p in table.partitions)
+    config = TreeConfig(enable_reorder=reorder, enable_cutoff=cutoff,
+                        reorder_interval=4, cutoff_min_samples=4)
+    tree_kept = set(PruningTree(predicate, SCHEMA, config)
+                    .prune(scan_set).kept.partition_ids)
+    plain_kept = set(FilterPruner(predicate, SCHEMA,
+                                  detect_fully_matching=False)
+                     .prune(scan_set).kept.partition_ids)
+    assert plain_kept <= tree_kept
+    for partition in table.partitions:
+        mask = evaluate_predicate(predicate, partition.columns(),
+                                  SCHEMA)
+        if mask.any():
+            assert partition.partition_id in tree_kept
+
+
+@settings(max_examples=200, deadline=None)
+@given(ids=st.lists(st.integers(0, 2**40), unique=True, max_size=64))
+def test_scan_set_serialization_roundtrip(ids):
+    zone_map = MicroPartition.from_rows(SCHEMA, [(1, 2)]).zone_map
+    scan_set = ScanSet((pid, zone_map) for pid in ids)
+    data = scan_set.serialize()
+    restored = ScanSet.deserialize(data, lambda pid: zone_map)
+    assert restored.partition_ids == ids
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.one_of(st.integers(-10**9, 10**9),
+                                 st.text(max_size=10)),
+                       max_size=300))
+def test_cuckoo_and_xor_no_false_negatives(values):
+    cuckoo = CuckooFilter(expected_items=max(1, len(values)))
+    assert cuckoo.add_all(values)
+    xor = XorFilter(values)
+    for value in values:
+        assert cuckoo.might_contain(value)
+        assert xor.might_contain(value)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=st.lists(st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x10ffff),
+    max_size=12), min_size=1, max_size=8),
+    max_length=st.integers(1, 6))
+def test_string_truncation_preserves_bounds(values, max_length):
+    schema = Schema.of(s=DataType.VARCHAR)
+    part = MicroPartition.from_rows(schema, [(v,) for v in values])
+    stats = part.zone_map.stats("s")
+    truncated = truncate_string_stats(stats, max_length)
+    for value in values:
+        assert truncated.min_value <= value <= truncated.max_value
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.lists(st.tuples(st.integers(-100, 100)),
+                     min_size=1, max_size=200),
+       lo=st.integers(-120, 120), width=st.integers(0, 60))
+def test_iceberg_plan_reads_exactly_matching_rows(rows, lo, width):
+    schema = Schema.of(x=DataType.INTEGER)
+    file = ParquetFile.write(schema, rows, row_group_rows=32,
+                             page_rows=8)
+    table = IcebergTable.from_files("t", schema, [file])
+    predicate = ast.And(
+        ast.Compare(">=", ast.col("x"), ast.lit(lo)),
+        ast.Compare("<=", ast.col("x"), ast.lit(lo + width)))
+    plan = table.plan_scan(predicate)
+    got = sorted(r[0] for r in table.read_plan_rows(plan, predicate))
+    expected = sorted(v for (v,) in rows if lo <= v <= lo + width)
+    assert got == expected

@@ -1,0 +1,145 @@
+"""Tests for the adaptive pruning tree (§3.2): reordering and cutoff."""
+
+from repro.expr.ast import And, Compare, EndsWith, Like, Or, col, lit
+from repro.pruning.base import ScanSet
+from repro.pruning.filter_pruning import FilterPruner
+from repro.pruning.pruning_tree import PruningTree, TreeConfig
+from repro.storage.builder import build_table
+from repro.storage.clustering import Layout
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(x=DataType.INTEGER, y=DataType.INTEGER,
+                   s=DataType.VARCHAR)
+
+
+def make_scan_set(n_rows=1000, rows_per_partition=10):
+    rows = [(i, i % 7, f"s{i:05d}") for i in range(n_rows)]
+    table = build_table("t", SCHEMA, rows,
+                        rows_per_partition=rows_per_partition,
+                        layout=Layout.sorted_by("x"))
+    return ScanSet((p.partition_id, p.zone_map)
+                   for p in table.partitions)
+
+
+SELECTIVE = Compare(">=", col("x"), lit(900))      # prunes 90%
+INEFFECTIVE = Compare(">=", col("y"), lit(0))      # prunes nothing
+OPAQUE = EndsWith(col("s"), "7")                   # never prunable
+
+
+class TestCorrectness:
+    def test_matches_plain_pruner(self):
+        predicate = And(SELECTIVE, INEFFECTIVE)
+        scan_set = make_scan_set()
+        tree_result = PruningTree(predicate, SCHEMA).prune(scan_set)
+        plain_result = FilterPruner(
+            predicate, SCHEMA,
+            detect_fully_matching=False).prune(scan_set)
+        assert set(tree_result.kept.partition_ids) == \
+            set(plain_result.kept.partition_ids)
+
+    def test_or_requires_all_children_never(self):
+        predicate = Or(SELECTIVE, Compare("<", col("x"), lit(50)))
+        scan_set = make_scan_set()
+        result = PruningTree(predicate, SCHEMA).prune(scan_set)
+        # keeps x<50 partitions (5) and x>=900 partitions (10)
+        assert result.after == 15
+
+    def test_single_leaf_tree(self):
+        result = PruningTree(SELECTIVE, SCHEMA).prune(make_scan_set())
+        assert result.after == 10
+
+
+class TestReordering:
+    def test_selective_leaf_moves_first(self):
+        predicate = And(INEFFECTIVE, OPAQUE, SELECTIVE)
+        config = TreeConfig(reorder_interval=8, enable_cutoff=False)
+        tree = PruningTree(predicate, SCHEMA, config)
+        tree.prune(make_scan_set())
+        root_children = tree.root.children
+        labels = [c.stats.label for c in root_children]
+        assert labels[0] == SELECTIVE.to_sql()
+
+    def test_reordering_reduces_work(self):
+        predicate = And(OPAQUE, INEFFECTIVE, SELECTIVE)
+        scan_set = make_scan_set()
+        adaptive = PruningTree(
+            predicate, SCHEMA,
+            TreeConfig(reorder_interval=8, enable_cutoff=False))
+        adaptive.prune(scan_set)
+        static = PruningTree(
+            predicate, SCHEMA,
+            TreeConfig(enable_reorder=False, enable_cutoff=False))
+        static.prune(scan_set)
+        assert adaptive.simulated_ms < static.simulated_ms
+
+    def test_disabled_reordering_keeps_order(self):
+        predicate = And(INEFFECTIVE, SELECTIVE)
+        tree = PruningTree(
+            predicate, SCHEMA,
+            TreeConfig(enable_reorder=False, enable_cutoff=False))
+        tree.prune(make_scan_set())
+        labels = [c.stats.label for c in tree.root.children]
+        assert labels[0] == INEFFECTIVE.to_sql()
+
+
+class TestCutoff:
+    def test_ineffective_and_child_cut(self):
+        # INEFFECTIVE first so it is evaluated on every partition and
+        # accumulates enough samples to be judged.
+        predicate = And(INEFFECTIVE, SELECTIVE)
+        config = TreeConfig(cutoff_min_samples=16,
+                            enable_reorder=False)
+        tree = PruningTree(predicate, SCHEMA, config)
+        tree.prune(make_scan_set())
+        stats = {s.label: s for s in tree.node_stats()}
+        assert stats[INEFFECTIVE.to_sql()].cut
+        assert not stats[SELECTIVE.to_sql()].cut
+
+    def test_or_children_never_cut(self):
+        predicate = Or(INEFFECTIVE, SELECTIVE)
+        config = TreeConfig(cutoff_min_samples=8)
+        tree = PruningTree(predicate, SCHEMA, config)
+        tree.prune(make_scan_set())
+        # direct children of OR are not below an AND; never cut
+        for child in tree.root.children:
+            assert not child.stats.cut
+
+    def test_whole_or_under_and_may_be_cut(self):
+        ineffective_or = Or(INEFFECTIVE, OPAQUE)
+        predicate = And(ineffective_or, SELECTIVE)
+        config = TreeConfig(cutoff_min_samples=16,
+                            enable_reorder=False)
+        tree = PruningTree(predicate, SCHEMA, config)
+        tree.prune(make_scan_set())
+        or_stats = [s for s in tree.node_stats() if s.label == "OR"]
+        assert or_stats[0].cut
+
+    def test_cutoff_never_loses_correctness(self):
+        predicate = And(SELECTIVE, INEFFECTIVE)
+        scan_set = make_scan_set()
+        tree = PruningTree(predicate, SCHEMA,
+                           TreeConfig(cutoff_min_samples=8))
+        result = tree.prune(scan_set)
+        plain = FilterPruner(predicate, SCHEMA,
+                             detect_fully_matching=False).prune(scan_set)
+        # cutoff only keeps extra partitions, never drops extra ones
+        assert set(plain.kept.partition_ids) <= \
+            set(result.kept.partition_ids)
+
+    def test_cutoff_disabled(self):
+        predicate = And(SELECTIVE, INEFFECTIVE)
+        tree = PruningTree(predicate, SCHEMA,
+                           TreeConfig(enable_cutoff=False))
+        tree.prune(make_scan_set())
+        assert not any(s.cut for s in tree.node_stats())
+
+    def test_stats_monitored(self):
+        predicate = And(SELECTIVE, INEFFECTIVE)
+        tree = PruningTree(predicate, SCHEMA,
+                           TreeConfig(enable_cutoff=False))
+        tree.prune(make_scan_set())
+        stats = {s.label: s for s in tree.node_stats()}
+        selective = stats[SELECTIVE.to_sql()]
+        assert selective.evaluations == 100
+        assert selective.prune_rate > 0.8
+        assert selective.avg_cost_units > 0

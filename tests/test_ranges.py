@@ -1,0 +1,332 @@
+"""Tests for min/max range derivation (§3.1) and tri-state pruning."""
+
+import datetime
+
+import pytest
+
+from repro.expr.ast import (
+    And,
+    Arith,
+    Cast,
+    Compare,
+    Contains,
+    EndsWith,
+    FunctionCall,
+    If,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Neg,
+    Not,
+    Or,
+    StartsWith,
+    col,
+    lit,
+)
+from repro.expr.pruning import TriState, prune_partition
+from repro.expr.ranges import ValueRange, derive_range
+from repro.storage.micropartition import MicroPartition
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(x=DataType.INTEGER, y=DataType.DOUBLE,
+                   s=DataType.VARCHAR, d=DataType.DATE)
+
+
+def zone_map(rows):
+    return MicroPartition.from_rows(SCHEMA, rows).zone_map
+
+
+# x in [10, 20], y in [1.0, 2.0], s in ["apple", "pear"], d fixed year
+ZM = zone_map([
+    (10, 1.0, "apple", datetime.date(2024, 1, 5)),
+    (20, 2.0, "pear", datetime.date(2024, 12, 5)),
+    (15, 1.5, "fig", datetime.date(2024, 6, 5)),
+])
+ZM_WITH_NULLS = zone_map([
+    (10, None, "apple", datetime.date(2024, 1, 5)),
+    (None, 2.0, None, None),
+])
+
+
+def rng(expr, zm=ZM):
+    return derive_range(expr, zm, SCHEMA)
+
+
+class TestLeafRanges:
+    def test_column(self):
+        r = rng(col("x"))
+        assert (r.lo, r.hi, r.maybe_null) == (10, 20, False)
+
+    def test_column_with_nulls(self):
+        r = rng(col("x"), ZM_WITH_NULLS)
+        assert r.maybe_null
+
+    def test_missing_stats_unknown(self):
+        stripped = ZM.without_stats()
+        r = rng(col("x"), stripped)
+        assert not r.known
+
+    def test_literal_point(self):
+        r = rng(lit(5))
+        assert (r.lo, r.hi) == (5, 5)
+
+    def test_null_literal(self):
+        r = rng(Literal(None, DataType.INTEGER))
+        assert r.maybe_null and r.lo is None
+
+    def test_date_literal_normalized_to_days(self):
+        r = rng(lit(datetime.date(1970, 1, 2)))
+        assert r.lo == 1
+
+
+class TestArithmeticRanges:
+    def test_addition(self):
+        r = rng(Arith("+", col("x"), lit(5)))
+        assert (r.lo, r.hi) == (15, 25)
+
+    def test_subtraction(self):
+        r = rng(Arith("-", col("x"), col("x")))
+        assert (r.lo, r.hi) == (-10, 10)
+
+    def test_multiplication_negative(self):
+        r = rng(Arith("*", col("x"), lit(-2)))
+        assert (r.lo, r.hi) == (-40, -20)
+
+    def test_scaling_paper_example(self):
+        # altit in [934, 7674] scaled by 0.3048 (§3.1)
+        zm = zone_map([(934, 1.0, "a", datetime.date(2024, 1, 1)),
+                       (7674, 1.0, "a", datetime.date(2024, 1, 1))])
+        r = derive_range(Arith("*", col("x"), lit(0.3048)), zm, SCHEMA)
+        assert r.lo == pytest.approx(284.68, abs=0.01)
+        assert r.hi == pytest.approx(2339.04, abs=0.01)
+
+    def test_division_safe_divisor(self):
+        r = rng(Arith("/", col("x"), lit(2)))
+        assert (r.lo, r.hi) == (5.0, 10.0)
+
+    def test_division_by_possibly_zero_unknown(self):
+        zm = zone_map([(-1, 1.0, "a", datetime.date(2024, 1, 1)),
+                       (1, 1.0, "a", datetime.date(2024, 1, 1))])
+        r = derive_range(Arith("/", lit(1), col("x")), zm, SCHEMA)
+        assert not r.known
+        assert r.maybe_null
+
+    def test_division_by_constant_zero_null_only(self):
+        r = rng(Arith("/", col("x"), lit(0)))
+        assert r.known and r.lo is None and r.maybe_null
+
+    def test_modulo_bounded_by_divisor(self):
+        r = rng(Arith("%", col("x"), lit(7)))
+        assert r.lo >= -7 and r.hi <= 7
+
+    def test_negation(self):
+        r = rng(Neg(col("x")))
+        assert (r.lo, r.hi) == (-20, -10)
+
+
+class TestComparisonRanges:
+    def test_definitely_true(self):
+        r = rng(Compare(">", col("x"), lit(5)))
+        assert r.can_be_true and not r.can_be_false
+
+    def test_definitely_false(self):
+        r = rng(Compare(">", col("x"), lit(100)))
+        assert not r.can_be_true and r.can_be_false
+
+    def test_maybe(self):
+        r = rng(Compare(">", col("x"), lit(15)))
+        assert r.can_be_true and r.can_be_false
+
+    def test_equality_point_ranges(self):
+        zm = zone_map([(7, 1.0, "a", datetime.date(2024, 1, 1))])
+        r = derive_range(Compare("=", col("x"), lit(7)), zm, SCHEMA)
+        assert r.can_be_true and not r.can_be_false
+
+    def test_nulls_block_certainty(self):
+        r = rng(Compare(">", col("x"), lit(5)), ZM_WITH_NULLS)
+        assert r.maybe_null
+
+
+class TestBooleanRanges:
+    def test_and_never_if_child_never(self):
+        expr = And(Compare(">", col("x"), lit(100)),
+                   Compare(">", col("y"), lit(0)))
+        assert not rng(expr).can_be_true
+
+    def test_or_always_if_child_always(self):
+        expr = Or(Compare(">", col("x"), lit(5)),
+                  Compare(">", col("y"), lit(100)))
+        r = rng(expr)
+        assert r.can_be_true and not r.can_be_false and not r.maybe_null
+
+    def test_not_flips(self):
+        r = rng(Not(Compare(">", col("x"), lit(100))))
+        assert r.can_be_true and not r.can_be_false
+
+
+class TestIfRanges:
+    def test_condition_always_true_uses_then(self):
+        expr = If(Compare(">", col("x"), lit(0)), lit(1), lit(2))
+        r = rng(expr)
+        assert (r.lo, r.hi) == (1, 1)
+
+    def test_condition_never_true_uses_else(self):
+        expr = If(Compare(">", col("x"), lit(100)), lit(1), lit(2))
+        r = rng(expr)
+        assert (r.lo, r.hi) == (2, 2)
+
+    def test_uncertain_condition_unions(self):
+        expr = If(Compare(">", col("x"), lit(15)), col("x"),
+                  Neg(col("x")))
+        r = rng(expr)
+        assert (r.lo, r.hi) == (-20, 20)
+
+    def test_paper_if_example(self):
+        # §3.1: IF(unit='feet', altit*0.3048, altit) over mixed units
+        schema = Schema.of(unit=DataType.VARCHAR,
+                           altit=DataType.INTEGER)
+        part = MicroPartition.from_rows(
+            schema, [("feet", 934), ("meters", 7674)])
+        expr = If(Compare("=", col("unit"), lit("feet")),
+                  Arith("*", col("altit"), lit(0.3048)), col("altit"))
+        r = derive_range(expr, part.zone_map, schema)
+        assert r.lo == pytest.approx(284.68, abs=0.01)
+        assert r.hi == 7674
+
+
+class TestStringRanges:
+    def test_startswith_overlap(self):
+        r = rng(StartsWith(col("s"), "fi"))
+        assert r.can_be_true and r.can_be_false
+
+    def test_startswith_no_overlap(self):
+        r = rng(StartsWith(col("s"), "zebra"))
+        assert not r.can_be_true
+
+    def test_startswith_all_match(self):
+        zm = zone_map([(1, 1.0, "prefix_a", datetime.date(2024, 1, 1)),
+                       (2, 1.0, "prefix_z", datetime.date(2024, 1, 1))])
+        r = derive_range(StartsWith(col("s"), "prefix"), zm, SCHEMA)
+        assert r.can_be_true and not r.can_be_false
+
+    def test_like_pure_prefix_pattern_can_certify_always(self):
+        zm = zone_map([(1, 1.0, "ab_1", datetime.date(2024, 1, 1)),
+                       (2, 1.0, "ab_9", datetime.date(2024, 1, 1))])
+        r = derive_range(Like(col("s"), "ab%"), zm, SCHEMA)
+        assert r.can_be_true and not r.can_be_false
+
+    def test_like_with_suffix_never_certifies(self):
+        zm = zone_map([(1, 1.0, "ab_1", datetime.date(2024, 1, 1)),
+                       (2, 1.0, "ab_9", datetime.date(2024, 1, 1))])
+        r = derive_range(Like(col("s"), "ab%9"), zm, SCHEMA)
+        assert r.can_be_true and r.can_be_false
+
+    def test_like_exact_pattern_is_equality(self):
+        r = rng(Like(col("s"), "zzz"))
+        assert not r.can_be_true
+
+    def test_endswith_contains_opaque(self):
+        for expr in (EndsWith(col("s"), "x"), Contains(col("s"), "x")):
+            r = rng(expr)
+            assert r.can_be_true and r.can_be_false
+
+
+class TestOtherRanges:
+    def test_in_list(self):
+        assert rng(InList(col("x"), [15, 99])).can_be_true
+        assert not rng(InList(col("x"), [1, 2])).can_be_true
+
+    def test_is_null(self):
+        r = rng(IsNull(col("x")))
+        assert not r.can_be_true  # no nulls in ZM
+        r2 = rng(IsNull(col("x")), ZM_WITH_NULLS)
+        assert r2.can_be_true and r2.can_be_false
+
+    def test_is_not_null(self):
+        r = rng(IsNull(col("x"), negated=True))
+        assert r.can_be_true and not r.can_be_false
+
+    def test_abs(self):
+        zm = zone_map([(-5, 1.0, "a", datetime.date(2024, 1, 1)),
+                       (3, 1.0, "a", datetime.date(2024, 1, 1))])
+        r = derive_range(FunctionCall("abs", [col("x")]), zm, SCHEMA)
+        assert (r.lo, r.hi) == (0, 5)
+
+    def test_year_monotonic(self):
+        r = rng(FunctionCall("year", [col("d")]))
+        assert (r.lo, r.hi) == (2024, 2024)
+
+    def test_month_fixed_bounds(self):
+        r = rng(FunctionCall("month", [col("d")]))
+        assert (r.lo, r.hi) == (1, 12)
+
+    def test_coalesce_removes_null(self):
+        expr = FunctionCall("coalesce", [col("x"), lit(0)])
+        r = rng(expr, ZM_WITH_NULLS)
+        assert not r.maybe_null
+
+    def test_upper_is_opaque(self):
+        r = rng(FunctionCall("upper", [col("s")]))
+        assert not r.known
+
+    def test_cast_endpoints(self):
+        r = rng(Cast(col("y"), DataType.INTEGER))
+        assert (r.lo, r.hi) == (1, 2)
+
+    def test_union(self):
+        a = ValueRange(DataType.INTEGER, 1, 5, False)
+        b = ValueRange(DataType.INTEGER, 3, 9, True)
+        u = a.union(b)
+        assert (u.lo, u.hi, u.maybe_null) == (1, 9, True)
+
+
+class TestTriState:
+    def test_never(self):
+        verdict = prune_partition(Compare(">", col("x"), lit(100)),
+                                  ZM, SCHEMA)
+        assert verdict == TriState.NEVER
+
+    def test_always(self):
+        verdict = prune_partition(Compare(">", col("x"), lit(0)),
+                                  ZM, SCHEMA)
+        assert verdict == TriState.ALWAYS
+
+    def test_maybe(self):
+        verdict = prune_partition(Compare(">", col("x"), lit(15)),
+                                  ZM, SCHEMA)
+        assert verdict == TriState.MAYBE
+
+    def test_nulls_demote_always_to_maybe(self):
+        verdict = prune_partition(Compare(">=", col("x"), lit(0)),
+                                  ZM_WITH_NULLS, SCHEMA)
+        assert verdict == TriState.MAYBE
+
+    def test_empty_partition_is_never(self):
+        empty = MicroPartition.from_rows(SCHEMA, []).zone_map
+        verdict = prune_partition(Compare(">", col("x"), lit(0)),
+                                  empty, SCHEMA)
+        assert verdict == TriState.NEVER
+
+    def test_invert_operator(self):
+        assert ~TriState.NEVER == TriState.ALWAYS
+        assert ~TriState.ALWAYS == TriState.NEVER
+        assert ~TriState.MAYBE == TriState.MAYBE
+
+    def test_paper_full_example_not_pruned(self):
+        # §3.1's combined predicate over the trails metadata: MAYBE.
+        schema = Schema.of(unit=DataType.VARCHAR,
+                           altit=DataType.INTEGER,
+                           name=DataType.VARCHAR)
+        part = MicroPartition.from_rows(schema, [
+            ("feet", 934, "Basecamp"),
+            ("meters", 7674, "Unmarked"),
+            ("feet", 5000, "Marked-North-Ridge"),
+        ])
+        predicate = And(
+            Compare(">", If(Compare("=", col("unit"), lit("feet")),
+                            Arith("*", col("altit"), lit(0.3048)),
+                            col("altit")), lit(1500)),
+            Like(col("name"), "Marked-%-Ridge"))
+        verdict = prune_partition(predicate, part.zone_map, schema)
+        assert verdict == TriState.MAYBE

@@ -1,0 +1,184 @@
+"""Tests for predicate widening, not-true inversion, and simplification."""
+
+import pytest
+
+from repro.expr.ast import (
+    And,
+    Arith,
+    Compare,
+    If,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    StartsWith,
+    col,
+    lit,
+)
+from repro.expr.eval import evaluate
+from repro.expr.rewrite import not_true, widen_for_pruning
+from repro.expr.simplify import simplify
+from repro.storage.column import Column
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(x=DataType.INTEGER, s=DataType.VARCHAR,
+                   b=DataType.BOOLEAN)
+
+
+class TestWidening:
+    def test_like_with_prefix_becomes_startswith(self):
+        widened = widen_for_pruning(Like(col("s"), "Marked-%-Ridge"))
+        assert widened == StartsWith(col("s"), "Marked-")
+
+    def test_like_without_prefix_unchanged(self):
+        expr = Like(col("s"), "%Ridge")
+        assert widen_for_pruning(expr) == expr
+
+    def test_exact_like_unchanged(self):
+        expr = Like(col("s"), "Ridge")
+        assert widen_for_pruning(expr) == expr
+
+    def test_structure_preserved(self):
+        expr = And(Like(col("s"), "a%b"), Compare(">", col("x"), lit(1)))
+        widened = widen_for_pruning(expr)
+        assert isinstance(widened, And)
+        assert widened.children()[0] == StartsWith(col("s"), "a")
+
+    def test_not_subtree_untouched(self):
+        # Widening below NOT would strengthen the predicate: unsound.
+        expr = Not(Like(col("s"), "a%b"))
+        assert widen_for_pruning(expr) == expr
+
+    def test_widened_is_implied(self):
+        """Every row matching the original matches the widened form."""
+        import random
+
+        rng = random.Random(0)
+        strings = ["Marked-North-Ridge", "Marked-X", "ridge", "", None,
+                   "Marked-%s" % rng.randint(0, 9)]
+        expr = Like(col("s"), "Marked-%-Ridge")
+        widened = widen_for_pruning(expr)
+        chunk = {"s": Column.from_pylist(DataType.VARCHAR, strings)}
+        original = evaluate(expr, chunk, SCHEMA).to_pylist()
+        wide = evaluate(widened, chunk, SCHEMA).to_pylist()
+        for o, w in zip(original, wide):
+            if o is True:
+                assert w is True
+
+
+class TestNotTrue:
+    def evaluate_both(self, expr, **data):
+        chunk = {name: Column.from_pylist(SCHEMA.dtype_of(name), vals)
+                 for name, vals in data.items()}
+        original = evaluate(expr, chunk, SCHEMA).to_pylist()
+        inverted = evaluate(not_true(expr), chunk, SCHEMA).to_pylist()
+        return original, inverted
+
+    def check_complement(self, expr, **data):
+        """not_true(e) is TRUE exactly when e is not TRUE."""
+        original, inverted = self.evaluate_both(expr, **data)
+        for o, i in zip(original, inverted):
+            assert (i is True) == (o is not True), (o, i)
+
+    def test_simple_comparison(self):
+        self.check_complement(Compare(">", col("x"), lit(5)),
+                              x=[1, 5, 9, None])
+
+    def test_and_de_morgan(self):
+        expr = And(Compare(">", col("x"), lit(2)),
+                   Compare("<", col("x"), lit(8)))
+        self.check_complement(expr, x=[0, 5, 9, None])
+
+    def test_or_de_morgan(self):
+        expr = Or(Compare("<", col("x"), lit(2)),
+                  Compare(">", col("x"), lit(8)))
+        self.check_complement(expr, x=[0, 5, 9, None])
+
+    def test_like(self):
+        self.check_complement(Like(col("s"), "a%"),
+                              s=["abc", "xyz", None])
+
+    def test_is_null_leaf(self):
+        self.check_complement(IsNull(col("x")), x=[1, None])
+        self.check_complement(IsNull(col("x"), negated=True),
+                              x=[1, None])
+
+    def test_not_node(self):
+        self.check_complement(Not(Compare(">", col("x"), lit(5))),
+                              x=[1, 9, None])
+
+    def test_literal(self):
+        assert not_true(Literal(True)) == Literal(False)
+        assert not_true(Literal(False)) == Literal(True)
+
+    def test_division_leaf_falls_back_to_true(self):
+        # x / 0 produces NULL without any NULL column input; the
+        # inversion must stay sound by being trivially true.
+        expr = Compare(">", Arith("/", lit(1), col("x")), lit(0))
+        inverted = not_true(expr)
+        # Trivially-true fallback for this non-strict leaf:
+        assert inverted == Literal(True)
+
+    def test_in_list_with_null_falls_back(self):
+        assert not_true(InList(col("x"), [1, None])) == Literal(True)
+
+    def test_in_list_without_null_exact(self):
+        self.check_complement(InList(col("x"), [1, 3]),
+                              x=[1, 2, 3, None])
+
+
+class TestSimplify:
+    def test_and_flattening(self):
+        expr = And(And(col("b"), col("b")), col("b"))
+        simplified = simplify(expr, SCHEMA)
+        assert isinstance(simplified, And)
+        assert len(simplified.children()) == 3
+
+    def test_true_removed_from_and(self):
+        expr = And(lit(True), Compare(">", col("x"), lit(1)))
+        assert simplify(expr, SCHEMA) == Compare(">", col("x"), lit(1))
+
+    def test_false_collapses_and(self):
+        expr = And(lit(False), Compare(">", col("x"), lit(1)))
+        assert simplify(expr, SCHEMA) == lit(False)
+
+    def test_true_collapses_or(self):
+        expr = Or(lit(True), Compare(">", col("x"), lit(1)))
+        assert simplify(expr, SCHEMA) == lit(True)
+
+    def test_false_removed_from_or(self):
+        expr = Or(lit(False), Compare(">", col("x"), lit(1)))
+        assert simplify(expr, SCHEMA) == Compare(">", col("x"), lit(1))
+
+    def test_double_negation(self):
+        expr = Not(Not(col("b")))
+        assert simplify(expr, SCHEMA) == col("b")
+
+    def test_not_is_null(self):
+        expr = Not(IsNull(col("x")))
+        assert simplify(expr, SCHEMA) == IsNull(col("x"), negated=True)
+
+    def test_constant_folding(self):
+        expr = Compare(">", Arith("*", lit(3), lit(4)), lit(10))
+        assert simplify(expr, SCHEMA) == lit(True)
+
+    def test_if_with_constant_condition(self):
+        expr = If(lit(True), col("x"), lit(0))
+        assert simplify(expr, SCHEMA) == col("x")
+        expr = If(lit(False), col("x"), lit(0))
+        assert simplify(expr, SCHEMA) == lit(0)
+
+    def test_column_exprs_not_folded(self):
+        expr = Compare(">", col("x"), lit(1))
+        assert simplify(expr, SCHEMA) == expr
+
+    def test_semantics_preserved(self):
+        expr = And(Or(lit(False), Compare(">", col("x"), lit(2))),
+                   lit(True))
+        simplified = simplify(expr, SCHEMA)
+        chunk = {"x": Column.from_pylist(DataType.INTEGER,
+                                         [1, 3, None])}
+        assert evaluate(expr, chunk, SCHEMA).to_pylist() == \
+            evaluate(simplified, chunk, SCHEMA).to_pylist()

@@ -1,0 +1,235 @@
+"""Tests for HAVING, DISTINCT, and the CLI."""
+
+import pytest
+
+from repro import Catalog, DataType, Layout, Schema
+from repro.errors import PlanError
+from repro.sql import parse_select
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    catalog = Catalog(rows_per_partition=50)
+    schema = Schema.of(g=DataType.VARCHAR, v=DataType.INTEGER,
+                       w=DataType.INTEGER)
+    rows = [(f"g{i % 5}", i % 3, i % 7) for i in range(300)]
+    catalog.create_table_from_rows("t", schema, rows,
+                                   layout=Layout.sorted_by("g"))
+    return catalog
+
+
+class TestHavingParsing:
+    def test_having_clause_parsed(self):
+        stmt = parse_select(
+            "SELECT g, count(*) AS c FROM t GROUP BY g "
+            "HAVING count(*) > 5")
+        assert stmt.having is not None
+
+    def test_count_star_in_expression(self):
+        stmt = parse_select(
+            "SELECT g FROM t GROUP BY g HAVING count(*) * 2 > 10")
+        assert stmt.having is not None
+
+    def test_distinct_flag(self):
+        assert parse_select("SELECT DISTINCT g FROM t").distinct
+        assert not parse_select("SELECT g FROM t").distinct
+
+
+class TestHavingExecution:
+    def test_having_on_aggregate_call(self, catalog):
+        result = catalog.sql(
+            "SELECT g, count(*) AS c FROM t GROUP BY g "
+            "HAVING count(*) >= 60 ORDER BY g")
+        assert all(c >= 60 for _, c in result.rows)
+        assert result.num_rows == 5
+
+    def test_having_filters_groups(self, catalog):
+        result = catalog.sql(
+            "SELECT g, count(*) AS c FROM t GROUP BY g "
+            "HAVING g <> 'g0' ORDER BY g")
+        assert [g for g, _ in result.rows] == ["g1", "g2", "g3", "g4"]
+
+    def test_having_on_alias(self, catalog):
+        result = catalog.sql(
+            "SELECT g, count(*) AS c FROM t GROUP BY g "
+            "HAVING c > 100")
+        assert result.rows == []
+
+    def test_having_hidden_aggregate(self, catalog):
+        # max(w) is not in the select list; a hidden output carries it.
+        result = catalog.sql(
+            "SELECT g, count(*) AS c FROM t GROUP BY g "
+            "HAVING max(w) >= 6 ORDER BY g")
+        assert result.num_rows > 0
+        assert result.schema.names() == ["g", "c"]
+
+    def test_having_matches_oracle(self, catalog):
+        result = catalog.sql(
+            "SELECT g, sum(v) AS s FROM t GROUP BY g "
+            "HAVING sum(v) >= 60 ORDER BY g")
+        rows = catalog.tables["t"].to_rows()
+        sums: dict = {}
+        for g, v, _ in rows:
+            sums[g] = sums.get(g, 0) + v
+        expected = sorted((g, s) for g, s in sums.items() if s >= 60)
+        assert result.rows == expected
+
+    def test_having_requires_group_by(self, catalog):
+        with pytest.raises(PlanError):
+            catalog.sql("SELECT g FROM t HAVING g = 'g0'")
+
+    def test_having_non_group_column_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            catalog.sql("SELECT g, count(*) AS c FROM t GROUP BY g "
+                        "HAVING v > 1")
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            catalog.sql("SELECT * FROM t WHERE sum(v) > 1")
+
+
+class TestDistinct:
+    def test_distinct_single_column(self, catalog):
+        result = catalog.sql("SELECT DISTINCT v FROM t")
+        assert sorted(result.rows) == [(0,), (1,), (2,)]
+
+    def test_distinct_multiple_columns(self, catalog):
+        result = catalog.sql("SELECT DISTINCT g, v FROM t")
+        assert result.num_rows == len(set(
+            (g, v) for g, v, _ in catalog.tables["t"].to_rows()))
+
+    def test_distinct_expression(self, catalog):
+        result = catalog.sql("SELECT DISTINCT v % 2 AS parity FROM t")
+        assert sorted(result.rows) == [(0,), (1,)]
+
+    def test_distinct_with_order_and_limit(self, catalog):
+        result = catalog.sql(
+            "SELECT DISTINCT v FROM t ORDER BY v DESC LIMIT 2")
+        assert result.rows == [(2,), (1,)]
+
+    def test_distinct_star(self, catalog):
+        result = catalog.sql("SELECT DISTINCT * FROM t")
+        assert result.num_rows == len(set(
+            catalog.tables["t"].to_rows()))
+
+    def test_distinct_rejects_hidden_order_expr(self, catalog):
+        with pytest.raises(PlanError):
+            catalog.sql("SELECT DISTINCT g FROM t ORDER BY abs(v)")
+
+
+class TestCli:
+    def test_demo_query(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo",
+                     "SELECT * FROM orders WHERE ts < 3"]) == 0
+        out = capsys.readouterr().out
+        assert "scan orders" in out
+        assert "filter ->" in out
+
+    def test_demo_explain(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo", "SELECT * FROM orders LIMIT 5",
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "limit pruning" in out
+
+    def test_tpch_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["tpch", "--orders", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "Q06" in out
+        assert "average" in out
+
+    def test_workload_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["workload", "--queries", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "platform-wide partitions pruned" in out
+
+
+class TestSqlDml:
+    def make_catalog(self):
+        catalog = Catalog(rows_per_partition=10)
+        schema = Schema.of(ts=DataType.INTEGER, v=DataType.INTEGER,
+                           note=DataType.VARCHAR)
+        catalog.create_table_from_rows(
+            "t", schema, [(i, i % 5, f"n{i}") for i in range(100)],
+            layout=Layout.sorted_by("ts"))
+        return catalog
+
+    def test_delete_with_pruning(self):
+        catalog = self.make_catalog()
+        result = catalog.sql("DELETE FROM t WHERE ts < 20")
+        assert result.rows == [(20,)]
+        scan = result.profile.scans[0]
+        # only the two matching partitions were even inspected
+        assert scan.filter_result.after == 2
+        assert catalog.sql("SELECT count(*) AS n FROM t").rows == \
+            [(80,)]
+
+    def test_delete_without_where_clears_table(self):
+        catalog = self.make_catalog()
+        result = catalog.sql("DELETE FROM t")
+        assert result.rows == [(100,)]
+        assert catalog.tables["t"].row_count == 0
+
+    def test_update_expression_references_row(self):
+        catalog = self.make_catalog()
+        result = catalog.sql(
+            "UPDATE t SET v = v * 10 + 1 WHERE ts >= 95")
+        assert result.rows == [(5,)]
+        values = catalog.sql(
+            "SELECT v FROM t WHERE ts >= 95 ORDER BY ts").rows
+        assert values == [(1,), (11,), (21,), (31,), (41,)]
+
+    def test_update_prunes_partitions(self):
+        catalog = self.make_catalog()
+        result = catalog.sql("UPDATE t SET v = 0 WHERE ts >= 90")
+        scan = result.profile.scans[0]
+        assert scan.filter_result.pruned == 9
+
+    def test_update_numeric_promotion(self):
+        catalog = self.make_catalog()
+        # DOUBLE expression cast back into the INTEGER column
+        catalog.sql("UPDATE t SET v = v / 2 WHERE ts < 4")
+        values = catalog.sql(
+            "SELECT v FROM t WHERE ts < 4 ORDER BY ts").rows
+        assert values == [(0,), (0,), (1,), (1,)]
+
+    def test_update_varchar_column(self):
+        catalog = self.make_catalog()
+        result = catalog.sql(
+            "UPDATE t SET note = 'flagged' WHERE ts = 7")
+        assert result.rows == [(1,)]
+        assert catalog.sql(
+            "SELECT note FROM t WHERE ts = 7").rows == [("flagged",)]
+
+    def test_dml_keeps_metadata_consistent(self):
+        catalog = self.make_catalog()
+        catalog.sql("UPDATE t SET v = 999 WHERE ts = 50")
+        result = catalog.sql("SELECT * FROM t WHERE v = 999")
+        assert result.num_rows == 1
+        # pruning against the rewritten partition's fresh metadata
+        assert result.profile.scans[0].filter_result.after == 1
+
+    def test_dml_invalidates_topk_cache(self):
+        catalog = self.make_catalog()
+        catalog.enable_predicate_cache()
+        sql = "SELECT * FROM t ORDER BY v DESC LIMIT 1"
+        catalog.sql(sql)
+        catalog.sql("UPDATE t SET v = 12345 WHERE ts = 3")
+        result = catalog.sql(sql)
+        assert result.rows[0][1] == 12345
+
+    def test_parse_errors(self):
+        from repro.errors import ParseError
+
+        catalog = self.make_catalog()
+        with pytest.raises(ParseError):
+            catalog.sql("DELETE t WHERE ts < 5")
+        with pytest.raises(ParseError):
+            catalog.sql("UPDATE t v = 1")

@@ -1,0 +1,134 @@
+"""Tests for the SQL type system."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.types import (
+    DataType,
+    Field,
+    Schema,
+    common_numeric_type,
+    comparable,
+    date_to_days,
+    days_to_date,
+    infer_type,
+)
+
+
+class TestDataType:
+    def test_numeric_flags(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.DOUBLE.is_numeric
+        assert not DataType.VARCHAR.is_numeric
+        assert not DataType.BOOLEAN.is_numeric
+        assert not DataType.DATE.is_numeric
+
+    def test_numpy_dtypes(self):
+        assert DataType.INTEGER.numpy_dtype() == np.dtype(np.int64)
+        assert DataType.DOUBLE.numpy_dtype() == np.dtype(np.float64)
+        assert DataType.VARCHAR.numpy_dtype() == np.dtype(object)
+        assert DataType.BOOLEAN.numpy_dtype() == np.dtype(np.bool_)
+        assert DataType.DATE.numpy_dtype() == np.dtype(np.int64)
+
+
+class TestDateConversion:
+    def test_epoch(self):
+        assert date_to_days(datetime.date(1970, 1, 1)) == 0
+
+    def test_roundtrip(self):
+        for date in (datetime.date(1992, 1, 1),
+                     datetime.date(2024, 11, 5),
+                     datetime.date(1969, 12, 31)):
+            assert days_to_date(date_to_days(date)) == date
+
+    def test_negative_days_before_epoch(self):
+        assert date_to_days(datetime.date(1969, 12, 31)) == -1
+
+
+class TestInferType:
+    @pytest.mark.parametrize("value,expected", [
+        (True, DataType.BOOLEAN),
+        (7, DataType.INTEGER),
+        (1.5, DataType.DOUBLE),
+        ("x", DataType.VARCHAR),
+        (datetime.date(2020, 1, 1), DataType.DATE),
+        (np.int64(3), DataType.INTEGER),
+        (np.float64(3.0), DataType.DOUBLE),
+        (np.bool_(True), DataType.BOOLEAN),
+    ])
+    def test_inference(self, value, expected):
+        assert infer_type(value) == expected
+
+    def test_bool_is_not_integer(self):
+        # bool is a subclass of int in Python; SQL keeps them distinct.
+        assert infer_type(True) == DataType.BOOLEAN
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(object())
+
+
+class TestPromotion:
+    def test_int_int(self):
+        assert common_numeric_type(
+            DataType.INTEGER, DataType.INTEGER) == DataType.INTEGER
+
+    def test_int_double(self):
+        assert common_numeric_type(
+            DataType.INTEGER, DataType.DOUBLE) == DataType.DOUBLE
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(TypeMismatchError):
+            common_numeric_type(DataType.VARCHAR, DataType.INTEGER)
+
+    def test_comparable(self):
+        assert comparable(DataType.INTEGER, DataType.DOUBLE)
+        assert comparable(DataType.VARCHAR, DataType.VARCHAR)
+        assert not comparable(DataType.VARCHAR, DataType.INTEGER)
+        assert not comparable(DataType.DATE, DataType.INTEGER)
+
+
+class TestSchema:
+    def test_names_lowercased(self):
+        schema = Schema([Field("Ts", DataType.INTEGER)])
+        assert schema.names() == ["ts"]
+        assert "TS" in schema
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a", DataType.INTEGER),
+                    Field("A", DataType.DOUBLE)])
+
+    def test_empty_field_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("", DataType.INTEGER)
+
+    def test_index_and_dtype(self):
+        schema = Schema.of(a=DataType.INTEGER, b=DataType.VARCHAR)
+        assert schema.index_of("b") == 1
+        assert schema.dtype_of("A") == DataType.INTEGER
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_select_preserves_order(self):
+        schema = Schema.of(a=DataType.INTEGER, b=DataType.VARCHAR,
+                           c=DataType.DOUBLE)
+        sub = schema.select(["c", "a"])
+        assert sub.names() == ["c", "a"]
+
+    def test_concat_clash_rejected(self):
+        left = Schema.of(a=DataType.INTEGER)
+        right = Schema.of(a=DataType.DOUBLE)
+        with pytest.raises(SchemaError):
+            left.concat(right)
+
+    def test_equality_and_hash(self):
+        s1 = Schema.of(a=DataType.INTEGER)
+        s2 = Schema.of(a=DataType.INTEGER)
+        s3 = Schema.of(a=DataType.DOUBLE)
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3

@@ -1,0 +1,103 @@
+"""Tests for the virtual warehouse simulation (§2, §4.4)."""
+
+import pytest
+
+from repro.engine.warehouse import Warehouse
+from repro.expr.ast import Compare, col, lit
+from repro.pruning.base import ScanSet
+from repro.storage.builder import build_table
+from repro.storage.storage_layer import StorageLayer
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(x=DataType.INTEGER, s=DataType.VARCHAR)
+
+
+def setup(n_rows=1000, rows_per_partition=50):
+    table = build_table("t", SCHEMA,
+                        [(i, f"s{i}") for i in range(n_rows)],
+                        rows_per_partition=rows_per_partition)
+    storage = StorageLayer()
+    storage.put_all(table.partitions)
+    scan_set = ScanSet((p.partition_id, p.zone_map)
+                       for p in table.partitions)
+    return storage, scan_set
+
+
+class TestStriping:
+    def test_round_robin(self):
+        storage, scan_set = setup()
+        warehouse = Warehouse(storage, n_workers=4)
+        stripes = warehouse.stripe(scan_set)
+        assert len(stripes) == 4
+        assert sum(len(s) for s in stripes) == len(scan_set)
+        assert len(stripes[0]) == 5
+
+    def test_more_workers_than_partitions(self):
+        storage, scan_set = setup(n_rows=100, rows_per_partition=50)
+        warehouse = Warehouse(storage, n_workers=8)
+        stripes = warehouse.stripe(scan_set)
+        non_empty = [s for s in stripes if len(s)]
+        assert len(non_empty) == 2
+
+    def test_at_least_one_worker(self):
+        storage, _ = setup()
+        with pytest.raises(ValueError):
+            Warehouse(storage, n_workers=0)
+
+
+class TestScanRuntime:
+    def test_parallelism_reduces_runtime(self):
+        storage, scan_set = setup()
+        t1 = Warehouse(storage, n_workers=1).scan_runtime_ms(scan_set)
+        t8 = Warehouse(storage, n_workers=8).scan_runtime_ms(scan_set)
+        assert t8 < t1
+        assert t8 >= t1 / 8 * 0.9  # cannot beat perfect speedup
+
+    def test_empty_scan_set(self):
+        storage, _ = setup()
+        warehouse = Warehouse(storage, n_workers=4)
+        assert warehouse.scan_runtime_ms(ScanSet()) == 0.0
+
+
+class TestLimitScan:
+    """§4.4: without LIMIT pruning an n-worker warehouse reads >= n
+    partitions even when one would suffice."""
+
+    def test_reads_at_least_n_partitions(self):
+        storage, scan_set = setup()
+        for n_workers in (1, 4, 8):
+            report = Warehouse(storage, n_workers).run_limit_scan(
+                scan_set, SCHEMA, k=5)
+            assert report.partitions_loaded >= min(n_workers,
+                                                   len(scan_set))
+            assert report.rows_produced == 5
+
+    def test_single_worker_reads_one_partition(self):
+        storage, scan_set = setup()
+        report = Warehouse(storage, 1).run_limit_scan(
+            scan_set, SCHEMA, k=5)
+        assert report.partitions_loaded == 1
+        assert report.rounds == 1
+
+    def test_predicate_requires_more_rounds(self):
+        storage, scan_set = setup()
+        predicate = Compare(">=", col("x"), lit(900))
+        report = Warehouse(storage, 2).run_limit_scan(
+            scan_set, SCHEMA, k=5, predicate=predicate)
+        # matching rows live in the last partitions; round-robin means
+        # many rounds before reaching them
+        assert report.rounds > 1
+        assert report.rows_produced == 5
+
+    def test_k_larger_than_table(self):
+        storage, scan_set = setup(n_rows=100, rows_per_partition=50)
+        report = Warehouse(storage, 4).run_limit_scan(
+            scan_set, SCHEMA, k=10_000)
+        assert report.partitions_loaded == len(scan_set)
+        assert report.rows_produced == 100
+
+    def test_per_worker_loads_sum(self):
+        storage, scan_set = setup()
+        report = Warehouse(storage, 4).run_limit_scan(
+            scan_set, SCHEMA, k=5)
+        assert sum(report.per_worker_loads) == report.partitions_loaded

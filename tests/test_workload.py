@@ -1,0 +1,195 @@
+"""Tests for distributions, SQL classification, the platform/workload
+generator, and mini TPC-H."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.bench.stats import fraction_at_most
+from repro.workload import (
+    Platform,
+    PlatformConfig,
+    QueryClass,
+    QueryMix,
+    WorkloadGenerator,
+    classify_sql,
+    sample_limit_k,
+    sample_selectivity,
+    zipf_template_index,
+)
+from repro.workload.tpch import (
+    TpchConfig,
+    build_tpch,
+    measure_query_pruning,
+    tpch_queries,
+)
+
+
+class TestDistributions:
+    def test_limit_k_cdf_matches_figure6(self):
+        rng = random.Random(0)
+        samples = [sample_limit_k(rng) for _ in range(20_000)]
+        assert fraction_at_most(samples, 10_000) == \
+            pytest.approx(0.97, abs=0.02)
+        assert fraction_at_most(samples, 2_000_000) >= 0.995
+        # most queries have k = 0 or 1
+        small = sum(1 for s in samples if s <= 1) / len(samples)
+        assert small > 0.35
+
+    def test_selectivity_mostly_high(self):
+        rng = random.Random(1)
+        samples = [sample_selectivity(rng) for _ in range(10_000)]
+        assert all(0 < s <= 1 for s in samples)
+        assert fraction_at_most(samples, 0.01) == \
+            pytest.approx(0.5, abs=0.05)
+
+    def test_zipf_skewed(self):
+        rng = random.Random(2)
+        draws = Counter(zipf_template_index(rng, 100)
+                        for _ in range(5000))
+        assert draws[0] > draws.get(50, 0)
+        # long tail exists
+        assert len(draws) > 30
+
+
+class TestClassify:
+    @pytest.mark.parametrize("sql,expected", [
+        ("SELECT * FROM t WHERE x > 1", QueryClass.PLAIN),
+        ("SELECT * FROM t LIMIT 5", QueryClass.LIMIT_NO_PREDICATE),
+        ("SELECT * FROM t WHERE x > 1 LIMIT 5",
+         QueryClass.LIMIT_WITH_PREDICATE),
+        ("SELECT * FROM t ORDER BY x DESC LIMIT 5",
+         QueryClass.TOPK_ORDER_LIMIT),
+        ("SELECT x, count(*) AS c FROM t GROUP BY x "
+         "ORDER BY x DESC LIMIT 5", QueryClass.TOPK_GROUP_ORDER_KEY),
+        ("SELECT y, sum(x) AS s FROM t GROUP BY y "
+         "ORDER BY sum(x) DESC LIMIT 5",
+         QueryClass.TOPK_GROUP_ORDER_AGG),
+        ("SELECT y, sum(x) AS s FROM t GROUP BY y "
+         "ORDER BY s DESC LIMIT 5", QueryClass.TOPK_GROUP_ORDER_AGG),
+    ])
+    def test_classification(self, sql, expected):
+        assert classify_sql(sql) == expected
+
+    def test_flags(self):
+        assert QueryClass.LIMIT_NO_PREDICATE.is_limit
+        assert QueryClass.TOPK_ORDER_LIMIT.is_topk
+        assert not QueryClass.PLAIN.is_limit
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform(PlatformConfig(
+        seed=0, n_small_tables=4, n_medium_tables=2, n_large_tables=2,
+        n_dim_tables=2, rows_per_partition=100))
+
+
+class TestPlatform:
+    def test_tables_created(self, platform):
+        assert len(platform.fact_tables) == 8
+        assert len(platform.dim_tables) == 2
+        for name in platform.fact_tables:
+            spec = platform.specs[name]
+            table = platform.catalog.tables[name]
+            assert table.num_partitions == spec.n_partitions
+
+    def test_layout_diversity(self, platform):
+        layouts = {platform.specs[n].layout
+                   for n in platform.fact_tables}
+        assert {"sorted", "clustered", "random"} <= layouts
+
+    def test_deterministic(self):
+        a = Platform(PlatformConfig(seed=7, n_small_tables=1,
+                                    n_medium_tables=1,
+                                    n_large_tables=0, n_dim_tables=1))
+        b = Platform(PlatformConfig(seed=7, n_small_tables=1,
+                                    n_medium_tables=1,
+                                    n_large_tables=0, n_dim_tables=1))
+        for name in a.catalog.tables:
+            assert a.catalog.tables[name].to_rows() == \
+                b.catalog.tables[name].to_rows()
+
+
+class TestWorkloadGenerator:
+    def test_mix_roughly_respected(self, platform):
+        generator = WorkloadGenerator(platform, seed=3)
+        queries = generator.generate(3000)
+        kinds = Counter(q.kind for q in queries)
+        assert kinds["select_pred"] / 3000 == pytest.approx(0.60,
+                                                            abs=0.05)
+        assert kinds["join"] / 3000 == pytest.approx(0.20, abs=0.04)
+        limit_share = (kinds["limit_pred"]
+                       + kinds["limit_nopred"]) / 3000
+        assert limit_share == pytest.approx(0.026, abs=0.012)
+
+    def test_all_queries_executable(self, platform):
+        generator = WorkloadGenerator(platform, seed=4)
+        for query in generator.generate(120):
+            result = platform.catalog.sql(query.sql)
+            assert result.profile.total_partitions >= 0
+
+    def test_classification_agrees_with_kind(self, platform):
+        generator = WorkloadGenerator(platform, seed=5)
+        for query in generator.generate(300):
+            cls = classify_sql(query.sql)
+            if query.kind == "limit_pred":
+                assert cls == QueryClass.LIMIT_WITH_PREDICATE
+            elif query.kind == "limit_nopred":
+                assert cls == QueryClass.LIMIT_NO_PREDICATE
+            elif query.kind == "topk_plain":
+                assert cls == QueryClass.TOPK_ORDER_LIMIT
+            elif query.kind == "topk_group_key":
+                assert cls == QueryClass.TOPK_GROUP_ORDER_KEY
+            elif query.kind == "topk_group_agg":
+                assert cls == QueryClass.TOPK_GROUP_ORDER_AGG
+
+    def test_repetition_stream_mostly_singletons(self, platform):
+        generator = WorkloadGenerator(platform, seed=6)
+        stream = generator.topk_stream_with_repetition(400)
+        counts = Counter(q.sql for q in stream)
+        singletons = sum(1 for c in counts.values() if c == 1)
+        assert singletons / len(counts) > 0.4
+
+
+class TestTpch:
+    @pytest.fixture(scope="class")
+    def tpch(self):
+        return build_tpch(TpchConfig(orders_count=2000))
+
+    def test_tables_built(self, tpch):
+        for table in ("lineitem", "orders", "customer", "part",
+                      "supplier", "partsupp", "nation", "region"):
+            assert table in tpch.tables
+        assert tpch.tables["lineitem"].row_count > \
+            tpch.tables["orders"].row_count
+
+    def test_22_queries(self):
+        queries = tpch_queries()
+        assert [q.number for q in queries] == list(range(1, 23))
+
+    def test_all_queries_measurable(self, tpch):
+        for query in tpch_queries():
+            total, pruned = measure_query_pruning(tpch, query)
+            assert total > 0
+            assert 0 <= pruned <= total
+
+    def test_clustering_improves_pruning(self):
+        clustered = build_tpch(TpchConfig(orders_count=1500,
+                                          cluster=True))
+        unclustered = build_tpch(TpchConfig(orders_count=1500,
+                                            cluster=False))
+        q6 = next(q for q in tpch_queries() if q.number == 6)
+        _, pruned_clustered = measure_query_pruning(clustered, q6)
+        _, pruned_unclustered = measure_query_pruning(unclustered, q6)
+        assert pruned_clustered > pruned_unclustered
+
+    def test_date_clustered_queries_prune_best(self, tpch):
+        ratios = {}
+        for query in tpch_queries():
+            total, pruned = measure_query_pruning(tpch, query)
+            ratios[query.number] = pruned / total
+        # Q6 (tight shipdate range) beats Q1 (97% of dates kept)
+        assert ratios[6] > ratios[1]
+        # Q18 has no prunable predicates at all
+        assert ratios[18] == 0.0
