@@ -1,0 +1,121 @@
+"""Service-layer throughput: concurrent clients through QueryService.
+
+Not a paper figure — this benchmarks the reproduction's own Cloud
+Services layer (ROADMAP: serve heavy concurrent traffic). N client
+threads replay the calibrated synthetic workload mix (Table 1)
+through one :class:`~repro.service.QueryService`, with a slice of
+repeated "dashboard" queries (result-cache food) and a sprinkle of
+DML (invalidation pressure). Reports wall-clock p50/p95 latency,
+queue wait, throughput, cache hit ratio, and the pool's scaling
+events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import QueryService
+from repro.workload import Platform, PlatformConfig, WorkloadGenerator
+
+N_CLIENTS = 8
+QUERIES_PER_CLIENT = 40
+#: every k-th query re-issues a popular dashboard query verbatim
+DASHBOARD_EVERY = 3
+#: every k-th query is DML (invalidation traffic)
+DML_EVERY = 23
+
+
+@pytest.fixture(scope="module")
+def service_platform() -> Platform:
+    """A small platform so the bench stays fast under -x runs."""
+    return Platform(PlatformConfig(
+        seed=11,
+        rows_per_partition=100,
+        n_small_tables=6,
+        n_medium_tables=4,
+        n_large_tables=2,
+        n_dim_tables=2,
+    ))
+
+
+def _client_scripts(platform: Platform) -> list[list[str]]:
+    """Per-client query lists: mixed workload + dashboards + DML."""
+    generator = WorkloadGenerator(platform, seed=23)
+    dashboards = [q.sql for q in generator.generate(6)]
+    fact = platform.fact_tables[0]
+    scripts: list[list[str]] = []
+    for client in range(N_CLIENTS):
+        fresh = generator.generate(QUERIES_PER_CLIENT)
+        script = []
+        for i, query in enumerate(fresh):
+            if i % DML_EVERY == DML_EVERY - 1:
+                script.append(
+                    f"UPDATE {fact} SET score = score + 1 "
+                    f"WHERE ts BETWEEN {client * 10} "
+                    f"AND {client * 10 + 9}")
+            elif i % DASHBOARD_EVERY == DASHBOARD_EVERY - 1:
+                script.append(dashboards[(client + i)
+                                         % len(dashboards)])
+            else:
+                script.append(query.sql)
+        scripts.append(script)
+    return scripts
+
+
+def test_service_throughput(service_platform):
+    service = QueryService(service_platform.catalog,
+                           slots_per_cluster=4,
+                           max_queue_per_cluster=256,
+                           min_clusters=1, max_clusters=4,
+                           scale_out_queue_depth=4)
+    scripts = _client_scripts(service_platform)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(N_CLIENTS)
+
+    def client(script: list[str]):
+        barrier.wait()
+        try:
+            for sql in script:
+                service.sql(sql)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(script,))
+               for script in scripts]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    wall_s = time.perf_counter() - wall_start
+
+    assert not any(t.is_alive() for t in threads)
+    assert errors == []
+    metrics = service.metrics
+    total = N_CLIENTS * QUERIES_PER_CLIENT
+    assert metrics.counter("queries_completed").value == total
+    assert metrics.counter("queries_failed").value == 0
+    # the repeated dashboard queries must actually hit the cache
+    assert metrics.counter("result_cache_hits").value > 0
+    assert metrics.cache_hit_ratio() > 0
+
+    latency = metrics.histogram("latency_ms")
+    queue_wait = metrics.histogram("queue_wait_ms")
+    print("\n--- service throughput "
+          f"({N_CLIENTS} clients x {QUERIES_PER_CLIENT} queries) ---")
+    print(f"wall time           {wall_s:8.2f} s   "
+          f"({total / wall_s:7.1f} queries/s)")
+    print(f"latency p50/p95     {latency.percentile(50):8.2f} / "
+          f"{latency.percentile(95):8.2f} ms")
+    print(f"queue wait p50/p95  {queue_wait.percentile(50):8.2f} / "
+          f"{queue_wait.percentile(95):8.2f} ms")
+    print(f"cache hit ratio     {metrics.cache_hit_ratio():8.2%}  "
+          f"({metrics.counter('result_cache_hits').value:.0f} hits)")
+    print(f"pruning ratio       {metrics.pruning_ratio():8.2%}")
+    print(f"clusters            {service.pool.n_clusters}  "
+          f"(events: {[e.action for e in service.pool.events]})")
+    print(f"dml statements      "
+          f"{metrics.counter('dml_statements').value:.0f}")

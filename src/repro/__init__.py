@@ -45,8 +45,9 @@ from .storage.builder import build_table
 from .catalog import Catalog, QueryResult
 from .plan.compiler import CompilerOptions
 from .expr.ast import col, lit
+from .service import QueryService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DataType",
@@ -72,6 +73,7 @@ __all__ = [
     "build_table",
     "Catalog",
     "QueryResult",
+    "QueryService",
     "CompilerOptions",
     "col",
     "lit",

@@ -78,6 +78,34 @@ class Catalog:
         self.predicate_cache: PredicateCache | None = None
         self._iceberg_sources: dict[str, dict[int, object]] = {}
         self._compiler = QueryCompiler(self)
+        self._change_listeners: list[Callable[[str, int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Change notification (service-layer hook points)
+    # ------------------------------------------------------------------
+    def add_change_listener(self,
+                            listener: Callable[[str, int], None]) -> None:
+        """Register ``listener(table_name, new_version)``.
+
+        Called after any DML or recluster commits a new table version —
+        the hook the service layer's result cache and background
+        services (e.g. workload-aware reclustering) observe.
+        """
+        self._change_listeners.append(listener)
+
+    def table_version(self, name: str) -> int:
+        """Current data version of one table."""
+        return self._table(name).version
+
+    def table_versions(self, names: Sequence[str]) -> dict[str, int]:
+        """Version snapshot for several tables (result-cache keys)."""
+        return {name.lower(): self._table(name).version
+                for name in names}
+
+    def _bump_version(self, table: Table) -> None:
+        version = table.bump_version()
+        for listener in self._change_listeners:
+            listener(table.name, version)
 
     # ------------------------------------------------------------------
     # DDL
@@ -282,6 +310,8 @@ class Catalog:
         if self.predicate_cache is not None and removed_ids:
             self.predicate_cache.on_update(table.name, removed_ids,
                                            inserted_ids, [column])
+        if removed_ids:
+            self._bump_version(table)
         return updated_rows
 
     def plan_sql(self, text: str) -> LogicalNode:
@@ -298,11 +328,18 @@ class Catalog:
         if options.predicate_cache is None and \
                 self.predicate_cache is not None:
             options.predicate_cache = self.predicate_cache
-        plan = plan_select(parse_select(text), self.schema_of)
+        stmt = parse_select(text)
+        plan = plan_select(stmt, self.schema_of)
         context = ExecContext(self.storage, self.metadata,
                               query_id="explain")
         compiled = self._compiler.compile(plan, context, options)
-        return render_plan(compiled.root)
+        rendered = render_plan(compiled.root)
+        tables = [stmt.table.name] + [j.table.name
+                                      for j in stmt.joins]
+        versions = ", ".join(
+            f"{name}=v{self._table(name).version}"
+            for name in dict.fromkeys(t.lower() for t in tables))
+        return f"{rendered}\n-- table versions: {versions}"
 
     def execute_plan(self, plan: LogicalNode,
                      options: CompilerOptions | None = None
@@ -340,6 +377,8 @@ class Catalog:
             new_ids.append(partition.partition_id)
         if self.predicate_cache is not None:
             self.predicate_cache.on_insert(table.name, new_ids)
+        if new_ids:
+            self._bump_version(table)
         return new_ids
 
     def _dml_candidates(self, table: Table, predicate: ast.Expr,
@@ -404,6 +443,8 @@ class Catalog:
             self.predicate_cache.on_delete(table.name, removed_ids)
             if inserted_ids:
                 self.predicate_cache.on_insert(table.name, inserted_ids)
+        if removed_ids:
+            self._bump_version(table)
         return deleted_rows
 
     def update_where(self, table_name: str, predicate: ast.Expr,
@@ -443,6 +484,8 @@ class Catalog:
         if self.predicate_cache is not None and removed_ids:
             self.predicate_cache.on_update(table.name, removed_ids,
                                            inserted_ids, [column])
+        if removed_ids:
+            self._bump_version(table)
         return updated_rows
 
     # ------------------------------------------------------------------
@@ -507,6 +550,7 @@ class Catalog:
             self.predicate_cache.on_update(
                 table.name, old_ids, table.partition_ids,
                 table.schema.names())
+        self._bump_version(table)
         return table.num_partitions
 
     def _swap_partition(self, table: Table, old: MicroPartition,

@@ -128,6 +128,26 @@ class QueryProfile:
             self.query_id, self.total_partitions, results,
             eligible=eligible, final_partitions=final)
 
+    def metrics_export(self) -> dict[str, float]:
+        """Flat numeric view of this profile for the service-layer
+        metrics registry (:mod:`repro.service.metrics`).
+
+        Keys are stable metric names; values are plain numbers, so a
+        registry can feed counters/histograms without knowing the
+        profile's structure.
+        """
+        return {
+            "compile_ms": self.compile_ms,
+            "exec_ms": self.exec_ms,
+            "total_ms": self.total_ms,
+            "partitions_total": float(self.total_partitions),
+            "partitions_loaded": float(self.partitions_loaded),
+            "partitions_pruned": float(self.partitions_pruned),
+            "rows_scanned": float(sum(s.rows_scanned
+                                      for s in self.scans)),
+            "scans": float(len(self.scans)),
+        }
+
     def pruning_summary(self) -> str:
         """Human-readable per-scan pruning report."""
         lines = []

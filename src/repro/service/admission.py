@@ -1,0 +1,276 @@
+"""Admission control: concurrency slots, bounded queue, backpressure.
+
+A Snowflake warehouse runs a limited number of queries concurrently;
+excess queries wait in the Cloud Services layer's queue, and when the
+queue itself fills up the service sheds load instead of collapsing
+(§2's multi-tenant service layer). This module reproduces that
+behaviour for one cluster:
+
+- a fixed number of **concurrency slots**;
+- a bounded **FIFO queue** for queries that arrive while all slots
+  are busy;
+- **queue-wait timeouts** (a queued query gives up after a deadline);
+- **cooperative cancellation** (a queued or running query can be
+  cancelled through its :class:`CancelToken`);
+- **backpressure**: when the queue is full, :meth:`acquire` raises
+  the typed :class:`AdmissionRejected` immediately.
+
+It also provides the :class:`ReadWriteLock` the service uses to give
+SELECTs shared access and DML exclusive access to a catalog — the
+simulation's stand-in for snapshot isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable
+
+from ..errors import ReproError
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionRejected",
+    "QueueWaitTimeout",
+    "QueryCancelled",
+    "CancelToken",
+    "AdmissionController",
+    "ReadWriteLock",
+]
+
+
+class AdmissionError(ReproError):
+    """Base class for admission-control failures."""
+
+
+class AdmissionRejected(AdmissionError):
+    """The cluster's wait queue is full; the query was shed."""
+
+
+class QueueWaitTimeout(AdmissionError):
+    """The query waited in the queue past its deadline."""
+
+
+class QueryCancelled(AdmissionError):
+    """The query was cancelled before or during execution."""
+
+
+class CancelToken:
+    """Cooperative cancellation flag shared with a running query.
+
+    ``cancel()`` flips the flag and runs any registered callbacks
+    (used to wake queued waiters). Execution code calls
+    :meth:`raise_if_cancelled` at safe points.
+    """
+
+    def __init__(self):
+        self._cancelled = False
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable[[], None]] = []
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        with self._lock:
+            if self._cancelled:
+                return
+            self._cancelled = True
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+        for callback in callbacks:
+            callback()
+
+    def on_cancel(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` on cancellation (immediately if already
+        cancelled)."""
+        with self._lock:
+            if not self._cancelled:
+                self._callbacks.append(callback)
+                return
+        callback()
+
+    def raise_if_cancelled(self) -> None:
+        if self._cancelled:
+            raise QueryCancelled("query was cancelled")
+
+
+class _Waiter:
+    """One queued admission request."""
+
+    __slots__ = ("event", "token", "granted")
+
+    def __init__(self, token: CancelToken | None):
+        self.event = threading.Event()
+        self.token = token
+        self.granted = False
+
+
+class AdmissionController:
+    """Concurrency slots plus a bounded FIFO wait queue."""
+
+    def __init__(self, slots: int = 8, max_queue: int = 32):
+        if slots < 1:
+            raise ValueError("need at least one concurrency slot")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.slots = slots
+        self.max_queue = max_queue
+        self._lock = threading.Lock()
+        self._free = slots
+        self._running = 0
+        self._queue: deque[_Waiter] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> int:
+        """Queries currently holding a slot."""
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries currently waiting for a slot."""
+        return len(self._queue)
+
+    @property
+    def free_slots(self) -> int:
+        return self._free
+
+    # ------------------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """Take a slot iff one is free and nobody is queued ahead."""
+        with self._lock:
+            if self._free > 0 and not self._queue:
+                self._free -= 1
+                self._running += 1
+                return True
+            return False
+
+    def acquire(self, timeout: float | None = None,
+                token: CancelToken | None = None) -> float:
+        """Block until a slot is granted; returns queue wait seconds.
+
+        Raises:
+            AdmissionRejected: the wait queue is already full.
+            QueueWaitTimeout: no slot freed up within ``timeout``.
+            QueryCancelled: ``token`` was cancelled while waiting.
+        """
+        with self._lock:
+            if self._free > 0 and not self._queue:
+                self._free -= 1
+                self._running += 1
+                return 0.0
+            if len(self._queue) >= self.max_queue:
+                raise AdmissionRejected(
+                    f"queue full ({self.max_queue} waiting, "
+                    f"{self._running} running)")
+            waiter = _Waiter(token)
+            self._queue.append(waiter)
+        if token is not None:
+            token.on_cancel(waiter.event.set)
+        start = time.perf_counter()
+        waiter.event.wait(timeout)
+        with self._lock:
+            if waiter.granted:
+                return time.perf_counter() - start
+            # Timed out or cancelled while queued: withdraw.
+            try:
+                self._queue.remove(waiter)
+            except ValueError:
+                # release() granted us the slot in the meantime —
+                # keep it rather than leak it.
+                if waiter.granted:
+                    return time.perf_counter() - start
+        if token is not None and token.cancelled:
+            raise QueryCancelled("cancelled while queued")
+        raise QueueWaitTimeout(
+            f"no slot within {timeout:.3f}s "
+            f"({self._running} running, {len(self._queue)} queued)")
+
+    def release(self) -> None:
+        """Return a slot; hands it to the oldest live waiter."""
+        with self._lock:
+            if self._running <= 0:
+                raise AdmissionError("release() without acquire()")
+            self._running -= 1
+            while self._queue:
+                waiter = self._queue.popleft()
+                if waiter.token is not None and waiter.token.cancelled:
+                    waiter.event.set()  # let it observe cancellation
+                    continue
+                waiter.granted = True
+                self._running += 1
+                waiter.event.set()
+                return
+            self._free += 1
+
+    @contextmanager
+    def slot(self, timeout: float | None = None,
+             token: CancelToken | None = None):
+        """``with controller.slot():`` acquire/release convenience."""
+        self.acquire(timeout=timeout, token=token)
+        try:
+            yield self
+        finally:
+            self.release()
+
+
+class ReadWriteLock:
+    """Writer-preference readers/writer lock.
+
+    Many SELECTs share the catalog concurrently; DML and reclustering
+    take exclusive access. A waiting writer blocks *new* readers so
+    a steady SELECT stream cannot starve DML.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

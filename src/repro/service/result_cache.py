@@ -1,0 +1,122 @@
+"""Query result cache keyed on normalized SQL + table versions.
+
+Snowflake's Cloud Services layer answers repeated queries from a
+result cache without ever touching a warehouse (§2). Our cache key is
+the *normalized* statement text (see :mod:`repro.sql.normalize`); an
+entry additionally pins the data **version** of every table the query
+read. A lookup only hits when each referenced table still has the
+version recorded at store time, so DML and reclustering invalidate
+results automatically — version-mismatched entries are evicted as
+stale the moment they are seen (and eagerly via
+:meth:`invalidate_table`, wired to the catalog's change listener).
+
+Entries are kept LRU; capacity is bounded by ``max_entries``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..catalog import QueryResult
+
+__all__ = ["CacheStats", "CacheEntry", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters (all guarded by the cache's lock)."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    stale_evictions: int = 0
+    capacity_evictions: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class CacheEntry:
+    """One cached result with its validity snapshot."""
+
+    key: str
+    result: QueryResult
+    table_versions: dict[str, int] = field(default_factory=dict)
+    hits: int = 0
+
+
+class ResultCache:
+    """LRU result cache with version-based invalidation."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str,
+               current_versions: dict[str, int]) -> QueryResult | None:
+        """The cached result, or None on miss/stale.
+
+        ``current_versions`` must cover every table the statement
+        references (version snapshot taken under the service's read
+        lock, so no DML can commit between the check and the return).
+        """
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.table_versions != current_versions:
+                del self._entries[key]
+                self.stats.stale_evictions += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.stats.hits += 1
+            return entry.result
+
+    def store(self, key: str, result: QueryResult,
+              table_versions: dict[str, int]) -> None:
+        """Insert/replace an entry; evicts LRU beyond capacity."""
+        entry = CacheEntry(key=key, result=result,
+                           table_versions=dict(table_versions))
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = entry
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.capacity_evictions += 1
+
+    # ------------------------------------------------------------------
+    def invalidate_table(self, table: str) -> int:
+        """Eagerly drop every entry that read ``table``; returns the
+        number dropped. (Version checks would catch them lazily; eager
+        invalidation frees memory and keeps stats honest.)"""
+        table = table.lower()
+        with self._lock:
+            doomed = [key for key, entry in self._entries.items()
+                      if table in entry.table_versions]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,323 @@
+"""The multi-tenant query service facade.
+
+:class:`QueryService` is the reproduction's Cloud Services layer
+(§2): it sits above a :class:`~repro.catalog.Catalog` and multiplexes
+many concurrent client threads onto shared simulated compute:
+
+1. **Result cache** — repeated SELECTs are answered directly from
+   :class:`~repro.service.result_cache.ResultCache` without admission
+   or execution, and invalidate automatically on table version bumps.
+2. **Admission** — cache misses acquire a concurrency slot from the
+   elastic :class:`~repro.service.pool.WarehousePool` (bounded FIFO
+   queue, queue-wait timeout, typed rejection on overload).
+3. **Isolation** — SELECTs run under a shared lock, DML and
+   reclustering under an exclusive lock, so every query sees a
+   consistent table snapshot (the simulation's stand-in for
+   snapshot isolation over immutable micro-partitions).
+4. **Telemetry** — every query feeds the
+   :class:`~repro.service.metrics.MetricsRegistry`: queue wait and
+   latency histograms, cache hit ratio, partitions pruned/loaded.
+
+Clients either call :meth:`QueryService.sql` (synchronous shim, runs
+on the calling thread) or :meth:`submit` / :meth:`result` /
+:meth:`cancel` for asynchronous submission.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ..catalog import Catalog, QueryResult
+from ..errors import ReproError
+from ..sql.normalize import is_select, normalize_sql, referenced_tables
+from .admission import CancelToken, QueryCancelled, ReadWriteLock
+from .metrics import MetricsRegistry
+from .pool import WarehousePool
+from .result_cache import ResultCache
+
+__all__ = ["QueryStatus", "QueryHandle", "ServiceError", "QueryService"]
+
+_HANDLE_COUNTER = itertools.count(1)
+
+
+class ServiceError(ReproError):
+    """The service could not process a request (unknown handle, ...)."""
+
+
+class QueryStatus(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class QueryHandle:
+    """Client-visible state of one submitted query."""
+
+    query_id: str
+    sql: str
+    status: QueryStatus = QueryStatus.QUEUED
+    result: QueryResult | None = None
+    error: BaseException | None = None
+    cache_hit: bool = False
+    cluster: str = ""
+    queue_wait_ms: float = 0.0
+    latency_ms: float = 0.0
+    token: CancelToken = field(default_factory=CancelToken)
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False, compare=False)
+
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+
+class QueryService:
+    """A thread-safe, multi-tenant front end over one catalog."""
+
+    def __init__(self, catalog: Catalog, *,
+                 slots_per_cluster: int = 8,
+                 max_queue_per_cluster: int = 32,
+                 min_clusters: int = 1, max_clusters: int = 4,
+                 scale_out_queue_depth: int = 2,
+                 scale_in_idle_checks: int = 8,
+                 queue_timeout: float | None = None,
+                 result_cache_entries: int = 256,
+                 enable_result_cache: bool = True,
+                 metrics: MetricsRegistry | None = None):
+        self.catalog = catalog
+        self.pool = WarehousePool(
+            slots_per_cluster=slots_per_cluster,
+            max_queue_per_cluster=max_queue_per_cluster,
+            min_clusters=min_clusters, max_clusters=max_clusters,
+            scale_out_queue_depth=scale_out_queue_depth,
+            scale_in_idle_checks=scale_in_idle_checks)
+        self.result_cache = ResultCache(result_cache_entries) \
+            if enable_result_cache else None
+        self.metrics = metrics or MetricsRegistry()
+        self.queue_timeout = queue_timeout
+        self._table_lock = ReadWriteLock()
+        self._queries: dict[str, QueryHandle] = {}
+        self._queries_lock = threading.Lock()
+        if self.result_cache is not None:
+            catalog.add_change_listener(self._on_table_change)
+
+    # ------------------------------------------------------------------
+    # Catalog change hook
+    # ------------------------------------------------------------------
+    def _on_table_change(self, table: str, version: int) -> None:
+        self.result_cache.invalidate_table(table)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def sql(self, text: str, *,
+            queue_timeout: float | None = None) -> QueryResult:
+        """Synchronous shim: submit, execute on the calling thread,
+        and return the result (or raise the query's error)."""
+        handle = self._register(text)
+        self._run(handle, queue_timeout=queue_timeout)
+        return self.result(handle.query_id)
+
+    def submit(self, text: str, *,
+               queue_timeout: float | None = None) -> QueryHandle:
+        """Asynchronous submission; execution starts immediately on a
+        service thread. Returns the handle to poll/await."""
+        handle = self._register(text)
+        worker = threading.Thread(
+            target=self._run, args=(handle,),
+            kwargs={"queue_timeout": queue_timeout},
+            name=f"query-{handle.query_id}", daemon=True)
+        worker.start()
+        return handle
+
+    def result(self, query_id: str | QueryHandle,
+               timeout: float | None = None) -> QueryResult:
+        """Block until a query finishes and return its result.
+
+        Raises the query's own error for failed/cancelled/rejected
+        queries, or :class:`ServiceError` on unknown ids / timeout.
+        """
+        handle = self._handle(query_id)
+        if not handle.wait(timeout):
+            raise ServiceError(
+                f"query {handle.query_id} still "
+                f"{handle.status.value} after {timeout}s")
+        if handle.error is not None:
+            raise handle.error
+        assert handle.result is not None
+        return handle.result
+
+    def cancel(self, query_id: str | QueryHandle) -> bool:
+        """Request cooperative cancellation; True if the query had
+        not already finished."""
+        handle = self._handle(query_id)
+        if handle.finished:
+            return False
+        handle.token.cancel()
+        return True
+
+    def status(self, query_id: str | QueryHandle) -> QueryStatus:
+        return self._handle(query_id).status
+
+    def insert(self, table: str, rows, *,
+               queue_timeout: float | None = None) -> list[int]:
+        """Bulk-load rows through the service (admission + exclusive
+        lock), so concurrent SELECTs never observe a half-applied
+        load. Returns the new partition ids."""
+        cluster, _ = self.pool.acquire(
+            timeout=self.queue_timeout
+            if queue_timeout is None else queue_timeout)
+        try:
+            with self._table_lock.write():
+                new_ids = self.catalog.insert(table, rows)
+        finally:
+            self.pool.release(cluster)
+        self.metrics.counter("dml_statements").inc()
+        return new_ids
+
+    def describe(self) -> dict[str, Any]:
+        """Operational snapshot: pool shape, cache, key metrics."""
+        snap = {
+            "clusters": self.pool.n_clusters,
+            "running": self.pool.total_running,
+            "queued": self.pool.total_queued,
+            "cache_entries": len(self.result_cache)
+            if self.result_cache is not None else 0,
+            "cache_hit_ratio": self.metrics.cache_hit_ratio(),
+            "pruning_ratio": self.metrics.pruning_ratio(),
+        }
+        for name in ("queries_completed", "queries_failed",
+                     "queries_cancelled", "queries_rejected"):
+            snap[name] = self.metrics.counter(name).value
+        return snap
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _register(self, text: str) -> QueryHandle:
+        handle = QueryHandle(
+            query_id=f"svc-{next(_HANDLE_COUNTER)}", sql=text)
+        with self._queries_lock:
+            self._queries[handle.query_id] = handle
+        self.metrics.counter("queries_submitted").inc()
+        return handle
+
+    def _handle(self, query_id: str | QueryHandle) -> QueryHandle:
+        if isinstance(query_id, QueryHandle):
+            return query_id
+        with self._queries_lock:
+            try:
+                return self._queries[query_id]
+            except KeyError:
+                raise ServiceError(
+                    f"unknown query id {query_id!r}") from None
+
+    def _finish(self, handle: QueryHandle, status: QueryStatus,
+                *, result: QueryResult | None = None,
+                error: BaseException | None = None) -> None:
+        handle.result = result
+        handle.error = error
+        handle.status = status
+        counter = {
+            QueryStatus.DONE: "queries_completed",
+            QueryStatus.FAILED: "queries_failed",
+            QueryStatus.CANCELLED: "queries_cancelled",
+        }[status]
+        self.metrics.counter(counter).inc()
+        handle._done.set()
+
+    def _run(self, handle: QueryHandle,
+             queue_timeout: float | None = None) -> None:
+        start = time.perf_counter()
+        try:
+            self._execute(handle, queue_timeout)
+        except QueryCancelled as exc:
+            self._finish(handle, QueryStatus.CANCELLED, error=exc)
+        except BaseException as exc:  # noqa: BLE001 — stored, re-raised
+            from .admission import AdmissionRejected, QueueWaitTimeout
+
+            if isinstance(exc, AdmissionRejected):
+                self.metrics.counter("queries_rejected").inc()
+            elif isinstance(exc, QueueWaitTimeout):
+                self.metrics.counter("queries_timed_out").inc()
+            self._finish(handle, QueryStatus.FAILED, error=exc)
+        finally:
+            handle.latency_ms = (time.perf_counter() - start) * 1e3
+
+    def _execute(self, handle: QueryHandle,
+                 queue_timeout: float | None) -> None:
+        handle.token.raise_if_cancelled()
+        select = is_select(handle.sql)  # also surfaces parse errors
+        if not select:
+            self.metrics.counter("dml_statements").inc()
+        cache_key = ""
+        tables: tuple[str, ...] = ()
+        if select and self.result_cache is not None:
+            cache_key = normalize_sql(handle.sql)
+            tables = referenced_tables(handle.sql)
+            with self._table_lock.read():
+                versions = self.catalog.table_versions(tables)
+                cached = self.result_cache.lookup(cache_key, versions)
+            if cached is not None:
+                self.metrics.counter("result_cache_hits").inc()
+                handle.cache_hit = True
+                result = QueryResult(schema=cached.schema,
+                                     rows=cached.rows,
+                                     profile=cached.profile,
+                                     sql=handle.sql)
+                # No warehouse work happened: record the (near-zero)
+                # serving latency but do not re-count the cached
+                # profile's pruning/I-O numbers.
+                self.metrics.observe_query(0.0, 0.0)
+                self._finish(handle, QueryStatus.DONE, result=result)
+                return
+            self.metrics.counter("result_cache_misses").inc()
+        cluster, wait = self.pool.acquire(
+            timeout=self.queue_timeout
+            if queue_timeout is None else queue_timeout,
+            token=handle.token)
+        handle.cluster = cluster.name
+        handle.queue_wait_ms = wait * 1e3
+        try:
+            handle.token.raise_if_cancelled()
+            handle.status = QueryStatus.RUNNING
+            started = time.perf_counter()
+            if select:
+                with self._table_lock.read():
+                    result = self.catalog.sql(handle.sql)
+                    if self.result_cache is not None:
+                        # Versions cannot move while we hold the read
+                        # lock, so this snapshot matches the data the
+                        # query actually saw.
+                        self.result_cache.store(
+                            cache_key, result,
+                            self.catalog.table_versions(tables))
+            else:
+                with self._table_lock.write():
+                    result = self.catalog.sql(handle.sql)
+        finally:
+            self.pool.release(cluster)
+        if select:
+            # A SELECT cancelled mid-execution discards its result;
+            # committed DML is reported as done regardless (its
+            # effects are already visible).
+            handle.token.raise_if_cancelled()
+        self._record(handle, result, started)
+        self._finish(handle, QueryStatus.DONE, result=result)
+
+    def _record(self, handle: QueryHandle, result: QueryResult,
+                started: float) -> None:
+        wall_ms = (time.perf_counter() - started) * 1e3
+        self.metrics.observe_query(wall_ms, handle.queue_wait_ms)
+        self.metrics.observe_profile(result.profile)

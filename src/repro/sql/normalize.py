@@ -1,0 +1,64 @@
+"""SQL text normalization for result-cache keys.
+
+The service layer's result cache (§2's Cloud Services keep a query
+result cache in front of the warehouses) must treat textually
+different but semantically identical statements as the same key:
+whitespace, comments, keyword/identifier case, and a trailing ``;``
+must not cause cache misses. Normalization is purely lexical — it
+reuses the SQL tokenizer, lowercases identifiers (the parser binds
+names case-insensitively), re-quotes string literals (preserving
+case), and joins tokens with single spaces.
+
+Beyond the canonical text, the cache needs the set of tables a
+statement touches so it can snapshot their versions:
+:func:`referenced_tables` extracts them from the parsed statement.
+"""
+
+from __future__ import annotations
+
+from .lexer import tokenize
+from .parser import SelectStmt, parse_statement
+
+__all__ = ["normalize_sql", "referenced_tables", "is_select"]
+
+
+def normalize_sql(text: str) -> str:
+    """Canonical single-line form of a statement, for cache keys.
+
+    ``SELECT * FROM t  WHERE x=1;`` and ``select *\\nfrom T where
+    x = 1 -- comment`` normalize identically. String literals keep
+    their case (SQL strings are case-sensitive); numbers keep their
+    written form (``1.0`` and ``1`` stay distinct — they are
+    different literals even when equal).
+    """
+    parts: list[str] = []
+    for token in tokenize(text):
+        if token.kind == "EOF":
+            break
+        if token.kind == "IDENT":
+            parts.append(token.value.lower())
+        elif token.kind == "STRING":
+            parts.append("'" + token.value.replace("'", "''") + "'")
+        else:
+            parts.append(token.value)
+    while parts and parts[-1] == ";":
+        parts.pop()
+    return " ".join(parts)
+
+
+def referenced_tables(text: str) -> tuple[str, ...]:
+    """Sorted, lower-cased names of every table a statement reads
+    or writes (FROM table, JOIN tables, or the DML target)."""
+    stmt = parse_statement(text)
+    if isinstance(stmt, SelectStmt):
+        names = [stmt.table.name]
+        names.extend(join.table.name for join in stmt.joins)
+    else:
+        names = [stmt.table]
+    return tuple(sorted({name.lower() for name in names}))
+
+
+def is_select(text: str) -> bool:
+    """True when the statement is a SELECT (cacheable, shared-lock);
+    False for DML (DELETE/UPDATE: never cached, exclusive-lock)."""
+    return isinstance(parse_statement(text), SelectStmt)

@@ -10,6 +10,7 @@ deterministically.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -43,7 +44,14 @@ class CostModel:
 
 @dataclass
 class IOStats:
-    """Mutable counters for storage traffic during an execution."""
+    """Mutable counters for storage traffic during an execution.
+
+    Counter updates are guarded by an internal lock so concurrent
+    scans (e.g. through :class:`repro.service.QueryService`) never
+    lose accounting increments; plain attribute reads stay lock-free
+    and may observe a slightly stale value mid-flight. Use
+    :meth:`snapshot` for a consistent point-in-time copy.
+    """
 
     requests: int = 0
     bytes_read: int = 0
@@ -51,24 +59,44 @@ class IOStats:
     metadata_lookups: int = 0
     rows_scanned: int = 0
     loaded_partition_ids: list[int] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record_load(self, partition_id: int, nbytes: int) -> None:
+        """Atomically account one partition fetch."""
+        with self._lock:
+            self.requests += 1
+            self.bytes_read += nbytes
+            self.partitions_loaded += 1
+            self.loaded_partition_ids.append(partition_id)
+
+    def add_metadata_lookups(self, lookups: int) -> None:
+        with self._lock:
+            self.metadata_lookups += lookups
+
+    def add_rows_scanned(self, rows: int) -> None:
+        with self._lock:
+            self.rows_scanned += rows
 
     def reset(self) -> None:
-        self.requests = 0
-        self.bytes_read = 0
-        self.partitions_loaded = 0
-        self.metadata_lookups = 0
-        self.rows_scanned = 0
-        self.loaded_partition_ids.clear()
+        with self._lock:
+            self.requests = 0
+            self.bytes_read = 0
+            self.partitions_loaded = 0
+            self.metadata_lookups = 0
+            self.rows_scanned = 0
+            self.loaded_partition_ids.clear()
 
     def snapshot(self) -> "IOStats":
-        return IOStats(
-            requests=self.requests,
-            bytes_read=self.bytes_read,
-            partitions_loaded=self.partitions_loaded,
-            metadata_lookups=self.metadata_lookups,
-            rows_scanned=self.rows_scanned,
-            loaded_partition_ids=list(self.loaded_partition_ids),
-        )
+        with self._lock:
+            return IOStats(
+                requests=self.requests,
+                bytes_read=self.bytes_read,
+                partitions_loaded=self.partitions_loaded,
+                metadata_lookups=self.metadata_lookups,
+                rows_scanned=self.rows_scanned,
+                loaded_partition_ids=list(self.loaded_partition_ids),
+            )
 
     def diff(self, earlier: "IOStats") -> "IOStats":
         """Counters accumulated since ``earlier`` was snapshotted."""
@@ -134,10 +162,7 @@ class StorageLayer:
                 f"no partition with id {partition_id}") from None
         nbytes = (partition.project_bytes(columns)
                   if columns is not None else partition.nbytes())
-        self.stats.requests += 1
-        self.stats.bytes_read += nbytes
-        self.stats.partitions_loaded += 1
-        self.stats.loaded_partition_ids.append(partition_id)
+        self.stats.record_load(partition_id, nbytes)
         return partition
 
     def peek(self, partition_id: int) -> MicroPartition:

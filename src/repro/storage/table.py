@@ -15,6 +15,13 @@ class Table:
     A table is a name, a schema, and an ordered list of micro-partitions.
     The partition list is append-only from the caller's perspective;
     DML rewrites partitions wholesale (see :class:`repro.catalog.Catalog`).
+
+    Every table carries a monotonically increasing :attr:`version`,
+    bumped by the catalog whenever DML or reclustering changes the
+    table's contents. Version numbers are the result cache's
+    invalidation signal (a cached result is valid only while every
+    referenced table still has the version it was computed at) and
+    appear in EXPLAIN output.
     """
 
     def __init__(self, name: str, schema: Schema,
@@ -22,8 +29,19 @@ class Table:
         self.name = name.lower()
         self.schema = schema
         self._partitions: list[MicroPartition] = []
+        self._version = 1
         for partition in partitions:
             self.add_partition(partition)
+
+    @property
+    def version(self) -> int:
+        """Monotonic data version; changes whenever contents change."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Advance the data version (catalog-internal); returns it."""
+        self._version += 1
+        return self._version
 
     def add_partition(self, partition: MicroPartition) -> None:
         if partition.schema != self.schema:
