@@ -29,6 +29,23 @@ from .errors import (
     ExecutionError,
     StorageError,
     MetadataError,
+    TransientError,
+    StorageTimeout,
+    StorageThrottled,
+    CorruptionError,
+    PartitionUnavailableError,
+    MetadataTimeout,
+    MetadataThrottled,
+    MetadataUnavailableError,
+    CircuitOpenError,
+    QueryTimeout,
+)
+from .faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    RetryStats,
 )
 from .storage import (
     Column,
@@ -47,7 +64,7 @@ from .plan.compiler import CompilerOptions
 from .expr.ast import col, lit
 from .service import QueryService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DataType",
@@ -61,6 +78,21 @@ __all__ = [
     "ExecutionError",
     "StorageError",
     "MetadataError",
+    "TransientError",
+    "StorageTimeout",
+    "StorageThrottled",
+    "CorruptionError",
+    "PartitionUnavailableError",
+    "MetadataTimeout",
+    "MetadataThrottled",
+    "MetadataUnavailableError",
+    "CircuitOpenError",
+    "QueryTimeout",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "RetryStats",
     "Column",
     "ColumnStats",
     "ZoneMap",

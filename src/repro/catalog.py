@@ -26,7 +26,13 @@ import numpy as np
 
 from .engine.context import ExecContext, QueryProfile
 from .engine.executor import execute
-from .errors import SchemaError
+from .errors import (
+    CircuitOpenError,
+    MetadataError,
+    MetadataUnavailableError,
+    SchemaError,
+    TransientError,
+)
 from .expr import ast
 from .expr.eval import evaluate_predicate
 from .plan.compiler import CompilerOptions, QueryCompiler
@@ -59,6 +65,12 @@ class QueryResult:
     def num_rows(self) -> int:
         """Number of result rows."""
         return len(self.rows)
+
+    @property
+    def degraded(self) -> bool:
+        """True when pruning degraded to full scans for some partitions
+        (metadata unavailable); results are still correct."""
+        return self.profile.degraded
 
     def column(self, name: str) -> list[Any]:
         """One output column's values, in row order."""
@@ -218,9 +230,96 @@ class Catalog:
         """A table's schema (compiler resolver interface)."""
         return self._table(table).schema
 
+    #: metadata failures that degrade pruning instead of failing the
+    #: query: exhausted transient faults, a metadata-service outage,
+    #: and a tripped circuit breaker. A plain :class:`MetadataError`
+    #: (key genuinely missing) is a logical error and still propagates.
+    _DEGRADABLE = (TransientError, MetadataUnavailableError,
+                   CircuitOpenError)
+
     def scan_set(self, table: str) -> ScanSet:
-        """A table's full scan set from the metadata store."""
-        return ScanSet(self.metadata.iter_table(table))
+        """A table's full scan set from the metadata store.
+
+        Pruning fails open: when a partition's metadata cannot be
+        fetched (after retries), the partition enters the scan set
+        with a stats-free zone map — every pruning check answers MAYBE
+        and the partition is scanned. A full metadata outage degrades
+        the partition *listing* to the in-memory table as well. The
+        returned scan set carries ``degraded_ids`` plus metadata retry
+        accounting for the query profile.
+        """
+        meta = self.metadata
+        if (meta.fault_injector is None and meta.retry_policy is None
+                and meta.breaker is None):
+            return ScanSet(meta.iter_table(table))
+
+        from .faults.retry import RetryStats
+
+        stats = RetryStats()
+        in_memory: dict[int, MicroPartition] | None = None
+
+        def partitions_by_id() -> dict[int, MicroPartition]:
+            nonlocal in_memory
+            if in_memory is None:
+                in_memory = {p.partition_id: p
+                             for p in self._table(table).partitions}
+            return in_memory
+
+        try:
+            pids = meta.partitions_of(table, retry_stats=stats)
+        except self._DEGRADABLE:
+            # Listing outage: the compiler still knows which partitions
+            # exist (the in-memory table is the simulated data plane).
+            pids = list(partitions_by_id())
+        entries: list[tuple[int, object]] = []
+        degraded_ids: list[int] = []
+        for pid in pids:
+            try:
+                entries.append((pid, meta.get(table, pid,
+                                              retry_stats=stats)))
+                continue
+            except self._DEGRADABLE:
+                pass
+            except MetadataError:
+                if pid in partitions_by_id():
+                    raise
+                continue  # unregistered by concurrent DML; skip
+            partition = partitions_by_id().get(pid)
+            if partition is None:
+                continue  # removed by concurrent DML; skip
+            # Cannot prune it — scan it. A stats-free zone map makes
+            # every pruning check answer MAYBE.
+            entries.append((pid, partition.zone_map.without_stats()))
+            degraded_ids.append(pid)
+        scan = ScanSet(entries, degraded_ids=degraded_ids)
+        snap = stats.snapshot()
+        scan.metadata_retries = int(snap["retries"])
+        scan.metadata_backoff_ms = snap["backoff_ms"]
+        return scan
+
+    def enable_fault_injection(self, injector, retry_policy=None,
+                               breaker=None):
+        """Wire a :class:`~repro.faults.FaultInjector` (plus retry
+        policy and metadata circuit breaker) into storage and metadata.
+
+        ``retry_policy`` defaults to ``RetryPolicy()``; ``breaker``
+        defaults to a fresh ``CircuitBreaker()``. Returns the injector
+        for chaining.
+        """
+        from .faults import CircuitBreaker, RetryPolicy
+        from .faults.retry import RetryStats
+
+        if retry_policy is None:
+            retry_policy = RetryPolicy()
+        self.storage.fault_injector = injector
+        self.storage.retry_policy = retry_policy
+        self.metadata.fault_injector = injector
+        self.metadata.retry_policy = retry_policy
+        self.metadata.breaker = (breaker if breaker is not None
+                                 else CircuitBreaker())
+        if self.metadata.retry_stats is None:
+            self.metadata.retry_stats = RetryStats()
+        return injector
 
     def _table(self, name: str) -> Table:
         try:
@@ -340,6 +439,45 @@ class Catalog:
             f"{name}=v{self._table(name).version}"
             for name in dict.fromkeys(t.lower() for t in tables))
         return f"{rendered}\n-- table versions: {versions}"
+
+    def explain_analyze(self, text: str,
+                        options: CompilerOptions | None = None) -> str:
+        """Execute a statement, then render its plan annotated with
+        the *observed* pruning, retry, and degradation counters.
+
+        Unlike :meth:`explain`, the query actually runs; the report
+        includes the resilience summary (retries absorbed, backoff,
+        degraded partitions) so operators can see how a query behaved
+        under faults.
+        """
+        from .plan.explain import render_plan
+        from .sql.parser import DeleteStmt, UpdateStmt, parse_statement
+
+        stmt = parse_statement(text)
+        if isinstance(stmt, (DeleteStmt, UpdateStmt)):
+            result = self._execute_dml(stmt)
+            profile = result.profile
+            header = (f"-- EXPLAIN ANALYZE "
+                      f"({result.rows[0][0]} rows affected)")
+            body = profile.pruning_summary()
+        else:
+            options = options or CompilerOptions()
+            if options.predicate_cache is None and \
+                    self.predicate_cache is not None:
+                options.predicate_cache = self.predicate_cache
+            plan = plan_select(stmt, self.schema_of)
+            context = ExecContext(self.storage, self.metadata,
+                                  query_id=f"q{next(_QUERY_COUNTER)}")
+            compiled = self._compiler.compile(plan, context, options)
+            execution = execute(compiled.root, context)
+            for hook in compiled.post_exec_hooks:
+                hook()
+            profile = context.profile
+            header = (f"-- EXPLAIN ANALYZE ({len(execution.rows)} rows, "
+                      f"{profile.total_ms:.2f} ms simulated)")
+            body = render_plan(compiled.root)
+        resilience = profile.resilience_summary().replace("\n", "\n-- ")
+        return f"{header}\n{body}\n-- {resilience}"
 
     def execute_plan(self, plan: LogicalNode,
                      options: CompilerOptions | None = None

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..faults.retry import RetryStats
 from ..pruning.base import PruneCategory, PruningResult
 from ..pruning.flow import FlowRecord
 from ..pruning.limit_pruning import LimitPruneReport
@@ -36,6 +37,17 @@ class ScanProfile:
     cache_hit: bool = False
     #: the scan was answered entirely from the metadata store
     metadata_only: bool = False
+    #: partitions whose metadata could not be fetched; they were
+    #: scanned unconditionally instead of being pruned (fail open)
+    degraded_partitions: int = 0
+    #: metadata-read retries absorbed while building this scan set
+    metadata_retries: int = 0
+    metadata_backoff_ms: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when this scan lost pruning for some partitions."""
+        return self.degraded_partitions > 0
 
     @property
     def fully_matching_ids(self) -> list[int]:
@@ -90,10 +102,34 @@ class QueryProfile:
     limit_eligible: bool = False
     topk_eligible: bool = False
     join_eligible: bool = False
+    #: retries/backoff/latency absorbed below this query (storage reads
+    #: attribute into it directly; metadata retries are folded in from
+    #: the scan profiles).
+    retry_stats: RetryStats = field(default_factory=RetryStats)
 
     @property
     def total_ms(self) -> float:
         return self.compile_ms + self.exec_ms
+
+    @property
+    def degraded(self) -> bool:
+        """True when any scan ran without metadata for some partitions."""
+        return any(s.degraded for s in self.scans)
+
+    @property
+    def degraded_partitions(self) -> int:
+        return sum(s.degraded_partitions for s in self.scans)
+
+    @property
+    def total_retries(self) -> int:
+        """Retries absorbed anywhere below this query (storage + metadata)."""
+        return self.retry_stats.retries + sum(s.metadata_retries
+                                              for s in self.scans)
+
+    @property
+    def total_backoff_ms(self) -> float:
+        return self.retry_stats.backoff_ms + sum(s.metadata_backoff_ms
+                                                 for s in self.scans)
 
     @property
     def total_partitions(self) -> int:
@@ -146,7 +182,37 @@ class QueryProfile:
             "rows_scanned": float(sum(s.rows_scanned
                                       for s in self.scans)),
             "scans": float(len(self.scans)),
+            "retries": float(self.total_retries),
+            "retry_backoff_ms": self.total_backoff_ms,
+            "injected_latency_ms": self.retry_stats.injected_latency_ms,
+            "degraded": 1.0 if self.degraded else 0.0,
+            "partitions_degraded": float(self.degraded_partitions),
         }
+
+    def resilience_summary(self) -> str:
+        """Human-readable retry/degradation report for this query."""
+        lines = [f"retries: {self.total_retries} "
+                 f"(backoff {self.total_backoff_ms:.2f} ms, "
+                 f"injected latency "
+                 f"{self.retry_stats.injected_latency_ms:.2f} ms)"]
+        by_class = self.retry_stats.snapshot()
+        classes = sorted(k.split(".", 1)[1] for k in by_class
+                         if k.startswith("retries."))
+        if classes:
+            detail = ", ".join(
+                f"{name}={int(by_class[f'retries.{name}'])}"
+                for name in classes)
+            lines.append(f"retried errors: {detail}")
+        if self.degraded:
+            degraded = [f"{s.table}({s.degraded_partitions})"
+                        for s in self.scans if s.degraded]
+            lines.append(
+                f"DEGRADED: pruning unavailable for "
+                f"{self.degraded_partitions} partition(s) — scanned "
+                f"without metadata: {', '.join(degraded)}")
+        else:
+            lines.append("degraded: no")
+        return "\n".join(lines)
 
     def pruning_summary(self) -> str:
         """Human-readable per-scan pruning report."""
@@ -166,6 +232,10 @@ class QueryProfile:
             if scan.topk_skipped:
                 parts.append(f"topk skipped {scan.topk_skipped}")
             parts.append(f"loaded {scan.partitions_loaded}")
+            if scan.degraded:
+                parts.append(
+                    f"DEGRADED ({scan.degraded_partitions} without "
+                    f"metadata)")
             lines.append(", ".join(parts))
         lines.append(f"simulated time: {self.total_ms:.2f} ms "
                      f"(compile {self.compile_ms:.2f} ms)")

@@ -130,8 +130,16 @@ class Scan(Operator):
                 self.context.charge_metadata_lookups(1)
                 if self._runtime_skip(zone_map):
                     continue
+                retry_stats = self.context.profile.retry_stats
+                penalty_before = retry_stats.penalty_ms()
                 partition = self.context.storage.load(
-                    partition_id, columns=self.columns)
+                    partition_id, columns=self.columns,
+                    retry_stats=retry_stats)
+                # Retry backoff and latency spikes absorbed by this
+                # load slow the query down on the simulated clock.
+                penalty = retry_stats.penalty_ms() - penalty_before
+                if penalty:
+                    self.context.charge_exec(penalty)
                 nbytes = (partition.project_bytes(self.columns)
                           if self.columns is not None
                           else partition.nbytes())

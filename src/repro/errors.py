@@ -47,3 +47,74 @@ class StorageError(ReproError):
 
 class MetadataError(ReproError):
     """Partition metadata is missing or inconsistent."""
+
+
+# ----------------------------------------------------------------------
+# Fault / resilience hierarchy (repro.faults)
+#
+# Cloud object storage and the metadata KV service are separate
+# networks that throttle, time out, and corrupt bytes. Transient
+# classes derive from :class:`TransientError` so retry policies can
+# decide retryability structurally; permanent classes do not.
+# ----------------------------------------------------------------------
+class TransientError(ReproError):
+    """A failure that may succeed on retry (timeout, throttling)."""
+
+
+class StorageTimeout(TransientError, StorageError):
+    """An object-storage request timed out."""
+
+
+class StorageThrottled(TransientError, StorageError):
+    """Object storage rejected a request with a slow-down signal."""
+
+
+class CorruptionError(StorageError):
+    """A loaded partition failed checksum verification.
+
+    Corruption is modelled as a wire-level fault, so a re-read may
+    succeed; retry policies treat it as retryable by default.
+
+    Attributes:
+        partition_id: the partition whose bytes failed verification,
+            or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, partition_id: int | None = None):
+        super().__init__(message)
+        self.partition_id = partition_id
+
+
+class PartitionUnavailableError(StorageError):
+    """A partition is permanently unreachable (deleted blob, lost
+    replica). Not retryable: the query must fail with a typed error.
+
+    Attributes:
+        partition_id: the unreachable partition, or ``None``.
+    """
+
+    def __init__(self, message: str, partition_id: int | None = None):
+        super().__init__(message)
+        self.partition_id = partition_id
+
+
+class MetadataTimeout(TransientError, MetadataError):
+    """A metadata KV lookup timed out."""
+
+
+class MetadataThrottled(TransientError, MetadataError):
+    """The metadata KV service rejected a lookup under load."""
+
+
+class MetadataUnavailableError(MetadataError):
+    """The metadata service is down (outage). Pruning layers fail
+    open: the scan proceeds without metadata instead of failing."""
+
+
+class CircuitOpenError(MetadataError):
+    """A circuit breaker is open and the call was rejected without
+    reaching the backing service."""
+
+
+class QueryTimeout(ReproError):
+    """A query exceeded its caller-supplied end-to-end deadline."""

@@ -1,0 +1,59 @@
+"""Fault injection, retries, and graceful degradation (robustness).
+
+The paper's architecture reads micro-partitions from cloud object
+storage and zone maps from a metadata KV service (§2) — two networks
+that throttle, time out, and corrupt bytes in production. Pruning is
+an *optimization* layered on those networks: it must never change
+results, and when its metadata inputs fail it must fail open to a
+full scan, never fail the query.
+
+This package supplies the resilience building blocks the rest of the
+stack plumbs through:
+
+- :mod:`.injector` — :class:`FaultInjector`, a deterministic seedable
+  source of transient faults (timeouts, throttling), latency spikes,
+  wire corruption, and permanent unavailability;
+- :mod:`.retry` — :class:`RetryPolicy` (capped exponential backoff,
+  deterministic jitter, retry budgets, per-class retryability) and
+  :class:`RetryStats` accounting;
+- :mod:`.breaker` — :class:`CircuitBreaker`, fail-fast protection
+  around the metadata store during outages.
+
+Quickstart::
+
+    from repro import Catalog
+    from repro.faults import FaultInjector, FaultSpec, RetryPolicy
+
+    catalog = Catalog()
+    ...
+    catalog.enable_fault_injection(
+        FaultInjector(seed=7,
+                      storage=FaultSpec(timeout_rate=0.05,
+                                        corruption_rate=0.02),
+                      metadata=FaultSpec(timeout_rate=0.05)),
+        retry_policy=RetryPolicy(max_attempts=6))
+    result = catalog.sql("SELECT ...")   # identical rows, plus
+    result.profile.resilience_summary()  # retries/degradation report
+"""
+
+from .breaker import CircuitBreaker
+from .injector import (
+    METADATA,
+    STORAGE,
+    FaultDecision,
+    FaultInjector,
+    FaultSpec,
+)
+from .retry import DEFAULT_RETRYABLE, RetryPolicy, RetryStats
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "RetryStats",
+    "DEFAULT_RETRYABLE",
+    "STORAGE",
+    "METADATA",
+]

@@ -1,0 +1,100 @@
+"""A count-based circuit breaker for the metadata service.
+
+When the metadata KV service fails repeatedly, retrying every lookup
+multiplies the outage's cost: every scan of every query burns its full
+retry budget before degrading. The breaker fails fast instead: after
+``failure_threshold`` consecutive failures it *opens* and rejects
+calls immediately with :class:`~repro.errors.CircuitOpenError`; every
+``probe_interval``-th rejected call is let through as a probe, and one
+probe success closes the circuit again.
+
+The breaker is deliberately count-based (not wall-clock-based) so
+fault-injection tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import CircuitOpenError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure circuit breaker.
+
+    Protocol: call :meth:`check` before the protected operation
+    (raises :class:`CircuitOpenError` when open and not probing),
+    then :meth:`record_success` or :meth:`record_failure` after.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+    def __init__(self, failure_threshold: int = 5,
+                 probe_interval: int = 10, name: str = "metadata"):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if probe_interval < 1:
+            raise ValueError("probe_interval must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.probe_interval = probe_interval
+        self.name = name
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._rejections_since_open = 0
+        self.opens = 0
+        self.fast_failures = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def check(self) -> None:
+        """Gate one call. While open, rejects all but every
+        ``probe_interval``-th call (the probe)."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return
+            self._rejections_since_open += 1
+            if self._rejections_since_open % self.probe_interval == 0:
+                return  # let a probe through
+            self.fast_failures += 1
+        raise CircuitOpenError(
+            f"{self.name} circuit breaker is open "
+            f"({self._consecutive_failures} consecutive failures)")
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._rejections_since_open = 0
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == self.CLOSED and \
+                    self._consecutive_failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._rejections_since_open = 0
+                self.opens += 1
+
+    def reset(self) -> None:
+        """Force-close (administrative)."""
+        self.record_success()
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "state": 1.0 if self._state == self.OPEN else 0.0,
+                "opens": float(self.opens),
+                "fast_failures": float(self.fast_failures),
+                "consecutive_failures":
+                    float(self._consecutive_failures),
+            }
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.name}, state={self._state}, "
+                f"opens={self.opens})")

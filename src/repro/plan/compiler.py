@@ -224,8 +224,14 @@ class QueryCompiler:
         scan_set = self.catalog.scan_set(node.table)
         profile = context.profile.new_scan(node.table)
         profile.total_partitions = len(scan_set)
+        profile.degraded_partitions = len(scan_set.degraded_ids)
+        profile.metadata_retries = scan_set.metadata_retries
+        profile.metadata_backoff_ms = scan_set.metadata_backoff_ms
         context.charge_metadata_lookups(len(scan_set),
                                         at_compile_time=True)
+        # Retry backoff spent fetching metadata is compile-time delay.
+        if scan_set.metadata_backoff_ms:
+            context.charge_compile(scan_set.metadata_backoff_ms)
         predicate = node.predicate
         # Without predicates every partition is fully-matching (§4.2).
         fully_matching: list[int] = (
@@ -555,6 +561,11 @@ class QueryCompiler:
             return None
         table = node.child.table
         scan_set = self.catalog.scan_set(table)
+        if scan_set.degraded_ids:
+            # Some zone maps are unavailable: a metadata-only answer
+            # would be wrong (e.g. COUNT from partial row counts).
+            # Fall back to scanning the data.
+            return None
         context.charge_metadata_lookups(len(scan_set),
                                         at_compile_time=True)
         values = []

@@ -24,8 +24,21 @@ class ScanSet:
     partitions first (§4.1).
     """
 
-    def __init__(self, entries: Iterable[tuple[int, ZoneMap]] = ()):
+    def __init__(self, entries: Iterable[tuple[int, ZoneMap]] = (),
+                 degraded_ids: Iterable[int] = ()):
         self._entries: list[tuple[int, ZoneMap]] = list(entries)
+        #: partitions whose metadata could not be fetched — their zone
+        #: maps are stats-free placeholders, so every pruning check
+        #: answers MAYBE and they are always scanned (fail open).
+        self.degraded_ids: frozenset[int] = frozenset(degraded_ids)
+        #: metadata-read retry accounting for building this scan set.
+        self.metadata_retries: int = 0
+        self.metadata_backoff_ms: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when any entry lost its metadata to a failure."""
+        return bool(self.degraded_ids)
 
     @property
     def partition_ids(self) -> list[int]:
@@ -56,13 +69,22 @@ class ScanSet:
     def restrict(self, keep_ids: Iterable[int]) -> "ScanSet":
         """Keep only the given partitions, preserving order."""
         keep = set(keep_ids)
-        return ScanSet((pid, zm) for pid, zm in self._entries
-                       if pid in keep)
+        return self._derived((pid, zm) for pid, zm in self._entries
+                             if pid in keep)
 
     def reorder(self, ordered_ids: Iterable[int]) -> "ScanSet":
         """Reorder entries to match ``ordered_ids`` (must be a subset)."""
         by_id = dict(self._entries)
-        return ScanSet((pid, by_id[pid]) for pid in ordered_ids)
+        return self._derived((pid, by_id[pid]) for pid in ordered_ids)
+
+    def _derived(self, entries: Iterable[tuple[int, ZoneMap]]) -> "ScanSet":
+        """A transformed scan set carrying this one's degradation state."""
+        derived = ScanSet(entries)
+        derived.degraded_ids = frozenset(
+            pid for pid, _ in derived._entries) & self.degraded_ids
+        derived.metadata_retries = self.metadata_retries
+        derived.metadata_backoff_ms = self.metadata_backoff_ms
+        return derived
 
     # ------------------------------------------------------------------
     # Serialization: scan sets travel from cloud services to warehouse

@@ -90,8 +90,12 @@ class CuckooFilter:
     def _alt_index(self, index: int, fingerprint: int) -> int:
         # Partial-key cuckoo hashing: the alternate bucket depends only
         # on the fingerprint, so relocation never needs the original
-        # key.
-        return (index ^ _hash64(int(fingerprint), 13)) % self.n_buckets
+        # key. Forcing the XOR delta odd guarantees the alternate
+        # bucket differs from the home bucket (n_buckets is a power of
+        # two); an even delta would collapse both homes onto one
+        # bucket and livelock eviction in tiny filters.
+        return (index ^ (_hash64(int(fingerprint), 13) | 1)) \
+            % self.n_buckets
 
     # -- operations -----------------------------------------------------------
     def add(self, value: Any) -> bool:

@@ -106,6 +106,9 @@ class MetricsRegistry:
     - counters ``result_cache_hits`` / ``result_cache_misses``
     - counters ``partitions_total`` / ``partitions_loaded`` /
       ``partitions_pruned`` / ``rows_scanned`` (from profiles)
+    - counters ``retries`` / ``retry_backoff_ms`` /
+      ``injected_latency_ms`` / ``partitions_degraded`` plus
+      ``queries_retried`` / ``queries_degraded`` (resilience)
     - histograms ``queue_wait_ms`` / ``latency_ms`` (wall clock) and
       ``sim_exec_ms`` / ``sim_compile_ms`` (simulated clock)
     """
@@ -136,7 +139,9 @@ class MetricsRegistry:
         self.histogram("sim_exec_ms").observe(export["exec_ms"])
         self.histogram("sim_compile_ms").observe(export["compile_ms"])
         for key in ("partitions_total", "partitions_loaded",
-                    "partitions_pruned", "rows_scanned"):
+                    "partitions_pruned", "rows_scanned",
+                    "retries", "retry_backoff_ms",
+                    "injected_latency_ms", "partitions_degraded"):
             self.counter(key).inc(export[key])
 
     def observe_query(self, latency_ms: float,

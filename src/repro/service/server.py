@@ -33,7 +33,8 @@ from enum import Enum
 from typing import Any
 
 from ..catalog import Catalog, QueryResult
-from ..errors import ReproError
+from ..errors import QueryTimeout, ReproError
+from ..faults.retry import RetryPolicy
 from ..sql.normalize import is_select, normalize_sql, referenced_tables
 from .admission import CancelToken, QueryCancelled, ReadWriteLock
 from .metrics import MetricsRegistry
@@ -67,6 +68,11 @@ class QueryHandle:
     result: QueryResult | None = None
     error: BaseException | None = None
     cache_hit: bool = False
+    #: the query succeeded but pruning degraded to full scans for
+    #: some partitions (metadata unavailable); rows are still correct
+    degraded: bool = False
+    #: whole-query re-runs after transient failures (SELECT only)
+    attempts: int = 1
     cluster: str = ""
     queue_wait_ms: float = 0.0
     latency_ms: float = 0.0
@@ -94,8 +100,13 @@ class QueryService:
                  queue_timeout: float | None = None,
                  result_cache_entries: int = 256,
                  enable_result_cache: bool = True,
+                 query_retry_policy: RetryPolicy | None = None,
                  metrics: MetricsRegistry | None = None):
         self.catalog = catalog
+        #: optional whole-query retry of transient failures that
+        #: escaped the storage/metadata retry layers. SELECT-only:
+        #: DML is not idempotent, so it never re-runs.
+        self.query_retry_policy = query_retry_policy
         self.pool = WarehousePool(
             slots_per_cluster=slots_per_cluster,
             max_queue_per_cluster=max_queue_per_cluster,
@@ -122,11 +133,27 @@ class QueryService:
     # Public API
     # ------------------------------------------------------------------
     def sql(self, text: str, *,
-            queue_timeout: float | None = None) -> QueryResult:
-        """Synchronous shim: submit, execute on the calling thread,
-        and return the result (or raise the query's error)."""
-        handle = self._register(text)
-        self._run(handle, queue_timeout=queue_timeout)
+            queue_timeout: float | None = None,
+            timeout: float | None = None) -> QueryResult:
+        """Synchronous shim: submit, execute, and return the result
+        (or raise the query's error).
+
+        With ``timeout`` (seconds) the statement runs on a service
+        thread; if it has not finished in time it is cooperatively
+        cancelled and :class:`~repro.errors.QueryTimeout` is raised.
+        Without a timeout it runs on the calling thread.
+        """
+        if timeout is None:
+            handle = self._register(text)
+            self._run(handle, queue_timeout=queue_timeout)
+            return self.result(handle.query_id)
+        handle = self.submit(text, queue_timeout=queue_timeout)
+        if not handle.wait(timeout):
+            self.cancel(handle)
+            self.metrics.counter("queries_timed_out").inc()
+            raise QueryTimeout(
+                f"query {handle.query_id} exceeded its {timeout}s "
+                f"deadline and was cancelled")
         return self.result(handle.query_id)
 
     def submit(self, text: str, *,
@@ -198,8 +225,16 @@ class QueryService:
             "pruning_ratio": self.metrics.pruning_ratio(),
         }
         for name in ("queries_completed", "queries_failed",
-                     "queries_cancelled", "queries_rejected"):
+                     "queries_cancelled", "queries_rejected",
+                     "queries_retried", "queries_degraded",
+                     "queries_timed_out"):
             snap[name] = self.metrics.counter(name).value
+        breaker = self.catalog.metadata.breaker
+        if breaker is not None:
+            snap["metadata_breaker"] = breaker.snapshot()
+        injector = self.catalog.storage.fault_injector
+        if injector is not None:
+            snap["faults_injected"] = injector.total_injected()
         return snap
 
     # ------------------------------------------------------------------
@@ -241,7 +276,7 @@ class QueryService:
              queue_timeout: float | None = None) -> None:
         start = time.perf_counter()
         try:
-            self._execute(handle, queue_timeout)
+            self._execute_with_retries(handle, queue_timeout)
         except QueryCancelled as exc:
             self._finish(handle, QueryStatus.CANCELLED, error=exc)
         except BaseException as exc:  # noqa: BLE001 — stored, re-raised
@@ -254,6 +289,34 @@ class QueryService:
             self._finish(handle, QueryStatus.FAILED, error=exc)
         finally:
             handle.latency_ms = (time.perf_counter() - start) * 1e3
+
+    def _execute_with_retries(self, handle: QueryHandle,
+                              queue_timeout: float | None) -> None:
+        """Run a query, re-running SELECTs whose failure is transient.
+
+        The storage/metadata layers already absorb most transient
+        faults with their own retry policies; this is the outer safety
+        net for the rare fault that exhausts them. DML never re-runs —
+        a partially applied statement must surface, not double-apply.
+        """
+        policy = self.query_retry_policy
+        if policy is None:
+            self._execute(handle, queue_timeout)
+            return
+        attempt = 0
+        while True:
+            try:
+                self._execute(handle, queue_timeout)
+                return
+            except policy.retryable:
+                if not is_select(handle.sql):
+                    raise
+                if attempt >= policy.max_attempts - 1:
+                    raise
+                attempt += 1
+                handle.attempts = attempt + 1
+                handle.status = QueryStatus.QUEUED
+                self.metrics.counter("queries_retried").inc()
 
     def _execute(self, handle: QueryHandle,
                  queue_timeout: float | None) -> None:
@@ -321,3 +384,6 @@ class QueryService:
         wall_ms = (time.perf_counter() - started) * 1e3
         self.metrics.observe_query(wall_ms, handle.queue_wait_ms)
         self.metrics.observe_profile(result.profile)
+        handle.degraded = result.profile.degraded
+        if handle.degraded:
+            self.metrics.counter("queries_degraded").inc()

@@ -24,12 +24,17 @@ class TableBuilder:
     """Accumulates rows and flushes them into micro-partitions."""
 
     def __init__(self, name: str, schema: Schema,
-                 rows_per_partition: int = DEFAULT_ROWS_PER_PARTITION):
+                 rows_per_partition: int = DEFAULT_ROWS_PER_PARTITION,
+                 verify_checksums: bool = False):
         if rows_per_partition <= 0:
             raise SchemaError("rows_per_partition must be positive")
         self.name = name
         self.schema = schema
         self.rows_per_partition = rows_per_partition
+        #: re-verify each partition's content checksum right after
+        #: building it (write-path integrity check; off by default
+        #: because construction just computed the same checksum).
+        self.verify_checksums = verify_checksums
         self._pending: list[Sequence[Any]] = []
         self._partitions: list[MicroPartition] = []
 
@@ -48,8 +53,10 @@ class TableBuilder:
     def _flush(self) -> None:
         if not self._pending:
             return
-        self._partitions.append(
-            MicroPartition.from_rows(self.schema, self._pending))
+        partition = MicroPartition.from_rows(self.schema, self._pending)
+        if self.verify_checksums:
+            partition.verify_integrity()
+        self._partitions.append(partition)
         self._pending = []
 
     def finish(self) -> Table:

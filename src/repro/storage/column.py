@@ -178,6 +178,34 @@ class Column:
         """Materialize as Python scalars (``None`` for NULL)."""
         return [self.value_at(i) for i in range(len(self))]
 
+    def crc32(self, state: int = 0) -> int:
+        """Fold this column's contents into a CRC-32 ``state``.
+
+        Used for per-partition content checksums: VARCHAR columns
+        (object arrays) are hashed value-by-value with NUL separators;
+        fixed-width columns hash their raw buffer. The null mask is
+        always included so NULL vs dummy-value differences are caught.
+        """
+        import zlib
+
+        if self.dtype == DataType.VARCHAR:
+            for value, is_null in zip(self.values, self.nulls):
+                if is_null:
+                    state = zlib.crc32(b"\xff", state)
+                else:
+                    # surrogatepass: lone surrogates are legal Python
+                    # str contents and must hash, not crash.
+                    encoded = value.encode("utf-8", "surrogatepass")
+                    # Length prefix keeps value boundaries unambiguous.
+                    state = zlib.crc32(
+                        len(encoded).to_bytes(4, "little") + encoded,
+                        state)
+        else:
+            state = zlib.crc32(np.ascontiguousarray(
+                self.values).tobytes(), state)
+        return zlib.crc32(np.ascontiguousarray(
+            self.nulls).tobytes(), state)
+
     def nbytes(self) -> int:
         """Approximate in-memory size, used by the storage cost model."""
         if self.dtype == DataType.VARCHAR:

@@ -5,24 +5,63 @@ scalable KV store so the compiler can prune "without loading the actual
 data" (§2). We model it as a versioned in-memory KV store keyed by
 ``(table, partition_id)``, with lookup accounting so experiments can
 charge metadata access in the cost model.
+
+Reads can optionally traverse a resilience stack — circuit breaker →
+fault injector → retry policy — mirroring how a real compiler talks to
+a remote metadata service over a flaky network. Writes stay fault-free:
+in the modeled architecture DML commits through a transactional path
+with its own guarantees, and the interesting failure surface for
+*pruning* is the read side.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import threading
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
-from ..errors import MetadataError
+from ..errors import MetadataError, MetadataUnavailableError, TransientError
 from .zonemap import ZoneMap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.breaker import CircuitBreaker
+    from ..faults.injector import FaultInjector
+    from ..faults.retry import RetryPolicy, RetryStats
 
 
 class MetadataStore:
-    """Versioned key-value store mapping partitions to zone maps."""
+    """Versioned key-value store mapping partitions to zone maps.
 
-    def __init__(self):
+    Thread safety: all access to ``_entries``/``_table_partitions`` and
+    the ``version``/``lookups`` counters is guarded by an internal
+    re-entrant lock, so concurrent DML (register/unregister) and
+    compile-time reads never observe torn state.
+    """
+
+    def __init__(self, fault_injector: "FaultInjector | None" = None,
+                 retry_policy: "RetryPolicy | None" = None,
+                 breaker: "CircuitBreaker | None" = None):
         self._entries: dict[tuple[str, int], ZoneMap] = {}
-        self._table_partitions: dict[str, list[int]] = {}
+        # Dict-backed ordered set: preserves registration order while
+        # making unregister O(1) instead of list.remove's O(n).
+        self._table_partitions: dict[str, dict[int, None]] = {}
         self.version = 0
         self.lookups = 0
+        self._lock = threading.RLock()
+        #: optional :class:`~repro.faults.FaultInjector` consulted on
+        #: every read (simulated metadata-service faults).
+        self.fault_injector = fault_injector
+        #: optional :class:`~repro.faults.RetryPolicy` absorbing
+        #: transient metadata faults per read.
+        self.retry_policy = retry_policy
+        #: optional :class:`~repro.faults.CircuitBreaker` failing fast
+        #: during sustained metadata outages.
+        self.breaker = breaker
+        #: store-wide retry accounting across all reads.
+        self.retry_stats: "RetryStats | None" = None
+        if retry_policy is not None:
+            from ..faults.retry import RetryStats
+
+            self.retry_stats = RetryStats()
 
     # ------------------------------------------------------------------
     # Writes
@@ -32,21 +71,28 @@ class MetadataStore:
         """Add or replace metadata for one partition of a table."""
         table = table.lower()
         key = (table, partition_id)
-        if key not in self._entries:
-            self._table_partitions.setdefault(table, []).append(partition_id)
-        self._entries[key] = zone_map
-        self.version += 1
+        with self._lock:
+            if key not in self._entries:
+                self._table_partitions.setdefault(
+                    table, {})[partition_id] = None
+            self._entries[key] = zone_map
+            self.version += 1
 
     def unregister(self, table: str, partition_id: int) -> None:
         """Remove a partition's metadata (after DELETE/rewrite)."""
         table = table.lower()
         key = (table, partition_id)
-        if key not in self._entries:
-            raise MetadataError(
-                f"no metadata for partition {partition_id} of {table!r}")
-        del self._entries[key]
-        self._table_partitions[table].remove(partition_id)
-        self.version += 1
+        with self._lock:
+            if key not in self._entries:
+                raise MetadataError(
+                    f"no metadata for partition {partition_id} of {table!r}")
+            del self._entries[key]
+            bucket = self._table_partitions[table]
+            del bucket[partition_id]
+            if not bucket:
+                # Don't leak empty per-table buckets for dropped data.
+                del self._table_partitions[table]
+            self.version += 1
 
     def register_table(self, table: str,
                        zone_maps: Iterable[tuple[int, ZoneMap]]) -> None:
@@ -55,25 +101,82 @@ class MetadataStore:
 
     def drop_table(self, table: str) -> None:
         table = table.lower()
-        for partition_id in self._table_partitions.pop(table, []):
-            del self._entries[(table, partition_id)]
-        self.version += 1
+        with self._lock:
+            for partition_id in self._table_partitions.pop(table, {}):
+                del self._entries[(table, partition_id)]
+            self.version += 1
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+    def _guarded_read(self, key: object, fn: Callable[[], object],
+                      retry_stats: "RetryStats | None"):
+        """Run one read through breaker → injector → retry policy.
+
+        The circuit breaker is consulted once per *logical* read (not
+        per attempt): while open it fails fast with
+        :class:`CircuitOpenError` so a metadata outage doesn't stall
+        every query on full retry schedules.
+        """
+        if self.breaker is not None:
+            self.breaker.check()
+
+        def attempt():
+            if self.fault_injector is not None:
+                decision = self.fault_injector.metadata_check(key)
+                if decision.latency_ms:
+                    for sink in (retry_stats, self.retry_stats):
+                        if sink is not None:
+                            sink.add_latency(decision.latency_ms)
+            return fn()
+
+        def on_retry(exc: BaseException, delay_ms: float) -> None:
+            for sink in (retry_stats, self.retry_stats):
+                if sink is not None:
+                    sink.record_retry(exc, delay_ms)
+
+        try:
+            if self.retry_policy is not None:
+                result = self.retry_policy.run(attempt, on_retry=on_retry)
+            else:
+                result = attempt()
+        except (TransientError, MetadataUnavailableError):
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return result
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def get(self, table: str, partition_id: int) -> ZoneMap:
-        self.lookups += 1
-        try:
-            return self._entries[(table.lower(), partition_id)]
-        except KeyError:
-            raise MetadataError(
-                f"no metadata for partition {partition_id} of "
-                f"{table!r}") from None
+    def get(self, table: str, partition_id: int,
+            retry_stats: "RetryStats | None" = None) -> ZoneMap:
+        table = table.lower()
 
-    def partitions_of(self, table: str) -> list[int]:
+        def read() -> ZoneMap:
+            with self._lock:
+                self.lookups += 1
+                try:
+                    return self._entries[(table, partition_id)]
+                except KeyError:
+                    raise MetadataError(
+                        f"no metadata for partition {partition_id} of "
+                        f"{table!r}") from None
+
+        return self._guarded_read((table, partition_id), read, retry_stats)
+
+    def partitions_of(self, table: str,
+                      retry_stats: "RetryStats | None" = None) -> list[int]:
         """All partition ids of a table, in registration order."""
-        return list(self._table_partitions.get(table.lower(), []))
+        table = table.lower()
+
+        def read() -> list[int]:
+            with self._lock:
+                return list(self._table_partitions.get(table, {}))
+
+        return self._guarded_read(("list", table), read, retry_stats)
 
     def iter_table(self, table: str) -> Iterator[tuple[int, ZoneMap]]:
         for partition_id in self.partitions_of(table):
@@ -83,4 +186,5 @@ class MetadataStore:
         return sum(zm.row_count for _, zm in self.iter_table(table))
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-from ..errors import SchemaError
+from ..errors import CorruptionError, SchemaError
 from ..types import DataType, Schema
 from .column import Column
 from .zonemap import ZoneMap
@@ -42,11 +42,13 @@ partition_id_generator = _IdGenerator()
 class MicroPartition:
     """An immutable columnar chunk with zone-map metadata."""
 
-    __slots__ = ("partition_id", "schema", "_columns", "zone_map")
+    __slots__ = ("partition_id", "schema", "_columns", "zone_map",
+                 "checksum")
 
     def __init__(self, schema: Schema, columns: Mapping[str, Column],
                  partition_id: int | None = None,
-                 zone_map: ZoneMap | None = None):
+                 zone_map: ZoneMap | None = None,
+                 checksum: int | None = None):
         normalized = {name.lower(): col for name, col in columns.items()}
         if set(normalized) != set(schema.names()):
             raise SchemaError(
@@ -67,6 +69,10 @@ class MicroPartition:
         self.schema = schema
         self._columns = normalized
         self.zone_map = zone_map or ZoneMap.from_columns(normalized)
+        # Content checksum computed at build (write) time; the storage
+        # layer re-verifies it on load to surface corrupt reads.
+        self.checksum = (checksum if checksum is not None
+                         else self.compute_checksum())
 
     # ------------------------------------------------------------------
     @classmethod
@@ -109,6 +115,32 @@ class MicroPartition:
         """Size of just the named columns (PAX enables column-level reads)."""
         return sum(self.column(n).nbytes() for n in names)
 
+    def compute_checksum(self) -> int:
+        """CRC-32 over every column's values and null masks.
+
+        Column order follows the schema, so logically equal partitions
+        checksum identically regardless of construction order.
+        """
+        state = 0
+        for field in self.schema:
+            state = self._columns[field.name].crc32(state)
+        return state
+
+    def verify_integrity(self) -> None:
+        """Recompute the checksum and compare against the stored one.
+
+        Raises:
+            CorruptionError: when the content no longer matches the
+                checksum computed at build time.
+        """
+        actual = self.compute_checksum()
+        if actual != self.checksum:
+            raise CorruptionError(
+                f"partition {self.partition_id} failed checksum "
+                f"verification (expected {self.checksum:#010x}, "
+                f"got {actual:#010x})",
+                partition_id=self.partition_id)
+
     def with_zone_map(self, zone_map: ZoneMap) -> "MicroPartition":
         """A view of this partition carrying different metadata.
 
@@ -116,7 +148,8 @@ class MicroPartition:
         """
         return MicroPartition(self.schema, self._columns,
                               partition_id=self.partition_id,
-                              zone_map=zone_map)
+                              zone_map=zone_map,
+                              checksum=self.checksum)
 
     def recompute_zone_map(self) -> ZoneMap:
         """Scan the data and rebuild complete metadata (backfill, §8.1)."""

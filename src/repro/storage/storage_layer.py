@@ -12,10 +12,22 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from ..errors import StorageError
+from ..errors import (
+    CorruptionError,
+    PartitionUnavailableError,
+    StorageError,
+    TransientError,
+)
 from .micropartition import MicroPartition
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
+    from ..faults.retry import RetryPolicy, RetryStats
+
+#: XOR mask applied to a checksum to simulate a wire-level bit flip.
+_CORRUPTION_MASK = 0x5A5A5A5A
 
 
 @dataclass
@@ -58,6 +70,11 @@ class IOStats:
     partitions_loaded: int = 0
     metadata_lookups: int = 0
     rows_scanned: int = 0
+    failed_requests: int = 0
+    retries: int = 0
+    retry_backoff_ms: float = 0.0
+    corrupt_reads: int = 0
+    injected_latency_ms: float = 0.0
     loaded_partition_ids: list[int] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
@@ -78,6 +95,24 @@ class IOStats:
         with self._lock:
             self.rows_scanned += rows
 
+    def record_failed_request(self) -> None:
+        with self._lock:
+            self.failed_requests += 1
+
+    def record_retry(self, backoff_ms: float) -> None:
+        with self._lock:
+            self.failed_requests += 1
+            self.retries += 1
+            self.retry_backoff_ms += backoff_ms
+
+    def record_corrupt_read(self) -> None:
+        with self._lock:
+            self.corrupt_reads += 1
+
+    def record_injected_latency(self, ms: float) -> None:
+        with self._lock:
+            self.injected_latency_ms += ms
+
     def reset(self) -> None:
         with self._lock:
             self.requests = 0
@@ -85,6 +120,11 @@ class IOStats:
             self.partitions_loaded = 0
             self.metadata_lookups = 0
             self.rows_scanned = 0
+            self.failed_requests = 0
+            self.retries = 0
+            self.retry_backoff_ms = 0.0
+            self.corrupt_reads = 0
+            self.injected_latency_ms = 0.0
             self.loaded_partition_ids.clear()
 
     def snapshot(self) -> "IOStats":
@@ -95,6 +135,11 @@ class IOStats:
                 partitions_loaded=self.partitions_loaded,
                 metadata_lookups=self.metadata_lookups,
                 rows_scanned=self.rows_scanned,
+                failed_requests=self.failed_requests,
+                retries=self.retries,
+                retry_backoff_ms=self.retry_backoff_ms,
+                corrupt_reads=self.corrupt_reads,
+                injected_latency_ms=self.injected_latency_ms,
                 loaded_partition_ids=list(self.loaded_partition_ids),
             )
 
@@ -108,6 +153,14 @@ class IOStats:
             metadata_lookups=self.metadata_lookups
             - earlier.metadata_lookups,
             rows_scanned=self.rows_scanned - earlier.rows_scanned,
+            failed_requests=self.failed_requests
+            - earlier.failed_requests,
+            retries=self.retries - earlier.retries,
+            retry_backoff_ms=self.retry_backoff_ms
+            - earlier.retry_backoff_ms,
+            corrupt_reads=self.corrupt_reads - earlier.corrupt_reads,
+            injected_latency_ms=self.injected_latency_ms
+            - earlier.injected_latency_ms,
             loaded_partition_ids=self.loaded_partition_ids[
                 len(earlier.loaded_partition_ids):],
         )
@@ -123,10 +176,23 @@ class StorageLayer:
     metadata service allows pruning "without loading the actual data".
     """
 
-    def __init__(self, cost_model: CostModel | None = None):
+    def __init__(self, cost_model: CostModel | None = None,
+                 fault_injector: "FaultInjector | None" = None,
+                 retry_policy: "RetryPolicy | None" = None,
+                 verify_checksums: bool | None = None):
         self._partitions: dict[int, MicroPartition] = {}
         self.cost_model = cost_model or CostModel()
         self.stats = IOStats()
+        #: optional :class:`~repro.faults.FaultInjector` consulted on
+        #: every load attempt (simulated network faults).
+        self.fault_injector = fault_injector
+        #: optional :class:`~repro.faults.RetryPolicy` absorbing
+        #: transient faults and corrupt reads per load.
+        self.retry_policy = retry_policy
+        #: verify partition checksums on load. ``None`` = auto:
+        #: verify only when a fault injector is attached (verification
+        #: costs a full content re-hash per load).
+        self.verify_checksums = verify_checksums
 
     def put(self, partition: MicroPartition) -> int:
         """Store a partition; returns its id."""
@@ -147,19 +213,83 @@ class StorageLayer:
     def __len__(self) -> int:
         return len(self._partitions)
 
+    def _verification_enabled(self) -> bool:
+        if self.verify_checksums is not None:
+            return self.verify_checksums
+        return self.fault_injector is not None
+
+    def _load_attempt(self, partition_id: int,
+                      latency_sink: list[float]) -> MicroPartition:
+        """One fetch attempt: fault roll, lookup, checksum verify."""
+        decision = None
+        if self.fault_injector is not None:
+            decision = self.fault_injector.storage_check(partition_id)
+        try:
+            partition = self._partitions[partition_id]
+        except KeyError:
+            raise PartitionUnavailableError(
+                f"no partition with id {partition_id}",
+                partition_id=partition_id) from None
+        if decision is not None and decision.latency_ms:
+            self.stats.record_injected_latency(decision.latency_ms)
+            latency_sink[0] += decision.latency_ms
+        if self._verification_enabled():
+            observed = partition.compute_checksum()
+            if decision is not None and decision.corrupt:
+                # Simulate a wire-level bit flip in the received bytes.
+                observed ^= _CORRUPTION_MASK
+            if observed != partition.checksum:
+                self.stats.record_corrupt_read()
+                raise CorruptionError(
+                    f"partition {partition_id} failed checksum "
+                    f"verification (expected "
+                    f"{partition.checksum:#010x}, got "
+                    f"{observed:#010x})", partition_id=partition_id)
+        return partition
+
     def load(self, partition_id: int,
-             columns: Sequence[str] | None = None) -> MicroPartition:
+             columns: Sequence[str] | None = None,
+             retry_stats: "RetryStats | None" = None) -> MicroPartition:
         """Fetch a partition, charging one request plus bytes read.
 
         ``columns`` restricts accounting to the named columns (PAX layout
         allows reading a column subset), but the full partition object is
         returned for simplicity.
+
+        With a fault injector attached, every attempt may fail with a
+        typed error; the configured :class:`RetryPolicy` absorbs
+        transient faults and corrupt reads with capped, jittered
+        backoff (simulated time). ``retry_stats`` additionally
+        receives per-query attribution of retries, backoff, and
+        injected latency.
+
+        Raises:
+            PartitionUnavailableError: the partition does not exist or
+                is permanently unreachable.
+            CorruptionError: checksum verification failed after
+                exhausting retries.
+            StorageTimeout / StorageThrottled: a transient fault
+                survived the retry budget.
         """
+        latency_sink = [0.0]
+
+        def on_retry(exc: BaseException, delay_ms: float) -> None:
+            self.stats.record_retry(delay_ms)
+            if retry_stats is not None:
+                retry_stats.record_retry(exc, delay_ms)
+
         try:
-            partition = self._partitions[partition_id]
-        except KeyError:
-            raise StorageError(
-                f"no partition with id {partition_id}") from None
+            if self.retry_policy is not None:
+                partition = self.retry_policy.run(
+                    lambda: self._load_attempt(partition_id, latency_sink),
+                    on_retry=on_retry)
+            else:
+                partition = self._load_attempt(partition_id, latency_sink)
+        except StorageError:
+            self.stats.record_failed_request()
+            raise
+        if retry_stats is not None and latency_sink[0]:
+            retry_stats.add_latency(latency_sink[0])
         nbytes = (partition.project_bytes(columns)
                   if columns is not None else partition.nbytes())
         self.stats.record_load(partition_id, nbytes)

@@ -1,0 +1,239 @@
+"""Seeded chaos suite: concurrent SELECT + DML under injected faults.
+
+The differential invariant (the PR's acceptance bar): under a
+*transient-only* fault schedule, every query must return exactly the
+rows the fault-free oracle returns — faults may slow queries down
+(retries, backoff, degraded scans) but never change results and never
+surface non-typed exceptions. Permanent faults must fail with their
+typed errors; a metadata-only outage must degrade to full scans, not
+fail.
+
+Kept separate from the tier-1 suite (see the ``chaos`` CI job):
+the runs are heavier and exercise randomized-but-seeded schedules.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from oracle import run_plan
+from repro import (
+    Catalog,
+    DataType,
+    FaultInjector,
+    FaultSpec,
+    Layout,
+    PartitionUnavailableError,
+    ReproError,
+    RetryPolicy,
+    Schema,
+)
+from repro.faults import METADATA, STORAGE
+from repro.service import QueryService
+
+from conftest import make_events_rows
+
+SCHEMA = Schema.of(
+    ts=DataType.INTEGER,
+    category=DataType.VARCHAR,
+    value=DataType.DOUBLE,
+    score=DataType.INTEGER,
+)
+
+#: ~9% total fault rate, transient-only: timeouts, throttling, wire
+#: corruption (detected by checksums, retried), latency spikes.
+TRANSIENT_STORAGE = FaultSpec(timeout_rate=0.03, throttle_rate=0.02,
+                              corruption_rate=0.02, latency_rate=0.02,
+                              latency_ms=25.0)
+TRANSIENT_METADATA = FaultSpec(timeout_rate=0.04, throttle_rate=0.02,
+                               latency_rate=0.02, latency_ms=10.0)
+
+#: max_attempts=8 makes the per-operation leak probability ~0.09^8
+#: (~4e-9): the retry layer absorbs the whole schedule in practice.
+CHAOS_RETRIES = RetryPolicy(max_attempts=8)
+
+CHAOS_SEEDS = (11, 23, 47)
+
+
+def make_catalog(n_rows: int = 2000,
+                 rows_per_partition: int = 100) -> Catalog:
+    catalog = Catalog(rows_per_partition=rows_per_partition)
+    catalog.create_table_from_rows(
+        "events", SCHEMA, make_events_rows(n_rows),
+        layout=Layout.sorted_by("ts"))
+    return catalog
+
+
+class TestChaosStress:
+    """12 client threads, ~9% fault rate, zero tolerance for wrong
+    rows or non-typed exceptions."""
+
+    N_SELECT_THREADS = 8
+    N_DML_THREADS = 4
+    SELECTS_PER_THREAD = 20
+    DML_ROUNDS = 5
+
+    STABLE_QUERIES = [
+        "SELECT * FROM events WHERE ts BETWEEN 150 AND 420",
+        "SELECT * FROM events WHERE ts BETWEEN 1200 AND 1230",
+        "SELECT count(*) AS c FROM events WHERE ts < 500",
+        "SELECT category, count(*) AS c FROM events "
+        "WHERE ts < 800 GROUP BY category",
+        "SELECT min(ts) AS lo, max(ts) AS hi FROM events "
+        "WHERE ts BETWEEN 300 AND 1700",
+        "SELECT count(*) AS c FROM events "
+        "WHERE category = 'alpha' AND ts < 2000",
+        "SELECT * FROM events WHERE score >= 990000 AND ts < 2000",
+        "SELECT * FROM events WHERE ts BETWEEN 60 AND 90 "
+        "ORDER BY ts DESC LIMIT 10",
+    ]
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_transient_chaos_matches_oracle(self, seed):
+        catalog = make_catalog(2000)
+        # Oracle answers computed before any fault injection exists.
+        expected = {
+            sql: sorted(run_plan(catalog.plan_sql(sql), catalog)[1])
+            for sql in self.STABLE_QUERIES
+        }
+        injector = catalog.enable_fault_injection(
+            FaultInjector(seed=seed, storage=TRANSIENT_STORAGE,
+                          metadata=TRANSIENT_METADATA),
+            retry_policy=CHAOS_RETRIES)
+        service = QueryService(catalog, slots_per_cluster=4,
+                               max_queue_per_cluster=64,
+                               min_clusters=1, max_clusters=3,
+                               query_retry_policy=RetryPolicy(
+                                   max_attempts=4))
+        mismatches: list[str] = []
+        errors: list[BaseException] = []
+        untyped: list[BaseException] = []
+        start = threading.Barrier(
+            self.N_SELECT_THREADS + self.N_DML_THREADS)
+
+        def record_error(exc: BaseException) -> None:
+            errors.append(exc)
+            if not isinstance(exc, ReproError):
+                untyped.append(exc)
+
+        def select_worker(worker: int):
+            start.wait()
+            for i in range(self.SELECTS_PER_THREAD):
+                sql = self.STABLE_QUERIES[
+                    (worker + i) % len(self.STABLE_QUERIES)]
+                try:
+                    got = sorted(service.sql(sql).rows)
+                    if got != expected[sql]:
+                        mismatches.append(sql)
+                except BaseException as exc:  # noqa: BLE001
+                    record_error(exc)
+
+        def dml_worker(worker: int):
+            start.wait()
+            base = 10_000 + worker * 1_000
+            for _ in range(self.DML_ROUNDS):
+                try:
+                    rows = [(base + i, "dmlcat", 1.0, i)
+                            for i in range(40)]
+                    service.insert("events", rows)
+                    service.sql(
+                        f"UPDATE events SET score = score + 1 "
+                        f"WHERE ts BETWEEN {base} AND {base + 999}")
+                    service.sql(
+                        f"DELETE FROM events "
+                        f"WHERE ts BETWEEN {base} AND {base + 999}")
+                except BaseException as exc:  # noqa: BLE001
+                    record_error(exc)
+
+        threads = [threading.Thread(target=select_worker, args=(w,))
+                   for w in range(self.N_SELECT_THREADS)]
+        threads += [threading.Thread(target=dml_worker, args=(w,))
+                    for w in range(self.N_DML_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=180)
+        assert not any(t.is_alive() for t in threads)
+
+        # Differential invariant: transient-only faults never change
+        # results and never leak non-typed exceptions.
+        assert untyped == []
+        assert errors == []
+        assert mismatches == []
+
+        # Every DML band was emptied: the data equals the seed data.
+        with injector.paused():
+            final = service.sql("SELECT count(*) AS c FROM events")
+        assert final.rows == [(2000,)]
+
+        # The schedule actually exercised the resilience machinery.
+        assert injector.total_injected() > 0
+        retries = (catalog.storage.stats.retries
+                   + catalog.metadata.retry_stats.retries)
+        assert retries > 0
+        snapshot = service.metrics.snapshot()
+        assert snapshot.get("retries", 0) >= 0  # exported series exists
+
+    def test_same_seed_same_injection_counts(self):
+        # Partition ids are globally monotonic, so determinism is
+        # checked by replaying the same workload against the same
+        # catalog with a fresh injector of the same seed.
+        catalog = make_catalog(1000)
+
+        def run_once() -> dict[str, int]:
+            injector = catalog.enable_fault_injection(
+                FaultInjector(seed=7, storage=TRANSIENT_STORAGE,
+                              metadata=TRANSIENT_METADATA),
+                retry_policy=CHAOS_RETRIES)
+            for _ in range(5):
+                catalog.sql("SELECT count(*) AS c FROM events "
+                            "WHERE value >= 0")
+            return injector.injected()
+
+        first = run_once()
+        assert first == run_once()
+        assert sum(first.values()) > 0
+
+
+class TestPermanentFaults:
+    def test_lost_partition_fails_typed(self):
+        catalog = make_catalog(1000)
+        injector = catalog.enable_fault_injection(
+            FaultInjector(seed=3), retry_policy=CHAOS_RETRIES)
+        victim = catalog.tables["events"].partition_ids[2]
+        injector.mark_unavailable(STORAGE, victim)
+        service = QueryService(catalog, enable_result_cache=False)
+        with pytest.raises(PartitionUnavailableError) as info:
+            service.sql("SELECT * FROM events WHERE value >= 0")
+        assert info.value.partition_id == victim
+        # Pruning can still dodge the lost partition: a predicate that
+        # excludes it succeeds (victim covers ts 200..299).
+        result = service.sql("SELECT count(*) AS c FROM events "
+                             "WHERE ts >= 900")
+        assert result.rows == [(100,)]
+
+    def test_metadata_outage_degrades_not_fails(self):
+        catalog = make_catalog(1000)
+        oracle = catalog.sql(
+            "SELECT count(*) AS c FROM events WHERE ts < 300")
+        injector = catalog.enable_fault_injection(
+            FaultInjector(seed=3), retry_policy=CHAOS_RETRIES)
+        injector.set_outage(METADATA)
+        service = QueryService(catalog, enable_result_cache=False)
+        result = service.sql(
+            "SELECT count(*) AS c FROM events WHERE ts < 300")
+        assert result.rows == oracle.rows
+        assert result.degraded
+        assert result.profile.degraded_partitions == 10
+        assert service.metrics.counter("queries_degraded").value >= 1
+        # Recovery: once the outage lifts, pruning (and the breaker)
+        # come back.
+        injector.set_outage(METADATA, down=False)
+        breaker = catalog.metadata.breaker
+        for _ in range(2 * breaker.probe_interval + 2):
+            result = service.sql(
+                "SELECT count(*) AS c FROM events WHERE ts < 300")
+        assert not result.degraded
+        assert result.profile.partitions_loaded == 3
