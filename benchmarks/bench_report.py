@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""PR benchmark report: vectorized pruning + morsel-parallel scans.
+
+Measures the two performance claims of this change and writes them to
+``BENCH_PR3.json`` (for CI artifact upload and regression tracking):
+
+1. **Pruning throughput** — partitions classified per second by the
+   compiled numpy kernels vs the per-partition AST walk, on a
+   compilable predicate over a multi-thousand-partition table.
+   Gate: >= 5x speedup.
+2. **Scan wall-clock** — a fig13-scale table scanned with 1 vs 4
+   morsel workers, with :attr:`StorageLayer.io_sleep_ms` emulating
+   object-storage latency in real time (the simulated cost model
+   cannot show thread overlap). Gate: > 1.5x speedup at 4 workers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report.py [--quick]
+        [--output BENCH_PR3.json]
+
+``--quick`` shrinks table sizes and repetition counts for CI smoke
+runs (the gates still apply). The full mode additionally runs the
+fig4 / fig13 / micro-kernel pytest benchmarks and embeds their
+timings when ``pytest-benchmark`` is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.catalog import Catalog  # noqa: E402
+from repro.expr.ast import And, Compare, InList, col, lit  # noqa: E402
+from repro.pruning.base import ScanSet  # noqa: E402
+from repro.pruning.filter_pruning import FilterPruner  # noqa: E402
+from repro.pruning.stats_index import (  # noqa: E402
+    StatsIndex,
+    VectorizedFilterPruner,
+)
+from repro.storage.builder import build_table  # noqa: E402
+from repro.storage.clustering import Layout  # noqa: E402
+from repro.types import DataType, Schema  # noqa: E402
+
+SCHEMA = Schema.of(ts=DataType.INTEGER, category=DataType.VARCHAR,
+                   score=DataType.INTEGER)
+
+PREDICATE = And(
+    Compare(">=", col("ts"), lit(40_000)),
+    InList(col("category"), ["cat01", "cat03", "cat05"]),
+    Compare(">", col("score"), lit(250_000)),
+)
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-clock seconds of ``repeats`` runs (noise floor)."""
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# 1. Pruning throughput: kernel classify vs scalar AST walk
+# ----------------------------------------------------------------------
+def bench_pruning(n_partitions: int, repeats: int) -> dict:
+    rng = random.Random(0)
+    rows = [(i, f"cat{rng.randrange(8):02d}", rng.randrange(10**6))
+            for i in range(n_partitions * 25)]
+    table = build_table("t", SCHEMA, rows, rows_per_partition=25,
+                        layout=Layout.sorted_by("ts"))
+    scan_set = ScanSet((p.partition_id, p.zone_map)
+                       for p in table.partitions)
+    index_build_s = _timed(
+        lambda: StatsIndex(scan_set.entries).column("ts"))
+    index = StatsIndex(scan_set.entries)
+    for name in ("ts", "category", "score"):
+        index.column(name)  # pre-pack, as a live catalog index is
+
+    def scalar():
+        return FilterPruner(PREDICATE, SCHEMA).prune(scan_set)
+
+    def vectorized():
+        return VectorizedFilterPruner(
+            PREDICATE, SCHEMA, index=index).prune(scan_set)
+
+    want = scalar()
+    got = vectorized()
+    assert (got.kept.partition_ids == want.kept.partition_ids
+            and got.pruned_ids == want.pruned_ids
+            and got.fully_matching_ids == want.fully_matching_ids), \
+        "vectorized pruning diverged from the scalar oracle"
+
+    scalar_s = _best_of(scalar, repeats)
+    vector_s = _best_of(vectorized, repeats)
+    return {
+        "partitions": len(scan_set),
+        "index_build_s": round(index_build_s, 6),
+        "scalar_s": round(scalar_s, 6),
+        "vectorized_s": round(vector_s, 6),
+        "scalar_partitions_per_s": round(len(scan_set) / scalar_s),
+        "vectorized_partitions_per_s": round(
+            len(scan_set) / vector_s),
+        "speedup": round(scalar_s / vector_s, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Scan wall-clock: 1 vs 4 morsel workers under real I/O latency
+# ----------------------------------------------------------------------
+def bench_parallel_scan(n_partitions: int, io_sleep_ms: float,
+                        repeats: int, workers: int = 4) -> dict:
+    rng = random.Random(1)
+    rows = [(i, rng.uniform(0, 100), f"cat{rng.randrange(8):02d}")
+            for i in range(n_partitions * 50)]
+    schema = Schema.of(id=DataType.INTEGER, v=DataType.DOUBLE,
+                       category=DataType.VARCHAR)
+    catalog = Catalog(rows_per_partition=50)
+    catalog.create_table_from_rows("t", schema, rows)
+    catalog.storage.io_sleep_ms = io_sleep_ms
+    sql = "SELECT count(*), sum(v) FROM t WHERE id >= 0"
+
+    def run(parallelism: int):
+        catalog.scan_parallelism = parallelism
+        return catalog.sql(sql)
+
+    want = run(1).rows
+    assert run(workers).rows == want, \
+        "parallel scan rows diverged from serial"
+
+    serial_s = _best_of(lambda: run(1), repeats)
+    parallel_s = _best_of(lambda: run(workers), repeats)
+    return {
+        "partitions": n_partitions,
+        "io_sleep_ms": io_sleep_ms,
+        "workers": workers,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. Full mode: embed the pytest benchmark suites
+# ----------------------------------------------------------------------
+def run_pytest_benches() -> dict | None:
+    """Run fig4/fig13/micro-kernel benches; None when unavailable."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q",
+             "benchmarks/test_fig4_filter_pruning.py",
+             "benchmarks/test_fig13_tpch.py",
+             "benchmarks/test_micro_kernels.py",
+             f"--benchmark-json={out}"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={**__import__("os").environ,
+                 "PYTHONPATH": str(REPO_ROOT / "src")})
+        if proc.returncode != 0 or not out.exists():
+            sys.stderr.write(
+                "pytest benches unavailable or failed; skipping\n"
+                + proc.stdout[-2000:] + proc.stderr[-2000:])
+            return None
+        data = json.loads(out.read_text())
+    return {
+        bench["name"]: {
+            "mean_s": round(bench["stats"]["mean"], 6),
+            "median_s": round(bench["stats"]["median"], 6),
+        }
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / few repeats (CI smoke)")
+    parser.add_argument("--output", default=str(
+        REPO_ROOT / "BENCH_PR3.json"))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        prune_partitions, prune_repeats = 800, 3
+        scan_partitions, io_sleep_ms, scan_repeats = 60, 2.0, 2
+    else:
+        prune_partitions, prune_repeats = 2000, 5
+        scan_partitions, io_sleep_ms, scan_repeats = 200, 2.0, 3
+
+    report = {
+        "pr": 3,
+        "title": "Vectorized metadata pruning kernels + "
+                 "morsel-driven parallel scan execution",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "pruning_throughput": bench_pruning(
+            prune_partitions, prune_repeats),
+        "parallel_scan": bench_parallel_scan(
+            scan_partitions, io_sleep_ms, scan_repeats),
+    }
+    if not args.quick:
+        benches = run_pytest_benches()
+        if benches is not None:
+            report["pytest_benchmarks"] = benches
+
+    gates = {
+        "pruning_speedup_ge_5x":
+            report["pruning_throughput"]["speedup"] >= 5.0,
+        "scan_speedup_gt_1_5x":
+            report["parallel_scan"]["speedup"] > 1.5,
+    }
+    report["gates"] = gates
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not all(gates.values()):
+        print("BENCH GATES FAILED:",
+              [k for k, v in gates.items() if not v],
+              file=sys.stderr)
+        return 1
+    print("all benchmark gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,12 +8,17 @@ the top-k heap.
 
 import random
 
-from repro.expr.ast import And, Compare, If, Like, col, lit
+from repro.expr.ast import And, Compare, If, InList, Like, col, lit
 from repro.expr.eval import evaluate_predicate
 from repro.expr.pruning import prune_partition
 from repro.pruning.base import ScanSet
 from repro.pruning.filter_pruning import FilterPruner
 from repro.pruning.join_pruning import build_summary
+from repro.pruning.stats_index import (
+    StatsIndex,
+    VectorizedFilterPruner,
+    compile_pruning_kernel,
+)
 from repro.storage.builder import build_table
 from repro.storage.clustering import Layout
 from repro.types import DataType, Schema
@@ -34,6 +39,14 @@ _PREDICATE = And(
     Compare(">", If(Compare("=", col("category"), lit("cat01")),
                     col("score"), lit(0)), lit(-1)),
 )
+#: LIKE/IF never compile to kernels; this shape exercises the
+#: vectorized path end to end.
+_COMPILABLE_PREDICATE = And(
+    Compare(">=", col("ts"), lit(40_000)),
+    InList(col("category"), ["cat01", "cat03", "cat05"]),
+    Compare(">", col("score"), lit(250_000)),
+)
+_STATS_INDEX = StatsIndex(_SCAN_SET.entries)
 
 
 def test_prune_partition_check(benchmark):
@@ -51,6 +64,39 @@ def test_filter_pruner_500_partitions(benchmark):
 
     result = benchmark(prune)
     assert result < len(_SCAN_SET)
+
+
+def test_vectorized_pruner_500_partitions(benchmark):
+    """Kernel-compiled pruning of the same 500-partition scan set."""
+
+    def prune():
+        pruner = VectorizedFilterPruner(
+            _COMPILABLE_PREDICATE, SCHEMA, index=_STATS_INDEX)
+        return pruner.prune(_SCAN_SET).after
+
+    result = benchmark(prune)
+    assert result < len(_SCAN_SET)
+
+
+def test_scalar_pruner_500_partitions_compilable(benchmark):
+    """AST-walk baseline over the same compilable predicate."""
+
+    def prune():
+        pruner = FilterPruner(_COMPILABLE_PREDICATE, SCHEMA)
+        return pruner.prune(_SCAN_SET).after
+
+    result = benchmark(prune)
+    assert result < len(_SCAN_SET)
+
+
+def test_kernel_classify_only(benchmark):
+    """One bulk classify pass over 500 packed partitions."""
+    kernel = compile_pruning_kernel(_COMPILABLE_PREDICATE)
+    assert kernel is not None
+    codes = kernel.classify(_STATS_INDEX)
+    assert codes is not None
+
+    benchmark(kernel.classify, _STATS_INDEX)
 
 
 def test_vectorized_predicate_eval(benchmark):

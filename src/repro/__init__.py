@@ -64,7 +64,7 @@ from .plan.compiler import CompilerOptions
 from .expr.ast import col, lit
 from .service import QueryService
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DataType",

@@ -82,11 +82,15 @@ class Catalog:
     """Tables, storage, metadata, and query execution in one place."""
 
     def __init__(self, cost_model: CostModel | None = None,
-                 rows_per_partition: int = DEFAULT_ROWS_PER_PARTITION):
+                 rows_per_partition: int = DEFAULT_ROWS_PER_PARTITION,
+                 scan_parallelism: int = 1):
         self.storage = StorageLayer(cost_model)
         self.metadata = MetadataStore()
         self.tables: dict[str, Table] = {}
         self.rows_per_partition = rows_per_partition
+        #: worker count for morsel-driven parallel scans (1 = serial);
+        #: typically set to the warehouse cluster size by the service.
+        self.scan_parallelism = max(1, scan_parallelism)
         self.predicate_cache: PredicateCache | None = None
         self._iceberg_sources: dict[str, dict[int, object]] = {}
         self._compiler = QueryCompiler(self)
@@ -297,6 +301,17 @@ class Catalog:
         scan.metadata_backoff_ms = snap["backoff_ms"]
         return scan
 
+    def stats_index(self, table: str):
+        """SoA zone-map index for vectorized pruning of ``table``.
+
+        Delegates to the metadata store, which maintains the index
+        incrementally from DML write deltas. The compiler matches the
+        index against the scan set it actually fetched per partition
+        (object identity), so degraded or stale entries simply take
+        the scalar path.
+        """
+        return self.metadata.stats_index(self._table(table).name)
+
     def enable_fault_injection(self, injector, retry_policy=None,
                                breaker=None):
         """Wire a :class:`~repro.faults.FaultInjector` (plus retry
@@ -430,7 +445,8 @@ class Catalog:
         stmt = parse_select(text)
         plan = plan_select(stmt, self.schema_of)
         context = ExecContext(self.storage, self.metadata,
-                              query_id="explain")
+                              query_id="explain",
+                              scan_parallelism=self.scan_parallelism)
         compiled = self._compiler.compile(plan, context, options)
         rendered = render_plan(compiled.root)
         tables = [stmt.table.name] + [j.table.name
@@ -467,7 +483,8 @@ class Catalog:
                 options.predicate_cache = self.predicate_cache
             plan = plan_select(stmt, self.schema_of)
             context = ExecContext(self.storage, self.metadata,
-                                  query_id=f"q{next(_QUERY_COUNTER)}")
+                                  query_id=f"q{next(_QUERY_COUNTER)}",
+                                  scan_parallelism=self.scan_parallelism)
             compiled = self._compiler.compile(plan, context, options)
             execution = execute(compiled.root, context)
             for hook in compiled.post_exec_hooks:
@@ -488,7 +505,8 @@ class Catalog:
                 self.predicate_cache is not None:
             options.predicate_cache = self.predicate_cache
         context = ExecContext(self.storage, self.metadata,
-                              query_id=f"q{next(_QUERY_COUNTER)}")
+                              query_id=f"q{next(_QUERY_COUNTER)}",
+                              scan_parallelism=self.scan_parallelism)
         compiled = self._compiler.compile(plan, context, options)
         execution = execute(compiled.root, context)
         for hook in compiled.post_exec_hooks:
@@ -528,20 +546,23 @@ class Catalog:
         flow covers "both DML and SELECT queries"): partitions whose
         metadata proves no row matches are neither read nor rewritten.
         """
-        from .pruning.filter_pruning import FilterPruner, is_prunable
+        from .pruning.filter_pruning import is_prunable
+        from .pruning.stats_index import VectorizedFilterPruner
 
         if not is_prunable(predicate):
             return table.partitions
         scan_set = ScanSet((p.partition_id, p.zone_map)
                            for p in table.partitions)
-        pruner = FilterPruner(predicate, table.schema,
-                              detect_fully_matching=False)
+        pruner = VectorizedFilterPruner(predicate, table.schema,
+                                        detect_fully_matching=False,
+                                        index=table.stats_index())
         result = pruner.prune(scan_set)
         if profile is not None:
             scan_profile = profile.new_scan(table.name)
             scan_profile.total_partitions = len(scan_set)
             scan_profile.filter_result = result
             scan_profile.filter_eligible = True
+            scan_profile.pruning_mode = pruner.mode
         kept = set(result.kept.partition_ids)
         return [p for p in table.partitions
                 if p.partition_id in kept]

@@ -46,9 +46,12 @@ class Chunk:
     @classmethod
     def from_rows(cls, schema: Schema,
                   rows: Sequence[Sequence[Any]]) -> "Chunk":
+        # One zip transposes all columns in C instead of a Python
+        # row loop per column.
+        transposed = zip(*rows) if rows else [()] * len(schema.fields)
         columns = {
-            f.name: Column.from_pylist(f.dtype, [r[i] for r in rows])
-            for i, f in enumerate(schema)
+            f.name: Column.from_pylist(f.dtype, list(values))
+            for f, values in zip(schema, transposed)
         }
         return cls(schema, columns)
 

@@ -43,6 +43,16 @@ class ScanProfile:
     #: metadata-read retries absorbed while building this scan set
     metadata_retries: int = 0
     metadata_backoff_ms: float = 0.0
+    #: how filter pruning classified this scan's partitions:
+    #: "vectorized" (one bulk kernel pass), "fallback" (per-partition
+    #: AST walk), or "mixed" (bulk pass with per-partition exceptions,
+    #: e.g. degraded zone maps). Empty when no filter pruning ran.
+    pruning_mode: str = ""
+    #: wall-clock milliseconds spent classifying partitions (real
+    #: time, not the simulated cost-model clock).
+    pruning_ms: float = 0.0
+    #: worker threads the scan actually fanned morsels out to.
+    scan_parallelism: int = 1
 
     @property
     def degraded(self) -> bool:
@@ -143,6 +153,16 @@ class QueryProfile:
     def partitions_pruned(self) -> int:
         return sum(s.partitions_pruned for s in self.scans)
 
+    @property
+    def pruning_time(self) -> float:
+        """Wall-clock ms spent classifying partitions, across scans."""
+        return sum(s.pruning_ms for s in self.scans)
+
+    @property
+    def scan_parallelism(self) -> int:
+        """Widest worker fan-out any scan of this query used."""
+        return max((s.scan_parallelism for s in self.scans), default=1)
+
     def new_scan(self, table: str) -> ScanProfile:
         profile = ScanProfile(table=table)
         self.scans.append(profile)
@@ -187,6 +207,11 @@ class QueryProfile:
             "injected_latency_ms": self.retry_stats.injected_latency_ms,
             "degraded": 1.0 if self.degraded else 0.0,
             "partitions_degraded": float(self.degraded_partitions),
+            "pruning_time_ms": self.pruning_time,
+            "scans_vectorized": float(sum(
+                1 for s in self.scans
+                if s.pruning_mode == "vectorized")),
+            "scan_parallelism": float(self.scan_parallelism),
         }
 
     def resilience_summary(self) -> str:
@@ -247,11 +272,15 @@ class ExecContext:
 
     def __init__(self, storage: StorageLayer,
                  metadata: MetadataStore | None = None,
-                 query_id: str = ""):
+                 query_id: str = "",
+                 scan_parallelism: int = 1):
         self.storage = storage
         self.metadata = metadata
         self.cost_model = storage.cost_model
         self.profile = QueryProfile(query_id=query_id)
+        #: worker threads table scans may fan morsels out to (1 =
+        #: serial execution; typically the warehouse cluster size).
+        self.scan_parallelism = max(1, int(scan_parallelism))
 
     # -- simulated clock -------------------------------------------------
     def charge_compile(self, ms: float) -> None:
@@ -267,8 +296,11 @@ class ExecContext:
         self.charge_exec(self.cost_model.scan_cost(rows))
 
     def charge_prune_checks(self, checks: int,
-                            at_compile_time: bool = False) -> None:
-        ms = checks * self.cost_model.prune_check_ms
+                            at_compile_time: bool = False,
+                            vectorized: bool = False) -> None:
+        rate = (self.cost_model.vectorized_prune_check_ms if vectorized
+                else self.cost_model.prune_check_ms)
+        ms = checks * rate
         if at_compile_time:
             self.charge_compile(ms)
         else:

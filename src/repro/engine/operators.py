@@ -83,6 +83,17 @@ class Scan(Operator):
     consults (a) attached top-k pruners — boundary checks, §5.2 — and
     (b) an optional deferred filter pruner (compile-time cutoff pushed
     the filter to the warehouse, §3.2).
+
+    When ``ExecContext.scan_parallelism`` > 1 the scan fans partition
+    loads out as morsels to a thread pool (the paper's execution
+    engine scans surviving partitions in parallel, §2), with
+    deterministic semantics: runtime-pruning decisions happen on the
+    consumer thread in scan-set order, chunks are merged back in that
+    same order, per-worker retry stats fold into the query profile as
+    each morsel is consumed, and a failing load surfaces its typed
+    error at the same position the serial scan would. Adaptive top-k
+    boundary pruning stays serial — its skip decisions depend on
+    results of earlier partitions.
     """
 
     def __init__(self, context: ExecContext, table: str, schema: Schema,
@@ -122,6 +133,25 @@ class Scan(Operator):
 
     # -- iteration ---------------------------------------------------------
     def __iter__(self) -> Iterator[Chunk]:
+        workers = self._parallel_workers()
+        self.profile.scan_parallelism = workers
+        if workers > 1:
+            return self._iter_parallel(workers)
+        return self._iter_serial()
+
+    def _parallel_workers(self) -> int:
+        """Morsel workers this scan may use (1 = stay serial)."""
+        workers = getattr(self.context, "scan_parallelism", 1)
+        if workers <= 1 or len(self.scan_set) <= 1:
+            return 1
+        if self.topk_pruners:
+            # The boundary tightens as partitions stream back;
+            # prefetching ahead of it would load partitions a serial
+            # scan provably skips. Keep the adaptive path sequential.
+            return 1
+        return min(workers, len(self.scan_set))
+
+    def _iter_serial(self) -> Iterator[Chunk]:
         entries = self.scan_set.entries
         consumed = 0
         try:
@@ -140,21 +170,81 @@ class Scan(Operator):
                 penalty = retry_stats.penalty_ms() - penalty_before
                 if penalty:
                     self.context.charge_exec(penalty)
-                nbytes = (partition.project_bytes(self.columns)
-                          if self.columns is not None
-                          else partition.nbytes())
-                self.context.charge_partition_load(nbytes)
-                self.context.charge_rows(partition.row_count)
-                self.profile.partitions_loaded += 1
-                self.profile.rows_scanned += partition.row_count
-                chunk = Chunk.from_partition(partition)
-                if self.columns is not None:
-                    chunk = chunk.select(self.columns)
-                chunk.source_partition = partition_id
-                yield chunk
+                yield self._consume_partition(partition_id, partition)
         finally:
             if consumed < len(entries):
                 self.profile.early_terminated = True
+
+    def _iter_parallel(self, workers: int) -> Iterator[Chunk]:
+        from collections import deque
+        from concurrent.futures import ThreadPoolExecutor
+
+        from ..faults.retry import RetryStats
+
+        entries = self.scan_set.entries
+        storage = self.context.storage
+        columns = self.columns
+
+        def load_morsel(partition_id: int):
+            # Private stats per morsel: retry attribution merges into
+            # the query profile when the morsel is consumed, in order.
+            local = RetryStats()
+            partition = storage.load(partition_id, columns=columns,
+                                     retry_stats=local)
+            return partition, local
+
+        executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="scan-morsel")
+        window = workers * 2
+        pending: deque = deque()
+        submitted = 0
+        completed = False
+        try:
+            while True:
+                # Keep up to `window` morsels in flight; pruning and
+                # charging happen here, on the consumer thread, in
+                # scan-set order — identical to the serial scan.
+                while submitted < len(entries) and len(pending) < window:
+                    partition_id, zone_map = entries[submitted]
+                    submitted += 1
+                    self.context.charge_metadata_lookups(1)
+                    if self._runtime_skip(zone_map):
+                        continue
+                    pending.append(
+                        (partition_id,
+                         executor.submit(load_morsel, partition_id)))
+                if not pending:
+                    completed = submitted == len(entries)
+                    break
+                # Consume in submission order: chunk order, profile
+                # accounting, and the position at which a failing
+                # partition raises all match serial execution.
+                partition_id, future = pending.popleft()
+                partition, local = future.result()
+                penalty = local.penalty_ms()
+                self.context.profile.retry_stats.absorb(local)
+                if penalty:
+                    self.context.charge_exec(penalty)
+                yield self._consume_partition(partition_id, partition)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+            if not completed:
+                self.profile.early_terminated = True
+
+    def _consume_partition(self, partition_id: int, partition) -> Chunk:
+        """Charge and account one loaded partition, returning its chunk."""
+        nbytes = (partition.project_bytes(self.columns)
+                  if self.columns is not None
+                  else partition.nbytes())
+        self.context.charge_partition_load(nbytes)
+        self.context.charge_rows(partition.row_count)
+        self.profile.partitions_loaded += 1
+        self.profile.rows_scanned += partition.row_count
+        chunk = Chunk.from_partition(partition)
+        if self.columns is not None:
+            chunk = chunk.select(self.columns)
+        chunk.source_partition = partition_id
+        return chunk
 
     def _runtime_skip(self, zone_map) -> bool:
         for pruner in self.topk_pruners:

@@ -92,6 +92,26 @@ class RetryStats:
         with self._lock:
             return self.backoff_ms + self.injected_latency_ms
 
+    def absorb(self, other: "RetryStats") -> None:
+        """Fold another instance's counters into this one.
+
+        Parallel scans give each worker a private ``RetryStats`` per
+        partition load and merge it into the query's stats when the
+        morsel is consumed, so per-query attribution stays exact
+        without contending on one lock inside every load attempt.
+        """
+        with other._lock:
+            retries = other.retries
+            backoff_ms = other.backoff_ms
+            injected_latency_ms = other.injected_latency_ms
+            by_class = dict(other.by_class)
+        with self._lock:
+            self.retries += retries
+            self.backoff_ms += backoff_ms
+            self.injected_latency_ms += injected_latency_ms
+            for name, count in by_class.items():
+                self.by_class[name] = self.by_class.get(name, 0) + count
+
     def snapshot(self) -> dict[str, float]:
         with self._lock:
             out: dict[str, float] = {

@@ -25,6 +25,7 @@ compile-time pipeline along the way:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable
 
@@ -55,6 +56,7 @@ from ..pruning.fully_matching import find_fully_matching_inverted
 from ..pruning.limit_pruning import LimitPruner
 from ..pruning.predicate_cache import PredicateCache
 from ..pruning.pruning_tree import PruningTree, TreeConfig
+from ..pruning.stats_index import StatsIndex, VectorizedFilterPruner
 from ..pruning.topk_pruning import (
     Boundary,
     OrderStrategy,
@@ -102,6 +104,11 @@ class CompilerOptions:
     #: scans read only the columns the plan references (PAX layouts
     #: allow column-level reads, §2) — fewer bytes over the network
     enable_projection_pushdown: bool = True
+    #: classify all partitions of a scan in one compiled numpy pass
+    #: over the table's SoA stats index, falling back per partition to
+    #: the AST walk wherever the kernels cannot bind (results are
+    #: bit-identical either way; see pruning/stats_index.py)
+    enable_vectorized_pruning: bool = True
 
 
 class CatalogInterface:
@@ -156,6 +163,10 @@ class CompiledQuery:
     context: ExecContext
     post_exec_hooks: list[Callable[[], None]] = dataclass_field(
         default_factory=list)
+    #: per-compile scan-set memo: each table's zone maps are fetched
+    #: from the metadata store once per query, not once per pruning
+    #: stage (the metadata-aggregate probe used to re-fetch).
+    scan_sets: dict[str, ScanSet] = dataclass_field(default_factory=dict)
 
 
 class QueryCompiler:
@@ -221,17 +232,16 @@ class QueryCompiler:
                     compiled: CompiledQuery,
                     required: set[str] | None = None) -> _Built:
         schema = self.catalog.schema_of(node.table)
-        scan_set = self.catalog.scan_set(node.table)
+        scan_set, first_fetch = self._fetch_scan_set(
+            node.table, context, compiled)
         profile = context.profile.new_scan(node.table)
         profile.total_partitions = len(scan_set)
         profile.degraded_partitions = len(scan_set.degraded_ids)
-        profile.metadata_retries = scan_set.metadata_retries
-        profile.metadata_backoff_ms = scan_set.metadata_backoff_ms
-        context.charge_metadata_lookups(len(scan_set),
-                                        at_compile_time=True)
-        # Retry backoff spent fetching metadata is compile-time delay.
-        if scan_set.metadata_backoff_ms:
-            context.charge_compile(scan_set.metadata_backoff_ms)
+        if first_fetch:
+            # Retry/backoff accounting belongs to whichever stage
+            # actually performed the fetch (exactly one per query).
+            profile.metadata_retries = scan_set.metadata_retries
+            profile.metadata_backoff_ms = scan_set.metadata_backoff_ms
         predicate = node.predicate
         # Without predicates every partition is fully-matching (§4.2).
         fully_matching: list[int] = (
@@ -252,7 +262,8 @@ class QueryCompiler:
                     deferred = predicate
                 else:
                     scan_set, fully_matching, deferred = \
-                        self._filter_prune(predicate, scan_set, schema,
+                        self._filter_prune(node.table, predicate,
+                                           scan_set, schema,
                                            profile, context, options)
         columns = self._scan_columns(schema, node.predicate, required)
         scan_schema = schema if columns is None \
@@ -292,6 +303,44 @@ class QueryCompiler:
             estimated_rows=scan.scan_set.total_rows(),
         )
 
+    def _fetch_scan_set(self, table: str, context: ExecContext,
+                        compiled: CompiledQuery
+                        ) -> tuple[ScanSet, bool]:
+        """Fetch a table's scan set once per compiled query.
+
+        Returns ``(scan_set, first_fetch)``. Metadata lookups and
+        retry backoff are charged only on the actual fetch; later
+        stages (the metadata-aggregate probe falling through to a real
+        scan, self-joins) reuse the materialized zone maps.
+        """
+        key = table.lower()
+        scan_set = compiled.scan_sets.get(key)
+        if scan_set is not None:
+            return scan_set, False
+        scan_set = self.catalog.scan_set(table)
+        compiled.scan_sets[key] = scan_set
+        context.charge_metadata_lookups(len(scan_set),
+                                        at_compile_time=True)
+        # Retry backoff spent fetching metadata is compile-time delay.
+        if scan_set.metadata_backoff_ms:
+            context.charge_compile(scan_set.metadata_backoff_ms)
+        return scan_set, True
+
+    def _stats_index_for(self, table: str,
+                         scan_set: ScanSet) -> StatsIndex:
+        """The table's maintained stats index, or a transient one.
+
+        Duck-typed catalogs without an index still get vectorized
+        classification over an index built from the fetched scan set.
+        """
+        stats_index = getattr(self.catalog, "stats_index", None)
+        if stats_index is not None:
+            try:
+                return stats_index(table)
+            except Exception:  # noqa: BLE001 - never fail compilation
+                pass
+        return StatsIndex(scan_set)
+
     @staticmethod
     def _scan_columns(schema: Schema, predicate: ast.Expr | None,
                       required: set[str] | None) -> list[str] | None:
@@ -313,16 +362,19 @@ class QueryCompiler:
             return None
         return columns
 
-    def _filter_prune(self, predicate: ast.Expr, scan_set: ScanSet,
+    def _filter_prune(self, table: str, predicate: ast.Expr,
+                      scan_set: ScanSet,
                       schema: Schema, profile: ScanProfile,
                       context: ExecContext,
                       options: CompilerOptions
                       ) -> tuple[ScanSet, list[int], ast.Expr | None]:
         deferred: ast.Expr | None = None
+        started = time.perf_counter()
         if options.use_pruning_tree:
             tree = PruningTree(predicate, schema,
                                options.tree_config or TreeConfig())
             result = tree.prune(scan_set)
+            profile.pruning_mode = "fallback"
             context.charge_compile(tree.simulated_ms)
             if options.detect_fully_matching:
                 result.fully_matching_ids = find_fully_matching_inverted(
@@ -334,13 +386,29 @@ class QueryCompiler:
                 if cut:
                     deferred = cut[0] if len(cut) == 1 \
                         else ast.And(cut)
+        elif options.enable_vectorized_pruning:
+            pruner = VectorizedFilterPruner(
+                predicate, schema,
+                detect_fully_matching=options.detect_fully_matching,
+                index=self._stats_index_for(table, scan_set))
+            result = pruner.prune(scan_set)
+            profile.pruning_mode = pruner.mode
+            if pruner.vector_checks:
+                context.charge_prune_checks(pruner.vector_checks,
+                                            at_compile_time=True,
+                                            vectorized=True)
+            if pruner.fallback_checks:
+                context.charge_prune_checks(pruner.fallback_checks,
+                                            at_compile_time=True)
         else:
             pruner = FilterPruner(
                 predicate, schema,
                 detect_fully_matching=options.detect_fully_matching)
             result = pruner.prune(scan_set)
+            profile.pruning_mode = "fallback"
             context.charge_prune_checks(result.checks,
                                         at_compile_time=True)
+        profile.pruning_ms += (time.perf_counter() - started) * 1000.0
         profile.filter_result = result
         return result.kept, list(result.fully_matching_ids), deferred
 
@@ -520,7 +588,7 @@ class QueryCompiler:
                          compiled: CompiledQuery,
                          required: set[str] | None = None) -> _Built:
         metadata_result = self._try_metadata_aggregate(node, context,
-                                                       options)
+                                                       options, compiled)
         if metadata_result is not None:
             return metadata_result
         child_required = None
@@ -540,7 +608,8 @@ class QueryCompiler:
 
     def _try_metadata_aggregate(self, node: L.LogicalAggregate,
                                 context: ExecContext,
-                                options: CompilerOptions
+                                options: CompilerOptions,
+                                compiled: CompiledQuery
                                 ) -> _Built | None:
         """Answer a global COUNT/MIN/MAX aggregate from zone maps.
 
@@ -560,14 +629,15 @@ class QueryCompiler:
         if not all(agg.func in supported for agg in node.aggs):
             return None
         table = node.child.table
-        scan_set = self.catalog.scan_set(table)
+        # Memoized fetch: if this probe declines, the fallback scan
+        # reuses the same materialized zone maps instead of re-fetching
+        # every partition's metadata.
+        scan_set, _ = self._fetch_scan_set(table, context, compiled)
         if scan_set.degraded_ids:
             # Some zone maps are unavailable: a metadata-only answer
             # would be wrong (e.g. COUNT from partial row counts).
             # Fall back to scanning the data.
             return None
-        context.charge_metadata_lookups(len(scan_set),
-                                        at_compile_time=True)
         values = []
         for agg in node.aggs:
             value = _metadata_aggregate_value(agg, scan_set)

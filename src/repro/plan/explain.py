@@ -105,6 +105,8 @@ def _describe_scan(scan: Scan) -> str:
         annotations.append(
             f"filter pruned {result.pruned} "
             f"(fully-matching: {len(result.fully_matching_ids)})")
+    if profile.pruning_mode:
+        annotations.append(f"pruning: {profile.pruning_mode}")
     if profile.limit_report is not None:
         annotations.append(
             f"limit pruning: {profile.limit_report.outcome.value}")
@@ -126,4 +128,7 @@ def _describe_scan(scan: Scan) -> str:
     if profile.metadata_retries:
         annotations.append(
             f"metadata retries: {profile.metadata_retries}")
+    workers = scan._parallel_workers()
+    if workers > 1:
+        annotations.append(f"parallel scan x{workers}")
     return f"Scan {scan.table} [{', '.join(annotations)}]"

@@ -9,11 +9,18 @@
 * :mod:`.summaries` — build-side value summaries (§6.1);
 * :mod:`.join_pruning` — probe-side partition pruning for joins (§6);
 * :mod:`.flow` — the combined pruning pipeline and per-query records (§7);
-* :mod:`.predicate_cache` — query-driven partition caching (§8.2).
+* :mod:`.predicate_cache` — query-driven partition caching (§8.2);
+* :mod:`.stats_index` — vectorized zone-map index and pruning kernels.
 """
 
 from .base import PruneCategory, PruningResult, ScanSet
 from .filter_pruning import FilterPruner
+from .stats_index import (
+    PruningKernel,
+    StatsIndex,
+    VectorizedFilterPruner,
+    compile_pruning_kernel,
+)
 from .fully_matching import find_fully_matching_inverted
 from .limit_pruning import LimitPruneOutcome, LimitPruner
 from .topk_pruning import (
@@ -46,4 +53,8 @@ __all__ = [
     "PredicateCache",
     "FlowRecord",
     "PruningFlow",
+    "PruningKernel",
+    "StatsIndex",
+    "VectorizedFilterPruner",
+    "compile_pruning_kernel",
 ]

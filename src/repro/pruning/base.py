@@ -27,6 +27,10 @@ class ScanSet:
     def __init__(self, entries: Iterable[tuple[int, ZoneMap]] = (),
                  degraded_ids: Iterable[int] = ()):
         self._entries: list[tuple[int, ZoneMap]] = list(entries)
+        #: lazy id -> zone-map mapping; ``_entries`` never mutates
+        #: after construction (transforms build new scan sets), so
+        #: building it twice under a race is merely wasted work.
+        self._by_id: dict[int, ZoneMap] | None = None
         #: partitions whose metadata could not be fetched — their zone
         #: maps are stats-free placeholders, so every pruning check
         #: answers MAYBE and they are always scanned (fail open).
@@ -48,11 +52,13 @@ class ScanSet:
     def entries(self) -> list[tuple[int, ZoneMap]]:
         return list(self._entries)
 
+    def _index(self) -> dict[int, ZoneMap]:
+        if self._by_id is None:
+            self._by_id = dict(self._entries)
+        return self._by_id
+
     def zone_map(self, partition_id: int) -> ZoneMap:
-        for pid, zone_map in self._entries:
-            if pid == partition_id:
-                return zone_map
-        raise KeyError(partition_id)
+        return self._index()[partition_id]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -61,7 +67,7 @@ class ScanSet:
         return iter(self._entries)
 
     def __contains__(self, partition_id: int) -> bool:
-        return any(pid == partition_id for pid, _ in self._entries)
+        return partition_id in self._index()
 
     def total_rows(self) -> int:
         return sum(zm.row_count for _, zm in self._entries)
@@ -74,7 +80,7 @@ class ScanSet:
 
     def reorder(self, ordered_ids: Iterable[int]) -> "ScanSet":
         """Reorder entries to match ``ordered_ids`` (must be a subset)."""
-        by_id = dict(self._entries)
+        by_id = self._index()
         return self._derived((pid, by_id[pid]) for pid in ordered_ids)
 
     def _derived(self, entries: Iterable[tuple[int, ZoneMap]]) -> "ScanSet":

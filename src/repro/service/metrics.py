@@ -109,6 +109,9 @@ class MetricsRegistry:
     - counters ``retries`` / ``retry_backoff_ms`` /
       ``injected_latency_ms`` / ``partitions_degraded`` plus
       ``queries_retried`` / ``queries_degraded`` (resilience)
+    - counters ``pruning_time_ms`` / ``scans_vectorized`` and
+      histogram ``scan_parallelism`` (vectorized pruning + morsel
+      scan execution)
     - histograms ``queue_wait_ms`` / ``latency_ms`` (wall clock) and
       ``sim_exec_ms`` / ``sim_compile_ms`` (simulated clock)
     """
@@ -141,8 +144,11 @@ class MetricsRegistry:
         for key in ("partitions_total", "partitions_loaded",
                     "partitions_pruned", "rows_scanned",
                     "retries", "retry_backoff_ms",
-                    "injected_latency_ms", "partitions_degraded"):
+                    "injected_latency_ms", "partitions_degraded",
+                    "pruning_time_ms", "scans_vectorized"):
             self.counter(key).inc(export[key])
+        self.histogram("scan_parallelism").observe(
+            export["scan_parallelism"])
 
     def observe_query(self, latency_ms: float,
                       queue_wait_ms: float) -> None:

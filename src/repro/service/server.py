@@ -101,8 +101,14 @@ class QueryService:
                  result_cache_entries: int = 256,
                  enable_result_cache: bool = True,
                  query_retry_policy: RetryPolicy | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 scan_parallelism: int | None = None):
         self.catalog = catalog
+        #: morsel workers per table scan. ``None`` keeps the catalog's
+        #: setting; the common deployment sets it to the warehouse slot
+        #: count so one query's scan saturates one cluster.
+        if scan_parallelism is not None:
+            catalog.scan_parallelism = max(1, int(scan_parallelism))
         #: optional whole-query retry of transient failures that
         #: escaped the storage/metadata retry layers. SELECT-only:
         #: DML is not idempotent, so it never re-runs.
@@ -223,6 +229,11 @@ class QueryService:
             if self.result_cache is not None else 0,
             "cache_hit_ratio": self.metrics.cache_hit_ratio(),
             "pruning_ratio": self.metrics.pruning_ratio(),
+            "scan_parallelism": self.catalog.scan_parallelism,
+            "pruning_time_ms": self.metrics.counter(
+                "pruning_time_ms").value,
+            "scans_vectorized": self.metrics.counter(
+                "scans_vectorized").value,
         }
         for name in ("queries_completed", "queries_failed",
                      "queries_cancelled", "queries_rejected",

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.breaker import CircuitBreaker
     from ..faults.injector import FaultInjector
     from ..faults.retry import RetryPolicy, RetryStats
+    from ..pruning.stats_index import StatsIndex
 
 
 class MetadataStore:
@@ -47,6 +48,12 @@ class MetadataStore:
         self.version = 0
         self.lookups = 0
         self._lock = threading.RLock()
+        # Vectorized-pruning support: per-table SoA StatsIndex snapshots
+        # plus the write deltas accumulated since each snapshot, so
+        # stats_index() refreshes copy-on-write instead of rescanning
+        # the table (see pruning/stats_index.py).
+        self._stats_indexes: dict[str, "StatsIndex"] = {}
+        self._stats_dirty: dict[str, dict[int, ZoneMap | None]] = {}
         #: optional :class:`~repro.faults.FaultInjector` consulted on
         #: every read (simulated metadata-service faults).
         self.fault_injector = fault_injector
@@ -76,6 +83,9 @@ class MetadataStore:
                 self._table_partitions.setdefault(
                     table, {})[partition_id] = None
             self._entries[key] = zone_map
+            if table in self._stats_indexes:
+                self._stats_dirty.setdefault(table, {})[partition_id] = \
+                    zone_map
             self.version += 1
 
     def unregister(self, table: str, partition_id: int) -> None:
@@ -92,6 +102,8 @@ class MetadataStore:
             if not bucket:
                 # Don't leak empty per-table buckets for dropped data.
                 del self._table_partitions[table]
+            if table in self._stats_indexes:
+                self._stats_dirty.setdefault(table, {})[partition_id] = None
             self.version += 1
 
     def register_table(self, table: str,
@@ -104,6 +116,8 @@ class MetadataStore:
         with self._lock:
             for partition_id in self._table_partitions.pop(table, {}):
                 del self._entries[(table, partition_id)]
+            self._stats_indexes.pop(table, None)
+            self._stats_dirty.pop(table, None)
             self.version += 1
 
     # ------------------------------------------------------------------
@@ -181,6 +195,34 @@ class MetadataStore:
     def iter_table(self, table: str) -> Iterator[tuple[int, ZoneMap]]:
         for partition_id in self.partitions_of(table):
             yield partition_id, self.get(table, partition_id)
+
+    def stats_index(self, table: str) -> "StatsIndex":
+        """Current SoA :class:`~repro.pruning.StatsIndex` for a table.
+
+        Kept incrementally: the first call snapshots the table; later
+        calls apply the register/unregister deltas recorded since,
+        copy-on-write, so readers always hold a consistent immutable
+        index and steady-state refreshes cost O(changed partitions)
+        bookkeeping rather than a metadata rescan. This is an internal
+        metadata-service structure, so reads here are not charged as
+        lookups and do not traverse the fault stack — per-partition
+        consistency with what the *query* actually fetched is enforced
+        by the pruner's zone-map identity check instead.
+        """
+        from ..pruning.stats_index import StatsIndex
+
+        table = table.lower()
+        with self._lock:
+            index = self._stats_indexes.get(table)
+            dirty = self._stats_dirty.pop(table, None)
+            if index is None:
+                index = StatsIndex(
+                    (pid, self._entries[(table, pid)])
+                    for pid in self._table_partitions.get(table, {}))
+            elif dirty:
+                index = index.with_changes(dirty)
+            self._stats_indexes[table] = index
+            return index
 
     def table_row_count(self, table: str) -> int:
         return sum(zm.row_count for _, zm in self.iter_table(table))

@@ -79,10 +79,12 @@ class MicroPartition:
     def from_rows(cls, schema: Schema, rows: Sequence[Sequence[Any]],
                   partition_id: int | None = None) -> "MicroPartition":
         """Build a partition from row tuples in schema order."""
+        transposed = zip(*rows) if rows \
+            else [()] * len(schema.fields)
         columns = {}
-        for i, field in enumerate(schema):
+        for field, values in zip(schema, transposed):
             columns[field.name] = Column.from_pylist(
-                field.dtype, [row[i] for row in rows])
+                field.dtype, list(values))
         return cls(schema, columns, partition_id=partition_id)
 
     # ------------------------------------------------------------------

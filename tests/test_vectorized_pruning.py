@@ -1,0 +1,370 @@
+"""Differential tests: vectorized pruning kernels vs the scalar oracle.
+
+The vectorized pruner's contract is *bit-identity* with
+:class:`repro.pruning.FilterPruner`: same kept partitions, same pruned
+partitions, same fully-matching set, same check counts — for every
+predicate shape and every zone-map pathology (NULL-only columns, empty
+partitions, missing stats, degraded metadata). These tests enforce the
+contract with hypothesis over randomized predicates and data, plus
+directed cases for each fallback path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.catalog import Catalog
+from repro.expr import ast
+from repro.plan.compiler import CompilerOptions
+from repro.pruning import (
+    FilterPruner,
+    ScanSet,
+    StatsIndex,
+    VectorizedFilterPruner,
+    compile_pruning_kernel,
+)
+from repro.storage.micropartition import MicroPartition
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(a=DataType.INTEGER, v=DataType.DOUBLE,
+                   s=DataType.VARCHAR)
+
+STRINGS = ["alpha", "beta", "gamma", "alp", "z", "", "alphabet"]
+
+# ----------------------------------------------------------------------
+# Data strategies: partitions with NULLs, empties, and odd shapes
+# ----------------------------------------------------------------------
+int_values = st.one_of(st.none(), st.integers(-50, 50))
+float_values = st.one_of(st.none(),
+                         st.floats(-50, 50, allow_nan=False))
+str_values = st.one_of(st.none(), st.sampled_from(STRINGS))
+rows_strategy = st.lists(
+    st.tuples(int_values, float_values, str_values),
+    min_size=0, max_size=12)
+partitions_strategy = st.lists(rows_strategy, min_size=0, max_size=8)
+
+
+# ----------------------------------------------------------------------
+# Predicate strategies: compilable shapes, plus shapes that must fall
+# back (LIKE, arithmetic, NaN / lossy literals)
+# ----------------------------------------------------------------------
+_OPS = ["<", "<=", ">", ">=", "=", "<>"]
+
+
+def _compare(col: str, lit_strategy):
+    return st.tuples(st.sampled_from(_OPS), lit_strategy,
+                     st.booleans()).map(
+        lambda t: ast.Compare(t[0], ast.col(col), ast.lit(t[1]))
+        if t[2] else ast.Compare(t[0], ast.lit(t[1]), ast.col(col)))
+
+
+def leaf_predicate():
+    return st.one_of(
+        _compare("a", st.integers(-60, 60)),
+        _compare("v", st.floats(-60, 60, allow_nan=False)),
+        # int literal against the DOUBLE column and vice versa:
+        # exercises the cross-lane binding guards.
+        _compare("v", st.integers(-60, 60)),
+        _compare("a", st.floats(-60, 60, allow_nan=False)),
+        _compare("s", st.sampled_from(STRINGS)),
+        st.tuples(
+            st.sampled_from(["a", "v", "s"]), st.booleans()).map(
+            lambda t: ast.IsNull(ast.col(t[0]), negated=t[1])),
+        st.lists(st.one_of(st.none(), st.integers(-50, 50)),
+                 min_size=1, max_size=5).map(
+            lambda vs: ast.InList(ast.col("a"), vs)),
+        st.lists(st.one_of(st.none(), st.sampled_from(STRINGS)),
+                 min_size=1, max_size=4).map(
+            lambda vs: ast.InList(ast.col("s"), vs)),
+        st.sampled_from(["alp", "bet", "z", ""]).map(
+            lambda p: ast.StartsWith(ast.col("s"), p)),
+        # never-compilable shapes: the pruner must fall back and
+        # still agree with itself via the embedded scalar path.
+        st.sampled_from(["alp%", "%a", "a%t", "alpha"]).map(
+            lambda p: ast.Like(ast.col("s"), p)),
+        st.sampled_from([True, False]).map(ast.lit),
+    )
+
+
+def predicate_expr(depth: int = 2):
+    leaf = leaf_predicate()
+    if depth == 0:
+        return leaf
+    sub = predicate_expr(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, sub).map(lambda t: ast.And(t[0], t[1])),
+        st.tuples(sub, sub).map(lambda t: ast.Or(t[0], t[1])),
+        sub.map(ast.Not),
+    )
+
+
+def make_entries(partition_rows):
+    entries = []
+    for i, rows in enumerate(partition_rows):
+        partition = MicroPartition.from_rows(SCHEMA, rows)
+        entries.append((partition.partition_id, partition.zone_map))
+    return entries
+
+
+def assert_differential(predicate, entries, detect_fm,
+                        index=None, expect_mode=None):
+    scan_set = ScanSet(entries)
+    if index is None:
+        index = StatsIndex(entries)
+    scalar = FilterPruner(predicate, SCHEMA,
+                          detect_fully_matching=detect_fm)
+    vector = VectorizedFilterPruner(
+        predicate, SCHEMA, detect_fully_matching=detect_fm,
+        index=index)
+    expected = scalar.prune(scan_set)
+    got = vector.prune(scan_set)
+    assert got.kept.partition_ids == expected.kept.partition_ids
+    assert got.pruned_ids == expected.pruned_ids
+    assert got.fully_matching_ids == expected.fully_matching_ids
+    assert got.checks == expected.checks
+    assert got.before == expected.before
+    if expect_mode is not None:
+        assert vector.mode == expect_mode
+    return vector
+
+
+class TestDifferential:
+    """Randomized equivalence against the scalar oracle."""
+
+    @settings(max_examples=400, deadline=None)
+    @given(predicate=predicate_expr(),
+           partition_rows=partitions_strategy,
+           detect_fm=st.booleans())
+    def test_matches_scalar_pruner(self, predicate, partition_rows,
+                                   detect_fm):
+        assert_differential(predicate, make_entries(partition_rows),
+                            detect_fm)
+
+    @settings(max_examples=150, deadline=None)
+    @given(predicate=predicate_expr(),
+           partition_rows=st.lists(rows_strategy, min_size=1,
+                                   max_size=6),
+           seed=st.integers(0, 2**16))
+    def test_matches_with_degraded_zone_maps(self, predicate,
+                                             partition_rows, seed):
+        """Stats-free (degraded) zone maps route through the scalar
+        path and the combined result still matches the oracle."""
+        entries = make_entries(partition_rows)
+        index = StatsIndex(entries)
+        rng = random.Random(seed)
+        degraded = [
+            (pid, zm.without_stats() if rng.random() < 0.5 else zm)
+            for pid, zm in entries]
+        assert_differential(predicate, degraded, True, index=index)
+
+
+class TestDirectedFallbacks:
+    def _entries(self, n=6, nulls=False):
+        rows = [[(i * 10 + j, float(i * 10 + j),
+                  STRINGS[(i + j) % len(STRINGS)])
+                 for j in range(5)] for i in range(n)]
+        if nulls:
+            rows[0] = [(None, None, None)] * 3
+            rows[1] = []
+        return make_entries(rows)
+
+    def test_compilable_predicate_is_fully_vectorized(self):
+        predicate = ast.And(
+            ast.Compare(">", ast.col("a"), ast.lit(5)),
+            ast.Compare("<", ast.col("v"), ast.lit(40.0)))
+        pruner = assert_differential(
+            predicate, self._entries(), True,
+            expect_mode="vectorized")
+        assert pruner.kernel is not None
+        assert pruner.fallback_checks == 0
+
+    def test_like_predicate_falls_back(self):
+        predicate = ast.Like(ast.col("s"), "alp%")
+        pruner = assert_differential(
+            predicate, self._entries(), True,
+            expect_mode="fallback")
+        assert pruner.kernel is None
+
+    def test_nan_literal_falls_back(self):
+        predicate = ast.Compare("=", ast.col("v"),
+                                ast.lit(float("nan")))
+        assert_differential(predicate, self._entries(), True,
+                            expect_mode="fallback")
+
+    def test_huge_int_literal_falls_back(self):
+        predicate = ast.Compare("<", ast.col("a"), ast.lit(2**70))
+        assert_differential(predicate, self._entries(), True,
+                            expect_mode="fallback")
+
+    def test_stale_index_rows_fall_back_per_partition(self):
+        """Entries whose ZoneMap is not the indexed object (stale
+        index) are classified by the scalar path: mode == mixed."""
+        entries = self._entries()
+        index = StatsIndex(entries)
+        refreshed = entries[:3] + [
+            (pid, zm.without_stats()) for pid, zm in entries[3:]]
+        pruner = assert_differential(
+            ast.Compare(">", ast.col("a"), ast.lit(20)),
+            refreshed, True, index=index)
+        assert pruner.mode == "mixed"
+        assert pruner.vector_checks == 3
+        assert pruner.fallback_checks == 3
+
+    def test_null_and_empty_partitions(self):
+        for predicate in (
+                ast.IsNull(ast.col("a")),
+                ast.IsNull(ast.col("a"), negated=True),
+                ast.Compare("=", ast.col("a"), ast.lit(3)),
+                ast.InList(ast.col("a"), [1, None, 3]),
+                ast.StartsWith(ast.col("s"), "al")):
+            assert_differential(predicate,
+                                self._entries(nulls=True), True)
+
+    def test_missing_column_matches_scalar(self):
+        predicate = ast.Compare("=", ast.col("a"), ast.lit(1))
+        entries = self._entries(3)
+        # an index over zone maps that lack column "a" entirely
+        other = Schema.of(x=DataType.INTEGER)
+        alien = [(pid, MicroPartition.from_rows(
+            other, [(1,), (2,)]).zone_map) for pid, _ in entries]
+        assert_differential(predicate, alien, True)
+
+
+class TestKernelCompilation:
+    def test_compilable_shapes(self):
+        for predicate in (
+                ast.Compare("<", ast.col("a"), ast.lit(5)),
+                ast.Compare(">=", ast.lit(5), ast.col("a")),
+                ast.InList(ast.col("s"), ["alpha", "beta"]),
+                ast.IsNull(ast.col("v")),
+                ast.StartsWith(ast.col("s"), "ab"),
+                ast.Not(ast.Compare("=", ast.col("a"), ast.lit(1))),
+                ast.And(ast.lit(True),
+                        ast.Compare("<>", ast.col("a"), ast.lit(2)))):
+            assert compile_pruning_kernel(predicate) is not None, \
+                predicate.to_sql()
+
+    def test_uncompilable_shapes(self):
+        for predicate in (
+                ast.Like(ast.col("s"), "a%"),
+                ast.Compare("<", ast.col("a"), ast.col("a")),
+                ast.Compare("=", ast.col("a"),
+                            ast.lit(None, DataType.INTEGER)),
+                ast.Compare("=", ast.Arith("+", ast.col("a"),
+                                           ast.lit(1)), ast.lit(2)),
+                ast.lit(7)):
+            assert compile_pruning_kernel(predicate) is None, \
+                predicate.to_sql()
+
+
+class TestIncrementalIndex:
+    """The metadata store's incrementally maintained index must equal
+    a from-scratch rebuild after arbitrary register/unregister."""
+
+    def _assert_index_fresh(self, store, table):
+        index = store.stats_index(table)
+        expected = [(pid, zm) for pid, zm in store.iter_table(table)]
+        assert list(index.entries()) == expected
+        for pid, zm in expected:
+            row = index.row_of(pid)
+            assert row is not None
+            assert index.zone_map_at(row) is zm
+
+    def test_incremental_equals_rebuild(self):
+        from repro.storage.metadata_store import MetadataStore
+
+        store = MetadataStore()
+        partitions = [MicroPartition.from_rows(
+            SCHEMA, [(i, float(i), "x")]) for i in range(20)]
+        for p in partitions[:10]:
+            store.register("t", p.partition_id, p.zone_map)
+        self._assert_index_fresh(store, "t")   # builds the index
+        for p in partitions[10:]:
+            store.register("t", p.partition_id, p.zone_map)
+        for p in partitions[:5]:
+            store.unregister("t", p.partition_id)
+        self._assert_index_fresh(store, "t")   # applies the delta
+        # no deltas pending: same object comes back
+        assert store.stats_index("t") is store.stats_index("t")
+
+    def test_table_index_invalidated_by_mutation(self):
+        catalog = Catalog(rows_per_partition=4)
+        rows = [(i, float(i), STRINGS[i % 3]) for i in range(20)]
+        catalog.create_table_from_rows("t", SCHEMA, rows)
+        table = catalog.tables["t"]
+        index = table.stats_index()
+        assert index is table.stats_index()
+        catalog.insert("t", [(99, 99.0, "zz")])
+        assert table.stats_index() is not index
+        assert len(table.stats_index()) == len(table.partitions)
+
+
+class TestCatalogIntegration:
+    def _catalog(self, **kwargs):
+        catalog = Catalog(rows_per_partition=10, **kwargs)
+        rng = random.Random(3)
+        rows = [(i, rng.uniform(0, 100), STRINGS[i % len(STRINGS)])
+                for i in range(400)]
+        catalog.create_table_from_rows("t", SCHEMA, rows)
+        return catalog
+
+    QUERIES = [
+        "SELECT * FROM t WHERE a > 100 AND a < 220",
+        "SELECT * FROM t WHERE v <= 12.5 OR s = 'alpha'",
+        "SELECT count(*) FROM t WHERE s IN ('beta', 'gamma')",
+        "SELECT * FROM t WHERE s LIKE 'alp%'",
+        "SELECT * FROM t WHERE a IS NOT NULL AND v > 90.0",
+    ]
+
+    def test_vectorized_flag_is_pure_ablation(self):
+        """enable_vectorized_pruning=False yields identical rows,
+        partitions, and pruning decisions."""
+        on = self._catalog()
+        off = self._catalog()
+        # partition ids are globally allocated, so normalize to each
+        # table's first id before comparing across catalogs
+        base_on = min(p.partition_id
+                      for p in on.tables["t"].partitions)
+        base_off = min(p.partition_id
+                       for p in off.tables["t"].partitions)
+        for sql in self.QUERIES:
+            got = on.sql(sql)
+            want = off.sql(sql, CompilerOptions(
+                enable_vectorized_pruning=False))
+            assert got.rows == want.rows, sql
+            ps = zip(got.profile.scans, want.profile.scans)
+            for scan_on, scan_off in ps:
+                kept_on = [pid - base_on for pid in
+                           scan_on.filter_result.kept.partition_ids]
+                kept_off = [pid - base_off for pid in
+                            scan_off.filter_result.kept.partition_ids]
+                assert kept_on == kept_off, sql
+                fm_on = [pid - base_on
+                         for pid in scan_on.fully_matching_ids]
+                fm_off = [pid - base_off
+                          for pid in scan_off.fully_matching_ids]
+                assert fm_on == fm_off, sql
+                assert scan_off.pruning_mode == "fallback"
+
+    def test_pruning_mode_surfaces_in_profile_and_explain(self):
+        catalog = self._catalog()
+        result = catalog.sql("SELECT * FROM t WHERE a > 350")
+        scan = result.profile.scans[0]
+        assert scan.pruning_mode == "vectorized"
+        assert scan.pruning_ms >= 0.0
+        assert result.profile.metrics_export()[
+            "scans_vectorized"] == 1.0
+        explain = catalog.explain("SELECT * FROM t WHERE a > 350")
+        assert "pruning: vectorized" in explain
+        like = catalog.sql("SELECT * FROM t WHERE s LIKE 'x%'")
+        assert like.profile.scans[0].pruning_mode == "fallback"
+
+    def test_parallel_annotation_in_explain(self):
+        catalog = self._catalog(scan_parallelism=4)
+        explain = catalog.explain("SELECT * FROM t WHERE a >= 0")
+        assert "parallel scan x4" in explain
