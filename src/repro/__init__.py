@@ -62,9 +62,17 @@ from .storage.builder import build_table
 from .catalog import Catalog, QueryResult
 from .plan.compiler import CompilerOptions
 from .expr.ast import col, lit
+from .obs import (
+    Span,
+    TelemetryRecord,
+    TelemetrySink,
+    Tracer,
+    render_fleet_report,
+    render_span_tree,
+)
 from .service import QueryService
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DataType",
@@ -109,5 +117,11 @@ __all__ = [
     "CompilerOptions",
     "col",
     "lit",
+    "Span",
+    "Tracer",
+    "render_span_tree",
+    "TelemetryRecord",
+    "TelemetrySink",
+    "render_fleet_report",
     "__version__",
 ]

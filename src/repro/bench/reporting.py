@@ -14,7 +14,17 @@ from typing import Any, Sequence
 
 def format_table(headers: Sequence[str],
                  rows: Sequence[Sequence[Any]]) -> str:
-    """Fixed-width text table."""
+    """Fixed-width text table.
+
+    Every row must have exactly ``len(headers)`` cells; a ragged row
+    raises :class:`ValueError` instead of being silently truncated by
+    the column-wise ``zip``.
+    """
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"format_table: row {i} has {len(row)} cells, "
+                f"expected {len(headers)} (headers: {list(headers)})")
     columns = [list(map(_fmt, column))
                for column in zip(headers, *rows)] if rows else \
         [[_fmt(h)] for h in headers]

@@ -19,6 +19,8 @@ behaviour the predicate cache's invalidation rules (§8.2) react to.
 from __future__ import annotations
 
 import itertools
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -35,6 +37,8 @@ from .errors import (
 )
 from .expr import ast
 from .expr.eval import evaluate_predicate
+from .obs.telemetry import TelemetryRecord, TelemetrySink
+from .obs.trace import Tracer, render_span_tree
 from .plan.compiler import CompilerOptions, QueryCompiler
 from .plan.logical import LogicalNode
 from .pruning.base import ScanSet
@@ -50,6 +54,16 @@ from .storage.table import Table
 from .types import DataType, Schema
 
 _QUERY_COUNTER = itertools.count(1)
+
+#: shared no-op for untraced spans in the catalog's own phases
+_NO_SPAN = nullcontext(None)
+
+
+def _span(tracer: Tracer | None, name: str, **attrs):
+    """A tracer span, or a shared no-op when tracing is off."""
+    if tracer is None:
+        return _NO_SPAN
+    return tracer.span(name, **attrs)
 
 
 @dataclass
@@ -83,7 +97,8 @@ class Catalog:
 
     def __init__(self, cost_model: CostModel | None = None,
                  rows_per_partition: int = DEFAULT_ROWS_PER_PARTITION,
-                 scan_parallelism: int = 1):
+                 scan_parallelism: int = 1,
+                 enable_tracing: bool = True):
         self.storage = StorageLayer(cost_model)
         self.metadata = MetadataStore()
         self.tables: dict[str, Table] = {}
@@ -91,6 +106,11 @@ class Catalog:
         #: worker count for morsel-driven parallel scans (1 = serial);
         #: typically set to the warehouse cluster size by the service.
         self.scan_parallelism = max(1, scan_parallelism)
+        #: per-query trace spans (parse → plan → prune → scan → retry);
+        #: cheap enough to stay on (gated < 5% on the scan benches).
+        self.enable_tracing = enable_tracing
+        #: fleet telemetry sink; off until :meth:`enable_telemetry`.
+        self.telemetry: TelemetrySink | None = None
         self.predicate_cache: PredicateCache | None = None
         self._iceberg_sources: dict[str, dict[int, object]] = {}
         self._compiler = QueryCompiler(self)
@@ -227,6 +247,20 @@ class Catalog:
             max_partitions_per_entry=max_partitions_per_entry)
         return self.predicate_cache
 
+    def enable_telemetry(self, capacity: int = 4096,
+                         slow_query_ms: float = 100.0
+                         ) -> TelemetrySink:
+        """Turn on fleet telemetry: every :meth:`sql` call records one
+        :class:`~repro.obs.telemetry.TelemetryRecord` into a bounded
+        ring buffer (idempotent — an existing sink is kept)."""
+        if self.telemetry is None:
+            self.telemetry = TelemetrySink(
+                capacity=capacity, slow_query_ms=slow_query_ms)
+        return self.telemetry
+
+    def _new_tracer(self) -> Tracer | None:
+        return Tracer() if self.enable_tracing else None
+
     # ------------------------------------------------------------------
     # Compiler interface
     # ------------------------------------------------------------------
@@ -355,14 +389,26 @@ class Catalog:
         """
         from .sql.parser import DeleteStmt, UpdateStmt, parse_statement
 
-        stmt = parse_statement(text)
+        started = time.perf_counter()
+        tracer = self._new_tracer()
+        with _span(tracer, "parse"):
+            stmt = parse_statement(text)
         if isinstance(stmt, (DeleteStmt, UpdateStmt)):
-            result = self._execute_dml(stmt)
-            result.sql = text
-            return result
-        plan = plan_select(stmt, self.schema_of)
-        result = self.execute_plan(plan, options)
+            kind = "dml"
+            with _span(tracer, "dml", table=stmt.table):
+                result = self._execute_dml(stmt)
+            if tracer is not None:
+                result.profile.trace = tracer.finish()
+        else:
+            kind = "select"
+            with _span(tracer, "plan"):
+                plan = plan_select(stmt, self.schema_of)
+            result = self.execute_plan(plan, options, tracer=tracer)
         result.sql = text
+        if self.telemetry is not None:
+            wall_ms = (time.perf_counter() - started) * 1e3
+            self.telemetry.record(TelemetryRecord.from_result(
+                result, wall_ms=wall_ms, kind=kind))
         return result
 
     def _execute_dml(self, stmt) -> QueryResult:
@@ -469,10 +515,15 @@ class Catalog:
         from .plan.explain import render_plan
         from .sql.parser import DeleteStmt, UpdateStmt, parse_statement
 
-        stmt = parse_statement(text)
+        tracer = self._new_tracer()
+        with _span(tracer, "parse"):
+            stmt = parse_statement(text)
         if isinstance(stmt, (DeleteStmt, UpdateStmt)):
-            result = self._execute_dml(stmt)
+            with _span(tracer, "dml", table=stmt.table):
+                result = self._execute_dml(stmt)
             profile = result.profile
+            if tracer is not None:
+                profile.trace = tracer.finish()
             header = (f"-- EXPLAIN ANALYZE "
                       f"({result.rows[0][0]} rows affected)")
             body = profile.pruning_summary()
@@ -481,36 +532,56 @@ class Catalog:
             if options.predicate_cache is None and \
                     self.predicate_cache is not None:
                 options.predicate_cache = self.predicate_cache
-            plan = plan_select(stmt, self.schema_of)
+            with _span(tracer, "plan"):
+                plan = plan_select(stmt, self.schema_of)
             context = ExecContext(self.storage, self.metadata,
                                   query_id=f"q{next(_QUERY_COUNTER)}",
-                                  scan_parallelism=self.scan_parallelism)
-            compiled = self._compiler.compile(plan, context, options)
-            execution = execute(compiled.root, context)
-            for hook in compiled.post_exec_hooks:
-                hook()
+                                  scan_parallelism=self.scan_parallelism,
+                                  tracer=tracer)
+            with _span(tracer, "compile"):
+                compiled = self._compiler.compile(plan, context,
+                                                  options)
+            with _span(tracer, "execute") as exec_span:
+                context.exec_span = exec_span
+                execution = execute(compiled.root, context)
+                for hook in compiled.post_exec_hooks:
+                    hook()
             profile = context.profile
+            if tracer is not None:
+                profile.trace = tracer.finish()
             header = (f"-- EXPLAIN ANALYZE ({len(execution.rows)} rows, "
                       f"{profile.total_ms:.2f} ms simulated)")
             body = render_plan(compiled.root)
         resilience = profile.resilience_summary().replace("\n", "\n-- ")
-        return f"{header}\n{body}\n-- {resilience}"
+        report = f"{header}\n{body}\n-- {resilience}"
+        if profile.trace is not None:
+            tree = render_span_tree(profile.trace)
+            report += "\n-- trace:\n-- " + tree.replace("\n", "\n-- ")
+        return report
 
     def execute_plan(self, plan: LogicalNode,
-                     options: CompilerOptions | None = None
-                     ) -> QueryResult:
+                     options: CompilerOptions | None = None,
+                     tracer: Tracer | None = None) -> QueryResult:
         """Compile and execute an already-planned logical tree."""
         options = options or CompilerOptions()
         if options.predicate_cache is None and \
                 self.predicate_cache is not None:
             options.predicate_cache = self.predicate_cache
+        if tracer is None:
+            tracer = self._new_tracer()
         context = ExecContext(self.storage, self.metadata,
                               query_id=f"q{next(_QUERY_COUNTER)}",
-                              scan_parallelism=self.scan_parallelism)
-        compiled = self._compiler.compile(plan, context, options)
-        execution = execute(compiled.root, context)
-        for hook in compiled.post_exec_hooks:
-            hook()
+                              scan_parallelism=self.scan_parallelism,
+                              tracer=tracer)
+        with _span(tracer, "compile"):
+            compiled = self._compiler.compile(plan, context, options)
+        with _span(tracer, "execute") as exec_span:
+            context.exec_span = exec_span
+            execution = execute(compiled.root, context)
+            for hook in compiled.post_exec_hooks:
+                hook()
+        if tracer is not None:
+            context.profile.trace = tracer.finish()
         return QueryResult(schema=execution.schema,
                            rows=execution.rows,
                            profile=context.profile)

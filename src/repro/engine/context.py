@@ -8,10 +8,14 @@ runtime derived from the storage cost model.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..faults.retry import RetryStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.trace import Span, Tracer
 from ..pruning.base import PruneCategory, PruningResult
 from ..pruning.flow import FlowRecord
 from ..pruning.limit_pruning import LimitPruneReport
@@ -32,6 +36,8 @@ class ScanProfile:
     topk_skipped: int = 0
     partitions_loaded: int = 0
     rows_scanned: int = 0
+    #: estimated bytes read from the loaded partitions (column sizes)
+    bytes_scanned: int = 0
     early_terminated: bool = False
     filter_eligible: bool = False
     cache_hit: bool = False
@@ -116,6 +122,9 @@ class QueryProfile:
     #: attribute into it directly; metadata retries are folded in from
     #: the scan profiles).
     retry_stats: RetryStats = field(default_factory=RetryStats)
+    #: root trace span when the query ran with tracing enabled
+    #: (see :mod:`repro.obs.trace`); None otherwise.
+    trace: "Optional[Span]" = None
 
     @property
     def total_ms(self) -> float:
@@ -201,6 +210,8 @@ class QueryProfile:
             "partitions_pruned": float(self.partitions_pruned),
             "rows_scanned": float(sum(s.rows_scanned
                                       for s in self.scans)),
+            "bytes_scanned": float(sum(s.bytes_scanned
+                                       for s in self.scans)),
             "scans": float(len(self.scans)),
             "retries": float(self.total_retries),
             "retry_backoff_ms": self.total_backoff_ms,
@@ -267,13 +278,20 @@ class QueryProfile:
         return "\n".join(lines)
 
 
+#: shared no-op context manager returned by :meth:`ExecContext.span`
+#: when tracing is off — allocated once so the untraced hot path costs
+#: a single attribute check, not an object per call.
+_NULL_CM = nullcontext(None)
+
+
 class ExecContext:
     """Shared state for one query execution."""
 
     def __init__(self, storage: StorageLayer,
                  metadata: MetadataStore | None = None,
                  query_id: str = "",
-                 scan_parallelism: int = 1):
+                 scan_parallelism: int = 1,
+                 tracer: "Optional[Tracer]" = None):
         self.storage = storage
         self.metadata = metadata
         self.cost_model = storage.cost_model
@@ -281,6 +299,36 @@ class ExecContext:
         #: worker threads table scans may fan morsels out to (1 =
         #: serial execution; typically the warehouse cluster size).
         self.scan_parallelism = max(1, int(scan_parallelism))
+        #: per-query tracer (single-threaded; morsel workers must not
+        #: touch it — the consumer thread records on their behalf).
+        self.tracer = tracer
+        #: the span runtime operators parent their scan spans under
+        #: (set by the catalog around the execute phase).
+        self.exec_span: "Optional[Span]" = None
+
+    # -- tracing hooks (no-ops when no tracer is attached) ---------------
+    def span(self, name: str, **attrs):
+        """Context manager recording a well-nested span, or a shared
+        no-op when tracing is off."""
+        if self.tracer is None:
+            return _NULL_CM
+        return self.tracer.span(name, **attrs)
+
+    def start_span(self, name: str, **attrs) -> "Optional[Span]":
+        """Open an explicitly-parented runtime span under the execute
+        phase (generator-safe; caller must ``end()`` it). Returns None
+        when tracing is off."""
+        if self.tracer is None:
+            return None
+        return self.tracer.start_span(name, parent=self.exec_span,
+                                      **attrs)
+
+    def trace_event(self, name: str, parent: "Optional[Span]" = None,
+                    **attrs) -> None:
+        """Record a zero-duration trace event (no-op when untraced)."""
+        if self.tracer is not None:
+            self.tracer.event(name, parent=parent or self.exec_span,
+                              **attrs)
 
     # -- simulated clock -------------------------------------------------
     def charge_compile(self, ms: float) -> None:

@@ -109,6 +109,8 @@ class Scan(Operator):
             self.profile.total_partitions = len(scan_set)
         self.topk_pruners: list[TopKPruner] = []
         self.runtime_filter_pruner: FilterPruner | None = None
+        #: open trace span while the scan iterates (tracing only)
+        self._span = None
 
     # -- runtime pruning hooks -------------------------------------------
     def attach_topk_pruner(self, pruner: TopKPruner) -> None:
@@ -121,6 +123,9 @@ class Scan(Operator):
         """Eagerly restrict the scan set with a build-side summary."""
         result = pruner.prune(self.scan_set)
         self.context.charge_prune_checks(result.checks)
+        self.context.trace_event(
+            "prune:join", table=self.table, before=result.before,
+            after=result.after, checks=result.checks)
         self.scan_set = result.kept
         if self.profile.join_result is None:
             self.profile.join_result = result
@@ -135,9 +140,53 @@ class Scan(Operator):
     def __iter__(self) -> Iterator[Chunk]:
         workers = self._parallel_workers()
         self.profile.scan_parallelism = workers
-        if workers > 1:
-            return self._iter_parallel(workers)
-        return self._iter_serial()
+        iterator = (self._iter_parallel(workers) if workers > 1
+                    else self._iter_serial())
+        if self.context.tracer is None:
+            return iterator
+        return self._iter_traced(iterator, workers)
+
+    def _iter_traced(self, iterator: Iterator[Chunk],
+                     workers: int) -> Iterator[Chunk]:
+        """Wrap the scan in an explicitly-parented span.
+
+        The span is ended in ``finally`` so a suspended-then-closed
+        generator (LIMIT early termination) still records; a generator
+        abandoned without closing is repaired by ``Tracer.finish``.
+
+        While this scan iterates, the query's retry stats carry a
+        trace hook so each serially-absorbed retry becomes a child
+        event with its error class (parallel morsels retry on worker
+        threads with private hook-free stats; the consumer emits one
+        summary event per morsel instead).
+        """
+        span = self.context.start_span(
+            f"scan:{self.table}", partitions_in=len(self.scan_set),
+            workers=workers)
+        self._span = span
+        retry_stats = self.context.profile.retry_stats
+        previous_hook = retry_stats.trace_hook
+
+        def on_retry(error_class: str, delay_ms: float) -> None:
+            self.context.trace_event("retry", parent=span,
+                                     error=error_class,
+                                     backoff_ms=delay_ms)
+
+        retry_stats.trace_hook = on_retry
+        try:
+            yield from iterator
+        finally:
+            retry_stats.trace_hook = previous_hook
+            profile = self.profile
+            span.annotate(loaded=profile.partitions_loaded,
+                          rows=profile.rows_scanned,
+                          bytes=profile.bytes_scanned)
+            if profile.early_terminated:
+                span.annotate(early_terminated=True)
+            if profile.topk_skipped:
+                span.annotate(topk_skipped=profile.topk_skipped)
+            span.end()
+            self._span = None
 
     def _parallel_workers(self) -> int:
         """Morsel workers this scan may use (1 = stay serial)."""
@@ -225,6 +274,13 @@ class Scan(Operator):
                 self.context.profile.retry_stats.absorb(local)
                 if penalty:
                     self.context.charge_exec(penalty)
+                if local.retries:
+                    # Recorded here on the consumer thread — the
+                    # tracer is single-threaded by design.
+                    self.context.trace_event(
+                        "retry", parent=self._span,
+                        partition=partition_id, retries=local.retries,
+                        backoff_ms=penalty)
                 yield self._consume_partition(partition_id, partition)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
@@ -240,6 +296,7 @@ class Scan(Operator):
         self.context.charge_rows(partition.row_count)
         self.profile.partitions_loaded += 1
         self.profile.rows_scanned += partition.row_count
+        self.profile.bytes_scanned += nbytes
         chunk = Chunk.from_partition(partition)
         if self.columns is not None:
             chunk = chunk.select(self.columns)

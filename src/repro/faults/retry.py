@@ -65,7 +65,7 @@ class RetryStats:
     """
 
     __slots__ = ("_lock", "retries", "backoff_ms",
-                 "injected_latency_ms", "by_class")
+                 "injected_latency_ms", "by_class", "trace_hook")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -73,14 +73,24 @@ class RetryStats:
         self.backoff_ms = 0.0
         self.injected_latency_ms = 0.0
         self.by_class: dict[str, int] = {}
+        #: optional ``hook(error_class_name, delay_ms)`` observing each
+        #: absorbed retry (trace events). Set only on per-query stats
+        #: used from the query's own thread — :meth:`absorb` never
+        #: copies it, so morsel workers' private stats stay hook-free.
+        self.trace_hook: Callable[[str, float], None] | None = None
 
     def record_retry(self, exc: BaseException, delay_ms: float) -> None:
         """Account one retried failure and its backoff delay."""
+        name = type(exc).__name__
         with self._lock:
             self.retries += 1
             self.backoff_ms += delay_ms
-            name = type(exc).__name__
             self.by_class[name] = self.by_class.get(name, 0) + 1
+        hook = self.trace_hook
+        if hook is not None:
+            # Invoked outside the lock: the hook may allocate spans or
+            # re-enter profile accounting.
+            hook(name, delay_ms)
 
     def add_latency(self, ms: float) -> None:
         """Account an injected latency spike (no failure)."""

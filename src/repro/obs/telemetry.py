@@ -1,0 +1,302 @@
+"""Per-query telemetry records and the fleet-wide sink.
+
+The paper's evaluation (§7) is a *telemetry study*: every query in the
+fleet emits one structured record — partitions scanned vs. pruned per
+technique, bytes, rows, cache hits, timings — and the figures are
+aggregations over those records. :class:`TelemetryRecord` is our
+per-query record; :class:`TelemetrySink` is the bounded, thread-safe
+buffer the :class:`~repro.catalog.Catalog` and
+:class:`~repro.service.server.QueryService` write into.
+
+The sink is a ring buffer: it retains the most recent ``capacity``
+records and counts what it dropped, so a long-running service has
+bounded memory while :mod:`repro.obs.fleet` can still aggregate a
+meaningful window.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..pruning.base import PruneCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..catalog import QueryResult
+
+__all__ = ["TelemetryRecord", "TelemetrySink"]
+
+
+@dataclass
+class TelemetryRecord:
+    """One query's worth of fleet telemetry (§7 schema).
+
+    Partition counters follow the paper's vocabulary: ``partitions_total``
+    is the pre-pruning population across all scans, ``partitions_pruned``
+    the partitions any technique removed, ``partitions_loaded`` what the
+    engine actually read. ``pruned_by_technique`` splits the pruned count
+    by :class:`~repro.pruning.base.PruneCategory` name.
+    """
+
+    query_id: str = ""
+    sql: str = ""
+    #: "select" or "dml"
+    kind: str = "select"
+    tables: tuple[str, ...] = ()
+    #: "ok", "error", "cancelled", or "cache_hit"
+    status: str = "ok"
+    error: str = ""
+    partitions_total: int = 0
+    partitions_loaded: int = 0
+    partitions_pruned: int = 0
+    pruned_by_technique: dict[str, int] = field(default_factory=dict)
+    #: techniques whose preconditions held for this query (a query is
+    #: only counted in a technique's pruning-ratio CDF when eligible)
+    eligible_techniques: tuple[str, ...] = ()
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    bytes_scanned: int = 0
+    result_cache_hit: bool = False
+    predicate_cache_hit: bool = False
+    metadata_only: bool = False
+    degraded: bool = False
+    degraded_partitions: int = 0
+    retries: int = 0
+    attempts: int = 1
+    compile_ms: float = 0.0
+    exec_ms: float = 0.0
+    #: simulated cost-model total (compile + exec)
+    simulated_ms: float = 0.0
+    #: real wall-clock time observed by the recording layer
+    wall_ms: float = 0.0
+    queue_wait_ms: float = 0.0
+    cluster: str = ""
+    scan_parallelism: int = 1
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of the partition population pruned (0 when empty)."""
+        if self.partitions_total == 0:
+            return 0.0
+        return self.partitions_pruned / self.partitions_total
+
+    def technique_ratio(self, technique: str) -> float:
+        """Fraction of partitions ``technique`` pruned (0 when empty)."""
+        if self.partitions_total == 0:
+            return 0.0
+        return (self.pruned_by_technique.get(technique, 0)
+                / self.partitions_total)
+
+    @classmethod
+    def from_result(cls, result: "QueryResult", wall_ms: float = 0.0,
+                    kind: str = "select") -> "TelemetryRecord":
+        """Build a record from an executed query's result + profile."""
+        profile = result.profile
+        by_technique: dict[str, int] = {}
+        eligible: "OrderedDict[str, None]" = OrderedDict()
+        for scan in profile.scans:
+            if scan.filter_eligible:
+                eligible[PruneCategory.FILTER] = None
+            for pruning in scan.pruning_results():
+                by_technique[pruning.technique] = (
+                    by_technique.get(pruning.technique, 0)
+                    + pruning.pruned)
+        if profile.limit_eligible:
+            eligible[PruneCategory.LIMIT] = None
+        if profile.topk_eligible:
+            eligible[PruneCategory.TOPK] = None
+        if profile.join_eligible:
+            eligible[PruneCategory.JOIN] = None
+        return cls(
+            query_id=profile.query_id,
+            sql=result.sql,
+            kind=kind,
+            tables=tuple(dict.fromkeys(s.table
+                                       for s in profile.scans)),
+            partitions_total=profile.total_partitions,
+            partitions_loaded=profile.partitions_loaded,
+            partitions_pruned=profile.partitions_pruned,
+            pruned_by_technique=by_technique,
+            eligible_techniques=tuple(eligible),
+            rows_scanned=sum(s.rows_scanned for s in profile.scans),
+            rows_returned=result.num_rows,
+            bytes_scanned=sum(s.bytes_scanned for s in profile.scans),
+            predicate_cache_hit=any(s.cache_hit
+                                    for s in profile.scans),
+            metadata_only=bool(profile.scans) and all(
+                s.metadata_only for s in profile.scans),
+            degraded=profile.degraded,
+            degraded_partitions=profile.degraded_partitions,
+            retries=profile.total_retries,
+            compile_ms=profile.compile_ms,
+            exec_ms=profile.exec_ms,
+            simulated_ms=profile.total_ms,
+            wall_ms=wall_ms,
+            scan_parallelism=profile.scan_parallelism,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly flat representation."""
+        return {
+            "query_id": self.query_id,
+            "sql": self.sql,
+            "kind": self.kind,
+            "tables": list(self.tables),
+            "status": self.status,
+            "error": self.error,
+            "partitions_total": self.partitions_total,
+            "partitions_loaded": self.partitions_loaded,
+            "partitions_pruned": self.partitions_pruned,
+            "pruned_by_technique": dict(self.pruned_by_technique),
+            "eligible_techniques": list(self.eligible_techniques),
+            "pruning_ratio": round(self.pruning_ratio, 6),
+            "rows_scanned": self.rows_scanned,
+            "rows_returned": self.rows_returned,
+            "bytes_scanned": self.bytes_scanned,
+            "result_cache_hit": self.result_cache_hit,
+            "predicate_cache_hit": self.predicate_cache_hit,
+            "metadata_only": self.metadata_only,
+            "degraded": self.degraded,
+            "degraded_partitions": self.degraded_partitions,
+            "retries": self.retries,
+            "attempts": self.attempts,
+            "compile_ms": round(self.compile_ms, 4),
+            "exec_ms": round(self.exec_ms, 4),
+            "simulated_ms": round(self.simulated_ms, 4),
+            "wall_ms": round(self.wall_ms, 4),
+            "queue_wait_ms": round(self.queue_wait_ms, 4),
+            "cluster": self.cluster,
+            "scan_parallelism": self.scan_parallelism,
+        }
+
+
+class TelemetrySink:
+    """Thread-safe bounded ring buffer of :class:`TelemetryRecord`.
+
+    Mirrors the fleet telemetry pipeline the paper's §7 study reads
+    from: every query appends one record; when the buffer is full the
+    oldest record is dropped (and counted). ``annotate`` lets an outer
+    layer (the service) enrich a record the catalog already wrote —
+    queue wait, wall clock, cluster — without double-recording.
+    """
+
+    def __init__(self, capacity: int = 4096,
+                 slow_query_ms: float = 100.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        #: simulated-ms threshold above which a query is "slow"
+        self.slow_query_ms = slow_query_ms
+        self._lock = threading.Lock()
+        self._records: deque[TelemetryRecord] = deque(maxlen=capacity)
+        self._by_id: dict[str, TelemetryRecord] = {}
+        self.total_recorded = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def record(self, record: TelemetryRecord) -> TelemetryRecord:
+        """Append one record, evicting the oldest when full."""
+        with self._lock:
+            if len(self._records) == self.capacity:
+                evicted = self._records[0]
+                self._by_id.pop(evicted.query_id, None)
+                self.dropped += 1
+            self._records.append(record)
+            if record.query_id:
+                self._by_id[record.query_id] = record
+            self.total_recorded += 1
+        return record
+
+    def annotate(self, query_id: str, **fields: Any) -> bool:
+        """Merge fields into the record for ``query_id``.
+
+        Returns False when the record was never written or has been
+        evicted (the caller may then record a fresh one).
+        """
+        with self._lock:
+            record = self._by_id.get(query_id)
+            if record is None:
+                return False
+            for key, value in fields.items():
+                if not hasattr(record, key):
+                    raise AttributeError(
+                        f"TelemetryRecord has no field {key!r}")
+                setattr(record, key, value)
+            return True
+
+    def get(self, query_id: str) -> TelemetryRecord | None:
+        """The retained record for ``query_id``, if any."""
+        with self._lock:
+            return self._by_id.get(query_id)
+
+    def records(self) -> list[TelemetryRecord]:
+        """Snapshot of retained records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._by_id.clear()
+
+    def slow_queries(self, n: int = 10) -> list[TelemetryRecord]:
+        """The ``n`` slowest retained queries (by simulated time)
+        above the ``slow_query_ms`` threshold, slowest first."""
+        with self._lock:
+            slow = [r for r in self._records
+                    if r.simulated_ms >= self.slow_query_ms]
+        slow.sort(key=lambda r: r.simulated_ms, reverse=True)
+        return slow[:n]
+
+    def summary(self) -> dict[str, Any]:
+        """Counter roll-up for ``service.describe()`` and dashboards."""
+        with self._lock:
+            records = list(self._records)
+            total = self.total_recorded
+            dropped = self.dropped
+        n = len(records)
+        pruned = sum(r.partitions_pruned for r in records)
+        population = sum(r.partitions_total for r in records)
+        return {
+            "recorded": total,
+            "retained": n,
+            "dropped": dropped,
+            "errors": sum(1 for r in records if r.status == "error"),
+            "result_cache_hits": sum(
+                1 for r in records if r.result_cache_hit),
+            "predicate_cache_hits": sum(
+                1 for r in records if r.predicate_cache_hit),
+            "degraded_queries": sum(1 for r in records if r.degraded),
+            "retried_queries": sum(1 for r in records if r.retries),
+            "partitions_total": population,
+            "partitions_pruned": pruned,
+            "fleet_pruning_ratio": round(pruned / population, 6)
+            if population else 0.0,
+            "bytes_scanned": sum(r.bytes_scanned for r in records),
+            "rows_returned": sum(r.rows_returned for r in records),
+        }
+
+    def export_json(self, path=None) -> str:
+        """All retained records as a JSON document; optionally written
+        to ``path``."""
+        payload = {
+            "summary": self.summary(),
+            "records": [r.to_dict() for r in self.records()],
+        }
+        text = json.dumps(payload, indent=2) + "\n"
+        if path is not None:
+            from pathlib import Path
+
+            Path(path).write_text(text)
+        return text
+
+    def extend(self, records: Iterable[TelemetryRecord]) -> None:
+        """Bulk-record (workload replay into a fresh sink)."""
+        for record in records:
+            self.record(record)

@@ -261,10 +261,21 @@ class QueryCompiler:
                     # detection is lost — LIMIT pruning cannot fire.
                     deferred = predicate
                 else:
-                    scan_set, fully_matching, deferred = \
-                        self._filter_prune(node.table, predicate,
-                                           scan_set, schema,
-                                           profile, context, options)
+                    with context.span("prune:filter",
+                                      table=node.table) as span:
+                        scan_set, fully_matching, deferred = \
+                            self._filter_prune(node.table, predicate,
+                                               scan_set, schema,
+                                               profile, context,
+                                               options)
+                        if span is not None:
+                            result = profile.filter_result
+                            span.annotate(
+                                before=result.before,
+                                after=result.after,
+                                fully_matching=len(
+                                    result.fully_matching_ids),
+                                mode=profile.pruning_mode)
         columns = self._scan_columns(schema, node.predicate, required)
         scan_schema = schema if columns is None \
             else schema.select(columns)
@@ -424,6 +435,9 @@ class QueryCompiler:
         if entry is not None:
             scan.scan_set = scan.scan_set.restrict(entry.scan_ids())
             scan.profile.cache_hit = True
+            scan.context.trace_event(
+                "predicate_cache:hit", table=node.table,
+                kind="filter", partitions=len(scan.scan_set))
             return
 
         table, pred = node.table, predicate
@@ -676,11 +690,17 @@ class QueryCompiler:
         scan = child.limit_scan
         if scan is None or not child.rows_guaranteed:
             return
-        pruner = LimitPruner(node.k + node.offset)
-        report = pruner.prune(scan.scan_set, child.limit_fully_matching)
-        context.charge_prune_checks(len(scan.scan_set),
-                                    at_compile_time=True)
-        scan.scan_set = report.result.kept
+        with context.span("prune:limit", table=scan.table) as span:
+            pruner = LimitPruner(node.k + node.offset)
+            report = pruner.prune(scan.scan_set,
+                                  child.limit_fully_matching)
+            context.charge_prune_checks(len(scan.scan_set),
+                                        at_compile_time=True)
+            scan.scan_set = report.result.kept
+            if span is not None:
+                span.annotate(before=report.result.before,
+                              after=report.result.after,
+                              outcome=report.outcome.value)
         if child.limit_profile is not None:
             child.limit_profile.limit_report = report
 
@@ -748,6 +768,8 @@ class QueryCompiler:
         scan, profile, scan_column = origin
         pruner = TopKPruner(scan_column, boundary)
         scan.attach_topk_pruner(pruner)
+        context.trace_event("prune:topk", table=scan.table,
+                            column=scan_column, keep=keep)
         scan.scan_set = options.topk_order_strategy.order(
             scan.scan_set, scan_column, sort_key.desc,
             fully_matching=child.limit_fully_matching)
@@ -807,6 +829,9 @@ class QueryCompiler:
         if entry is not None:
             scan.scan_set = scan.scan_set.restrict(entry.scan_ids())
             scan.profile.cache_hit = True
+            scan.context.trace_event(
+                "predicate_cache:hit", table=table,
+                kind="topk", partitions=len(scan.scan_set))
             return
 
         def record() -> None:

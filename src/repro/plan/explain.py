@@ -119,6 +119,8 @@ def _describe_scan(scan: Scan) -> str:
         annotations.append("deferred runtime filter pruning")
     if scan.columns is not None:
         annotations.append(f"columns: {', '.join(scan.columns)}")
+    if profile.bytes_scanned:
+        annotations.append(f"bytes scanned: {profile.bytes_scanned}")
     if profile.cache_hit:
         annotations.append("predicate cache hit")
     if profile.degraded:

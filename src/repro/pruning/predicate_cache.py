@@ -21,8 +21,9 @@ paper's analysis:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from ..expr import ast
@@ -71,6 +72,15 @@ class PredicateCache:
     ``max_partitions_per_entry`` bounds each entry's size — entries
     that would exceed it are not admitted, modelling the paper's
     observation that cache space limits effectiveness on large tables.
+    The bound holds for the entry's *full* scan list: DML appends that
+    would push ``partition_ids + appended_ids`` past it evict the
+    entry (counted in ``invalidations``) instead of growing forever.
+
+    All public methods are guarded by a lock (mirroring
+    :class:`~repro.caching.ResultCache`): compile-time lookups run on
+    service worker threads while catalog DML notifications mutate the
+    cache. Lookups return a snapshot copy of the entry so callers can
+    read ``scan_ids()`` without holding the lock.
     """
 
     def __init__(self, max_entries: int = 1024,
@@ -78,12 +88,14 @@ class PredicateCache:
         self.max_entries = max_entries
         self.max_partitions_per_entry = max_partitions_per_entry
         self._entries: OrderedDict[tuple, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------
     # Recording and lookup
@@ -108,10 +120,11 @@ class PredicateCache:
     def _admit(self, key: tuple, entry: CacheEntry) -> bool:
         if len(entry.partition_ids) > self.max_partitions_per_entry:
             return False
-        self._entries.pop(key, None)
-        self._entries[key] = entry
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)  # evict least recent
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)  # evict least recent
         return True
 
     def lookup_filter(self, table: str,
@@ -125,48 +138,82 @@ class PredicateCache:
             _cache_key(table, predicate, "topk", order_column, desc, k))
 
     def _lookup(self, key: tuple) -> CacheEntry | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        entry.hits += 1
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.hits += 1
+            # Snapshot: the caller reads scan_ids() outside the lock
+            # while DML notifications may mutate the live entry.
+            return replace(entry,
+                           partition_ids=list(entry.partition_ids),
+                           appended_ids=list(entry.appended_ids))
 
     # ------------------------------------------------------------------
     # DML notifications
     # ------------------------------------------------------------------
+    def _append_ids(self, entry: CacheEntry,
+                    new_ids: Sequence[int]) -> bool:
+        """Append ``new_ids`` to the entry's scan list, skipping ids it
+        already scans. Returns False — caller must evict — when the
+        full scan list would exceed ``max_partitions_per_entry``."""
+        existing = set(entry.partition_ids)
+        existing.update(entry.appended_ids)
+        fresh = [pid for pid in dict.fromkeys(new_ids)
+                 if pid not in existing]
+        if len(existing) + len(fresh) > self.max_partitions_per_entry:
+            return False
+        entry.appended_ids.extend(fresh)
+        return True
+
     def on_insert(self, table: str, new_partition_ids: Iterable[int]) -> None:
-        """New partitions must be scanned by every entry of the table."""
+        """New partitions must be scanned by every entry of the table.
+
+        An entry whose scan list would outgrow the per-entry bound is
+        evicted (counted as an invalidation) rather than growing
+        without limit; already-cached ids are never appended twice.
+        """
         table = table.lower()
         new_ids = list(new_partition_ids)
-        for entry in self._entries.values():
-            if entry.table == table:
-                entry.appended_ids.extend(new_ids)
+        if not new_ids:
+            return
+        with self._lock:
+            stale_keys = []
+            for key, entry in self._entries.items():
+                if entry.table != table:
+                    continue
+                if not self._append_ids(entry, new_ids):
+                    stale_keys.append(key)
+            for key in stale_keys:
+                del self._entries[key]
+                self.invalidations += 1
 
     def on_delete(self, table: str,
                   deleted_partition_ids: Iterable[int]) -> None:
         """Drop deleted partitions; invalidate affected top-k entries."""
         table = table.lower()
         deleted = set(deleted_partition_ids)
-        stale_keys = []
-        for key, entry in self._entries.items():
-            if entry.table != table:
-                continue
-            touched = deleted & set(entry.scan_ids())
-            if not touched:
-                continue
-            if entry.kind == "topk":
-                stale_keys.append(key)
-                continue
-            entry.partition_ids = [pid for pid in entry.partition_ids
-                                   if pid not in deleted]
-            entry.appended_ids = [pid for pid in entry.appended_ids
-                                  if pid not in deleted]
-        for key in stale_keys:
-            del self._entries[key]
-            self.invalidations += 1
+        with self._lock:
+            stale_keys = []
+            for key, entry in self._entries.items():
+                if entry.table != table:
+                    continue
+                touched = deleted & set(entry.scan_ids())
+                if not touched:
+                    continue
+                if entry.kind == "topk":
+                    stale_keys.append(key)
+                    continue
+                entry.partition_ids = [pid for pid in entry.partition_ids
+                                       if pid not in deleted]
+                entry.appended_ids = [pid for pid in entry.appended_ids
+                                      if pid not in deleted]
+            for key in stale_keys:
+                del self._entries[key]
+                self.invalidations += 1
 
     def on_update(self, table: str, rewritten_from: Iterable[int],
                   rewritten_to: Iterable[int],
@@ -183,18 +230,19 @@ class PredicateCache:
         old_ids = set(rewritten_from)
         new_ids = list(rewritten_to)
         touched = {c.lower() for c in columns_touched}
-        stale_keys = []
-        for key, entry in self._entries.items():
-            if entry.table != table:
-                continue
-            if entry.kind == "topk" and \
-                    _ordering_columns(entry.order_column) & touched:
-                stale_keys.append(key)
-                continue
-            if old_ids & set(entry.scan_ids()):
-                if entry.kind == "topk":
+        with self._lock:
+            stale_keys = []
+            for key, entry in self._entries.items():
+                if entry.table != table:
+                    continue
+                if entry.kind == "topk" and \
+                        _ordering_columns(entry.order_column) & touched:
                     stale_keys.append(key)
-                else:
+                    continue
+                if old_ids & set(entry.scan_ids()):
+                    if entry.kind == "topk":
+                        stale_keys.append(key)
+                        continue
                     # Conservative: rewritten data must be re-checked,
                     # so the rewritten partitions join the scan list.
                     entry.partition_ids = [
@@ -202,13 +250,16 @@ class PredicateCache:
                         if pid not in old_ids]
                     entry.appended_ids = [
                         pid for pid in entry.appended_ids
-                        if pid not in old_ids] + new_ids
-        for key in stale_keys:
-            del self._entries[key]
-            self.invalidations += 1
+                        if pid not in old_ids]
+                    if not self._append_ids(entry, new_ids):
+                        stale_keys.append(key)
+            for key in stale_keys:
+                del self._entries[key]
+                self.invalidations += 1
 
     def drop_table(self, table: str) -> None:
         table = table.lower()
-        for key in [k for k, e in self._entries.items()
-                    if e.table == table]:
-            del self._entries[key]
+        with self._lock:
+            for key in [k for k, e in self._entries.items()
+                        if e.table == table]:
+                del self._entries[key]

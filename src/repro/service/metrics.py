@@ -105,7 +105,8 @@ class MetricsRegistry:
       ``queries_rejected`` / ``queries_timed_out`` / ``dml_statements``
     - counters ``result_cache_hits`` / ``result_cache_misses``
     - counters ``partitions_total`` / ``partitions_loaded`` /
-      ``partitions_pruned`` / ``rows_scanned`` (from profiles)
+      ``partitions_pruned`` / ``rows_scanned`` / ``bytes_scanned``
+      (from profiles)
     - counters ``retries`` / ``retry_backoff_ms`` /
       ``injected_latency_ms`` / ``partitions_degraded`` plus
       ``queries_retried`` / ``queries_degraded`` (resilience)
@@ -143,6 +144,7 @@ class MetricsRegistry:
         self.histogram("sim_compile_ms").observe(export["compile_ms"])
         for key in ("partitions_total", "partitions_loaded",
                     "partitions_pruned", "rows_scanned",
+                    "bytes_scanned",
                     "retries", "retry_backoff_ms",
                     "injected_latency_ms", "partitions_degraded",
                     "pruning_time_ms", "scans_vectorized"):

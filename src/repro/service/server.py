@@ -35,6 +35,7 @@ from typing import Any
 from ..catalog import Catalog, QueryResult
 from ..errors import QueryTimeout, ReproError
 from ..faults.retry import RetryPolicy
+from ..obs.telemetry import TelemetryRecord
 from ..sql.normalize import is_select, normalize_sql, referenced_tables
 from .admission import CancelToken, QueryCancelled, ReadWriteLock
 from .metrics import MetricsRegistry
@@ -102,8 +103,15 @@ class QueryService:
                  enable_result_cache: bool = True,
                  query_retry_policy: RetryPolicy | None = None,
                  metrics: MetricsRegistry | None = None,
-                 scan_parallelism: int | None = None):
+                 scan_parallelism: int | None = None,
+                 telemetry_capacity: int = 4096):
         self.catalog = catalog
+        #: fleet telemetry: the catalog writes one record per executed
+        #: statement; the service annotates it with queue wait, wall
+        #: clock, and cluster, and adds records for cache hits and
+        #: failures (which never reach the catalog's recorder).
+        self.telemetry = catalog.enable_telemetry(
+            capacity=telemetry_capacity)
         #: morsel workers per table scan. ``None`` keeps the catalog's
         #: setting; the common deployment sets it to the warehouse slot
         #: count so one query's scan saturates one cluster.
@@ -240,6 +248,7 @@ class QueryService:
                      "queries_retried", "queries_degraded",
                      "queries_timed_out"):
             snap[name] = self.metrics.counter(name).value
+        snap["telemetry"] = self.telemetry.summary()
         breaker = self.catalog.metadata.breaker
         if breaker is not None:
             snap["metadata_breaker"] = breaker.snapshot()
@@ -289,6 +298,7 @@ class QueryService:
         try:
             self._execute_with_retries(handle, queue_timeout)
         except QueryCancelled as exc:
+            self._record_terminal(handle, "cancelled", exc, start)
             self._finish(handle, QueryStatus.CANCELLED, error=exc)
         except BaseException as exc:  # noqa: BLE001 — stored, re-raised
             from .admission import AdmissionRejected, QueueWaitTimeout
@@ -297,9 +307,21 @@ class QueryService:
                 self.metrics.counter("queries_rejected").inc()
             elif isinstance(exc, QueueWaitTimeout):
                 self.metrics.counter("queries_timed_out").inc()
+            self._record_terminal(handle, "error", exc, start)
             self._finish(handle, QueryStatus.FAILED, error=exc)
         finally:
             handle.latency_ms = (time.perf_counter() - start) * 1e3
+
+    def _record_terminal(self, handle: QueryHandle, status: str,
+                         error: BaseException, start: float) -> None:
+        """Telemetry for a query that never produced a result (failed
+        or cancelled) — the catalog's recorder never saw it finish."""
+        self.telemetry.record(TelemetryRecord(
+            query_id=handle.query_id, sql=handle.sql,
+            status=status, error=type(error).__name__,
+            attempts=handle.attempts, cluster=handle.cluster,
+            queue_wait_ms=handle.queue_wait_ms,
+            wall_ms=(time.perf_counter() - start) * 1e3))
 
     def _execute_with_retries(self, handle: QueryHandle,
                               queue_timeout: float | None) -> None:
@@ -354,6 +376,11 @@ class QueryService:
                 # serving latency but do not re-count the cached
                 # profile's pruning/I-O numbers.
                 self.metrics.observe_query(0.0, 0.0)
+                self.telemetry.record(TelemetryRecord(
+                    query_id=handle.query_id, sql=handle.sql,
+                    kind="select", tables=tables,
+                    status="cache_hit", result_cache_hit=True,
+                    rows_returned=len(result.rows)))
                 self._finish(handle, QueryStatus.DONE, result=result)
                 return
             self.metrics.counter("result_cache_misses").inc()
@@ -398,3 +425,18 @@ class QueryService:
         handle.degraded = result.profile.degraded
         if handle.degraded:
             self.metrics.counter("queries_degraded").inc()
+        # The catalog already wrote this query's telemetry record
+        # (keyed by its profile id); enrich it with what only the
+        # service knows. A record evicted from the ring between then
+        # and now is re-recorded whole.
+        annotated = self.telemetry.annotate(
+            result.profile.query_id,
+            queue_wait_ms=handle.queue_wait_ms, wall_ms=wall_ms,
+            cluster=handle.cluster, attempts=handle.attempts)
+        if not annotated:
+            record = TelemetryRecord.from_result(result,
+                                                 wall_ms=wall_ms)
+            record.queue_wait_ms = handle.queue_wait_ms
+            record.cluster = handle.cluster
+            record.attempts = handle.attempts
+            self.telemetry.record(record)

@@ -77,6 +77,21 @@ class TestReporting:
         assert "name" in lines[0]
         assert "bbbb" in lines[3]
 
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "bb"], [])
+        assert "bb" in text.splitlines()[0]
+
+    def test_format_table_rejects_long_row(self):
+        # Regression: the column-wise zip silently dropped the cells
+        # of rows longer than the header list.
+        with pytest.raises(ValueError, match="row 1 has 3 cells"):
+            format_table(["a", "b"], [[1, 2], [1, 2, 3]])
+
+    def test_format_table_rejects_short_row(self):
+        # A short row used to truncate *every* column to its width.
+        with pytest.raises(ValueError, match="expected 2"):
+            format_table(["a", "b"], [[1]])
+
     def test_render_cdf(self):
         text = render_cdf([(1, 0.5), (2, 1.0)], label="k")
         assert "50.0%" in text

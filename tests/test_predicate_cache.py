@@ -66,6 +66,49 @@ class TestInsertSemantics:
         cache.on_insert("u", [9])
         assert cache.lookup_filter("t", PRED).scan_ids() == [1]
 
+    def test_repeated_insert_does_not_duplicate(self):
+        # Regression: appended_ids grew without dedup, so replayed or
+        # overlapping notifications scanned partitions repeatedly.
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1, 2])
+        cache.on_insert("t", [7, 8])
+        cache.on_insert("t", [8, 9])
+        cache.on_insert("t", [7, 7])
+        assert cache.lookup_filter("t", PRED).scan_ids() == \
+            [1, 2, 7, 8, 9]
+
+    def test_insert_never_appends_cached_ids(self):
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1, 2])
+        cache.on_insert("t", [2, 3])
+        assert cache.lookup_filter("t", PRED).scan_ids() == [1, 2, 3]
+
+    def test_insert_beyond_bound_evicts_entry(self):
+        # Regression: the per-entry bound was only enforced at admit
+        # time, so DML grew entries without limit. Outgrowing the
+        # bound must evict (an eviction is an invalidation), never
+        # silently truncate the scan list (that would drop rows).
+        cache = PredicateCache(max_partitions_per_entry=4)
+        cache.record_filter("t", PRED, [1, 2, 3])
+        cache.record_filter("t", OTHER, [1])
+        cache.on_insert("t", [10, 11])     # 5 ids > bound for PRED
+        assert cache.lookup_filter("t", PRED) is None
+        assert cache.invalidations == 1
+        assert cache.lookup_filter("t", OTHER).scan_ids() == \
+            [1, 10, 11]
+
+    def test_entry_size_bounded_under_repeated_inserts(self):
+        cache = PredicateCache(max_partitions_per_entry=16)
+        cache.record_filter("t", PRED, [1])
+        for i in range(100):
+            cache.on_insert("t", [100 + i])
+            entry = cache.lookup_filter("t", PRED)
+            if entry is None:
+                break
+            assert len(entry.scan_ids()) <= 16
+        assert cache.lookup_filter("t", PRED) is None
+        assert cache.invalidations == 1
+
 
 class TestDeleteSemantics:
     def test_delete_shrinks_filter_entries(self):
@@ -118,6 +161,22 @@ class TestUpdateSemantics:
         cache.on_update("t", [2], [9], ["x"])
         entry = cache.lookup_filter("t", PRED)
         assert set(entry.scan_ids()) == {1, 9}
+
+    def test_update_does_not_duplicate_rewritten_ids(self):
+        # Regression: the rewrite path appended new ids undeduped.
+        cache = PredicateCache()
+        cache.record_filter("t", PRED, [1, 2])
+        cache.on_update("t", [2], [9], ["x"])
+        cache.on_update("t", [1], [9, 10], ["x"])
+        ids = cache.lookup_filter("t", PRED).scan_ids()
+        assert sorted(ids) == [9, 10]
+
+    def test_update_beyond_bound_evicts_filter_entry(self):
+        cache = PredicateCache(max_partitions_per_entry=3)
+        cache.record_filter("t", PRED, [1, 2, 3])
+        cache.on_update("t", [3], [7, 8], ["x"])  # would hold 4 ids
+        assert cache.lookup_filter("t", PRED) is None
+        assert cache.invalidations == 1
 
 
 class TestTopkKeying:
