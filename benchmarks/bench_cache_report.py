@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""PR benchmark report: warehouse-local partition cache (repro.cache).
+
+Measures the operational claims of the data cache and writes them to
+``BENCH_PR5.json`` (for CI artifact upload and regression tracking):
+
+1. **Cache effectiveness** — a repeated-scan workload over a pruned
+   working set, cold then hot. Gates: hot-phase hit ratio >= 80%,
+   and >= 5x reduction in both object-storage ``bytes_read`` and
+   simulated load time (cost-model ms) hot vs cold.
+2. **Differential safety** — the same query/DML/recluster script run
+   with caching on and off must return bit-identical rows (gate:
+   zero divergence), with eviction pressure forced by a small budget.
+3. **Wiring visibility** — the cache counters must show up in
+   EXPLAIN ANALYZE, per-query telemetry, and the fleet report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache_report.py [--quick]
+        [--output BENCH_PR5.json]
+
+``--quick`` shrinks the table and repetition counts for CI smoke runs
+(every gate still applies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.catalog import Catalog  # noqa: E402
+from repro.obs import TelemetryRecord, render_fleet_report  # noqa: E402
+from repro.types import DataType, Schema  # noqa: E402
+
+SCHEMA = Schema.of(ts=DataType.INTEGER, score=DataType.INTEGER,
+                   note=DataType.VARCHAR)
+
+
+def make_catalog(n_rows: int, rows_per_partition: int) -> Catalog:
+    from repro.storage.clustering import Layout
+
+    catalog = Catalog(rows_per_partition=rows_per_partition)
+    rows = [(i, (i * 37) % 1000, f"n{i:07d}") for i in range(n_rows)]
+    catalog.create_table_from_rows("events", SCHEMA, rows,
+                                   layout=Layout.sorted_by("ts"))
+    return catalog
+
+
+def simulated_load_ms(catalog: Catalog, delta, cache_stats) -> float:
+    """Cost-model milliseconds the phase spent materialising
+    partitions: demand loads at the remote rate plus cache hits at
+    the local rate."""
+    model = catalog.storage.cost_model
+    remote = (delta.requests * model.request_latency_ms
+              + delta.bytes_read / 2**20 * model.ms_per_mb)
+    local = (cache_stats.hits * model.cached_hit_cost_ms
+             + cache_stats.bytes_saved / 2**20 * model.cached_ms_per_mb)
+    return remote + local
+
+
+# ----------------------------------------------------------------------
+# 1. Cold vs hot scan phases
+# ----------------------------------------------------------------------
+def bench_effectiveness(n_rows: int, rows_per_partition: int,
+                        hot_rounds: int) -> dict:
+    catalog = make_catalog(n_rows, rows_per_partition)
+    catalog.enable_data_cache(budget_bytes=256 * 2**20)
+    cache = catalog.data_cache
+    lo, hi = n_rows // 10, n_rows // 2
+    queries = [
+        f"SELECT ts, score FROM events WHERE ts BETWEEN {lo} AND {hi}",
+        f"SELECT count(*) AS c FROM events WHERE ts >= {lo}",
+        f"SELECT note FROM events WHERE ts BETWEEN {lo} AND {hi} "
+        f"AND score < 500",
+    ]
+
+    def run_phase(rounds: int) -> tuple[dict, float]:
+        io_before = catalog.storage.stats.snapshot()
+        stats_before = cache.stats()
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for sql in queries:
+                catalog.sql(sql)
+        wall_s = time.perf_counter() - started
+        delta = catalog.storage.stats.diff(io_before)
+        after = cache.stats()
+        phase = type(stats_before)(**{
+            k: getattr(after, k) - getattr(stats_before, k)
+            for k in ("hits", "misses", "bytes_saved",
+                      "prefetch_loads", "evictions", "invalidations",
+                      "rejected")})
+        return {
+            "bytes_read": delta.bytes_read,
+            "requests": delta.requests,
+            "hits": phase.hits,
+            "misses": phase.misses,
+            "hit_ratio": round(phase.hit_ratio, 4),
+            "bytes_saved": phase.bytes_saved,
+            "prefetch_loads": phase.prefetch_loads,
+            "simulated_load_ms": round(
+                simulated_load_ms(catalog, delta, phase), 3),
+            "wall_s": round(wall_s, 4),
+        }, wall_s
+
+    cold, _ = run_phase(1)
+    hot, _ = run_phase(hot_rounds)
+    bytes_reduction = cold["bytes_read"] / max(
+        hot["bytes_read"] / hot_rounds, 1)
+    load_reduction = cold["simulated_load_ms"] / max(
+        hot["simulated_load_ms"] / hot_rounds, 1e-9)
+    return {
+        "partitions": len(catalog.scan_set("events")),
+        "hot_rounds": hot_rounds,
+        "cold": cold,
+        "hot": hot,
+        "bytes_read_reduction_x": round(bytes_reduction, 1),
+        "simulated_load_reduction_x": round(load_reduction, 1),
+        "resident_bytes": cache.stats().resident_bytes,
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Differential: cache on/off bit-identical under DML + recluster
+# ----------------------------------------------------------------------
+def bench_differential(n_rows: int, rows_per_partition: int) -> dict:
+    queries = [
+        "SELECT * FROM events WHERE ts BETWEEN 100 AND 600",
+        "SELECT count(*) AS c FROM events WHERE score < 400",
+        "SELECT score, count(*) AS c FROM events "
+        "WHERE ts < 700 GROUP BY score",
+        "SELECT * FROM events ORDER BY ts DESC LIMIT 9",
+    ]
+    script = [
+        None,
+        "UPDATE events SET score = 3 WHERE ts BETWEEN 50 AND 250",
+        "DELETE FROM events WHERE ts BETWEEN 400 AND 430",
+        "recluster",
+        "UPDATE events SET note = 'rewritten' WHERE score < 50",
+    ]
+
+    def run(catalog: Catalog) -> list:
+        outputs = []
+        for step in script:
+            if step == "recluster":
+                catalog.recluster("events", "score")
+            elif step is not None:
+                catalog.sql(step)
+            for sql in queries:
+                outputs.append(sorted(catalog.sql(sql).rows))
+                outputs.append(sorted(catalog.sql(sql).rows))
+        return outputs
+
+    cached = make_catalog(n_rows, rows_per_partition)
+    # A deliberately tight budget keeps eviction pressure on.
+    sample = cached.storage.peek(
+        cached.scan_set("events").partition_ids[0])
+    cached.enable_data_cache(budget_bytes=sample.nbytes() * 8)
+    plain = make_catalog(n_rows, rows_per_partition)
+    divergences = sum(1 for a, b in zip(run(cached), run(plain))
+                      if a != b)
+    stats = cached.data_cache.stats()
+    return {
+        "statements": len(script),
+        "queries_compared": len(queries) * len(script) * 2,
+        "divergences": divergences,
+        "cache_hits": stats.hits,
+        "evictions": stats.evictions,
+        "invalidations": stats.invalidations,
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. Counter visibility: EXPLAIN ANALYZE / telemetry / fleet report
+# ----------------------------------------------------------------------
+def bench_visibility(n_rows: int, rows_per_partition: int) -> dict:
+    catalog = make_catalog(n_rows, rows_per_partition)
+    catalog.enable_data_cache()
+    sql = "SELECT ts, score FROM events WHERE ts >= 100"
+    catalog.sql(sql)
+    hot = catalog.sql(sql)
+    explain = catalog.explain_analyze(sql)
+    record = TelemetryRecord.from_result(hot)
+    fleet = render_fleet_report([record])
+    return {
+        "explain_has_cache_line": "data cache:" in explain,
+        "telemetry_hits": record.data_cache_hits,
+        "telemetry_hit_ratio": round(record.data_cache_hit_ratio, 4),
+        "fleet_report_has_cache_cdf": "data-cache hit ratio" in fleet,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller table / fewer rounds (CI smoke)")
+    parser.add_argument("--output", default=str(
+        REPO_ROOT / "BENCH_PR5.json"))
+    args = parser.parse_args()
+
+    if args.quick:
+        n_rows, rows_per_partition, hot_rounds = 4000, 100, 3
+    else:
+        n_rows, rows_per_partition, hot_rounds = 20000, 100, 5
+
+    effectiveness = bench_effectiveness(n_rows, rows_per_partition,
+                                        hot_rounds)
+    differential = bench_differential(min(n_rows, 2000),
+                                      rows_per_partition)
+    visibility = bench_visibility(min(n_rows, 2000),
+                                  rows_per_partition)
+
+    gates = {
+        "hot_hit_ratio_ge_80pct":
+            effectiveness["hot"]["hit_ratio"] >= 0.80,
+        "bytes_read_reduction_ge_5x":
+            effectiveness["bytes_read_reduction_x"] >= 5.0,
+        "simulated_load_reduction_ge_5x":
+            effectiveness["simulated_load_reduction_x"] >= 5.0,
+        "zero_divergence":
+            differential["divergences"] == 0,
+        "counters_visible": all(v is True or (isinstance(v, int)
+                                              and v > 0)
+                                for v in (
+            visibility["explain_has_cache_line"],
+            visibility["telemetry_hits"],
+            visibility["fleet_report_has_cache_cdf"])),
+    }
+
+    payload = {
+        "pr": 5,
+        "title": "Warehouse-local partition cache (repro.cache)",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "cache_effectiveness": effectiveness,
+        "differential": differential,
+        "visibility": visibility,
+        "gates": gates,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    failed = [name for name, ok in gates.items() if not ok]
+    if failed:
+        print(f"\nFAILED gates: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("\nAll gates passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,7 @@ from .storage import (
     StorageLayer,
 )
 from .storage.builder import build_table
+from .cache import CacheStats, PartitionCache, Prefetcher
 from .catalog import Catalog, QueryResult
 from .plan.compiler import CompilerOptions
 from .expr.ast import col, lit
@@ -72,7 +73,7 @@ from .obs import (
 )
 from .service import QueryService
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "DataType",
@@ -111,6 +112,9 @@ __all__ = [
     "MetadataStore",
     "StorageLayer",
     "build_table",
+    "CacheStats",
+    "PartitionCache",
+    "Prefetcher",
     "Catalog",
     "QueryResult",
     "QueryService",

@@ -1,0 +1,13 @@
+"""Warehouse-local data caching (paper §2).
+
+:class:`PartitionCache` keeps recently scanned micro-partitions
+resident under a byte budget (segmented LRU, column-subset-aware
+accounting, metadata-driven invalidation); :class:`Prefetcher` walks a
+pruned scan set ahead of the consumer to overlap storage fetches with
+execution.
+"""
+
+from .partition_cache import CacheStats, PartitionCache
+from .prefetcher import Prefetcher
+
+__all__ = ["CacheStats", "PartitionCache", "Prefetcher"]

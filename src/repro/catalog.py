@@ -26,6 +26,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .cache.partition_cache import PartitionCache
 from .engine.context import ExecContext, QueryProfile
 from .engine.executor import execute
 from .errors import (
@@ -112,6 +113,11 @@ class Catalog:
         #: fleet telemetry sink; off until :meth:`enable_telemetry`.
         self.telemetry: TelemetrySink | None = None
         self.predicate_cache: PredicateCache | None = None
+        #: warehouse-local data cache; off until
+        #: :meth:`enable_data_cache` (or a per-call override — the
+        #: service layer passes each cluster's own cache into
+        #: :meth:`sql`).
+        self.data_cache: PartitionCache | None = None
         self._iceberg_sources: dict[str, dict[int, object]] = {}
         self._compiler = QueryCompiler(self)
         self._change_listeners: list[Callable[[str, int], None]] = []
@@ -247,6 +253,23 @@ class Catalog:
             max_partitions_per_entry=max_partitions_per_entry)
         return self.predicate_cache
 
+    def enable_data_cache(self, budget_bytes: int = 64 * 2**20,
+                          protected_fraction: float = 0.8,
+                          prefetch: bool = True) -> PartitionCache:
+        """Turn on the warehouse-local data cache (§2) for subsequent
+        queries: scans serve repeated partitions from local storage
+        instead of re-fetching them from simulated object storage.
+
+        The cache attaches to the metadata store so DML/recluster
+        rewrites (``unregister``) invalidate stale entries
+        automatically. Idempotent — an existing cache is kept.
+        """
+        if self.data_cache is None:
+            self.data_cache = PartitionCache(
+                budget_bytes, protected_fraction=protected_fraction,
+                prefetch=prefetch).attach(self.metadata)
+        return self.data_cache
+
     def enable_telemetry(self, capacity: int = 4096,
                          slow_query_ms: float = 100.0
                          ) -> TelemetrySink:
@@ -379,13 +402,23 @@ class Catalog:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _effective_cache(self,
+                         cache: PartitionCache | None
+                         ) -> PartitionCache | None:
+        """Per-call cache override (the service layer passes each
+        warehouse cluster's own cache), else the catalog-wide one."""
+        return cache if cache is not None else self.data_cache
+
     def sql(self, text: str,
-            options: CompilerOptions | None = None) -> QueryResult:
+            options: CompilerOptions | None = None,
+            cache: PartitionCache | None = None) -> QueryResult:
         """Parse, plan, and execute one SELECT, DELETE, or UPDATE.
 
         DML statements return a single-row result with the number of
         affected rows; their profile records the partition pruning the
-        DML benefited from (§7's flow covers DML too).
+        DML benefited from (§7's flow covers DML too). ``cache``
+        overrides the catalog-wide data cache for this statement
+        (per-warehouse-cluster caches).
         """
         from .sql.parser import DeleteStmt, UpdateStmt, parse_statement
 
@@ -396,14 +429,15 @@ class Catalog:
         if isinstance(stmt, (DeleteStmt, UpdateStmt)):
             kind = "dml"
             with _span(tracer, "dml", table=stmt.table):
-                result = self._execute_dml(stmt)
+                result = self._execute_dml(stmt, cache=cache)
             if tracer is not None:
                 result.profile.trace = tracer.finish()
         else:
             kind = "select"
             with _span(tracer, "plan"):
                 plan = plan_select(stmt, self.schema_of)
-            result = self.execute_plan(plan, options, tracer=tracer)
+            result = self.execute_plan(plan, options, tracer=tracer,
+                                       cache=cache)
         result.sql = text
         if self.telemetry is not None:
             wall_ms = (time.perf_counter() - started) * 1e3
@@ -411,7 +445,8 @@ class Catalog:
                 result, wall_ms=wall_ms, kind=kind))
         return result
 
-    def _execute_dml(self, stmt) -> QueryResult:
+    def _execute_dml(self, stmt,
+                     cache: PartitionCache | None = None) -> QueryResult:
         from .sql.parser import DeleteStmt
 
         table = self._table(stmt.table)
@@ -420,10 +455,11 @@ class Catalog:
         profile = QueryProfile(query_id=f"q{next(_QUERY_COUNTER)}")
         if isinstance(stmt, DeleteStmt):
             affected = self.delete_where(table.name, predicate,
-                                         profile=profile)
+                                         profile=profile, cache=cache)
         else:
             affected = self._update_with_expr(
-                table, predicate, stmt.column, stmt.value, profile)
+                table, predicate, stmt.column, stmt.value, profile,
+                cache=cache)
         return QueryResult(
             schema=Schema.of(rows_affected=DataType.INTEGER),
             rows=[(affected,)],
@@ -431,7 +467,8 @@ class Catalog:
 
     def _update_with_expr(self, table: Table, predicate: ast.Expr,
                           column: str, value_expr: ast.Expr,
-                          profile: QueryProfile) -> int:
+                          profile: QueryProfile,
+                          cache: PartitionCache | None = None) -> int:
         """UPDATE with a SQL value expression evaluated per row."""
         from .expr.eval import evaluate
 
@@ -444,7 +481,7 @@ class Catalog:
         removed_ids: list[int] = []
         inserted_ids: list[int] = []
         for partition in self._dml_candidates(table, predicate,
-                                              profile):
+                                              profile, cache=cache):
             mask = evaluate_predicate(predicate, partition.columns(),
                                       table.schema)
             hits = int(mask.sum())
@@ -537,7 +574,8 @@ class Catalog:
             context = ExecContext(self.storage, self.metadata,
                                   query_id=f"q{next(_QUERY_COUNTER)}",
                                   scan_parallelism=self.scan_parallelism,
-                                  tracer=tracer)
+                                  tracer=tracer,
+                                  cache=self._effective_cache(None))
             with _span(tracer, "compile"):
                 compiled = self._compiler.compile(plan, context,
                                                   options)
@@ -561,7 +599,8 @@ class Catalog:
 
     def execute_plan(self, plan: LogicalNode,
                      options: CompilerOptions | None = None,
-                     tracer: Tracer | None = None) -> QueryResult:
+                     tracer: Tracer | None = None,
+                     cache: PartitionCache | None = None) -> QueryResult:
         """Compile and execute an already-planned logical tree."""
         options = options or CompilerOptions()
         if options.predicate_cache is None and \
@@ -572,7 +611,8 @@ class Catalog:
         context = ExecContext(self.storage, self.metadata,
                               query_id=f"q{next(_QUERY_COUNTER)}",
                               scan_parallelism=self.scan_parallelism,
-                              tracer=tracer)
+                              tracer=tracer,
+                              cache=self._effective_cache(cache))
         with _span(tracer, "compile"):
             compiled = self._compiler.compile(plan, context, options)
         with _span(tracer, "execute") as exec_span:
@@ -609,37 +649,65 @@ class Catalog:
         return new_ids
 
     def _dml_candidates(self, table: Table, predicate: ast.Expr,
-                        profile: QueryProfile | None = None
+                        profile: QueryProfile | None = None,
+                        cache: PartitionCache | None = None
                         ) -> list[MicroPartition]:
         """Partitions a DML statement must inspect, after pruning.
 
         DML benefits from filter pruning exactly like SELECT (§7's
         flow covers "both DML and SELECT queries"): partitions whose
         metadata proves no row matches are neither read nor rewritten.
+
+        With a data cache attached, candidate reads route through it:
+        residency is accounted as hits (the rewrite did not re-fetch
+        the partition) and misses populate the cache — the partitions
+        a DML inspects are exactly the hot set a follow-up SELECT on
+        the same predicate scans. Candidates always come from the
+        authoritative in-memory table, so DML results are identical
+        with the cache on or off.
         """
         from .pruning.filter_pruning import is_prunable
         from .pruning.stats_index import VectorizedFilterPruner
 
+        scan_profile = None
         if not is_prunable(predicate):
-            return table.partitions
-        scan_set = ScanSet((p.partition_id, p.zone_map)
-                           for p in table.partitions)
-        pruner = VectorizedFilterPruner(predicate, table.schema,
-                                        detect_fully_matching=False,
-                                        index=table.stats_index())
-        result = pruner.prune(scan_set)
-        if profile is not None:
-            scan_profile = profile.new_scan(table.name)
-            scan_profile.total_partitions = len(scan_set)
-            scan_profile.filter_result = result
-            scan_profile.filter_eligible = True
-            scan_profile.pruning_mode = pruner.mode
-        kept = set(result.kept.partition_ids)
-        return [p for p in table.partitions
-                if p.partition_id in kept]
+            candidates = table.partitions
+        else:
+            scan_set = ScanSet((p.partition_id, p.zone_map)
+                               for p in table.partitions)
+            pruner = VectorizedFilterPruner(predicate, table.schema,
+                                            detect_fully_matching=False,
+                                            index=table.stats_index())
+            result = pruner.prune(scan_set)
+            if profile is not None:
+                scan_profile = profile.new_scan(table.name)
+                scan_profile.total_partitions = len(scan_set)
+                scan_profile.filter_result = result
+                scan_profile.filter_eligible = True
+                scan_profile.pruning_mode = pruner.mode
+            kept = set(result.kept.partition_ids)
+            candidates = [p for p in table.partitions
+                          if p.partition_id in kept]
+        cache = self._effective_cache(cache)
+        if cache is not None:
+            for partition in candidates:
+                cached = cache.get(
+                    partition.partition_id,
+                    expected_checksum=partition.checksum)
+                if cached is None:
+                    cache.put(partition)
+                if scan_profile is not None:
+                    if cached is not None:
+                        scan_profile.cache_hits += 1
+                        scan_profile.cache_bytes_saved += \
+                            partition.nbytes()
+                    else:
+                        scan_profile.cache_misses += 1
+        return candidates
 
     def delete_where(self, table_name: str, predicate: ast.Expr,
-                     profile: QueryProfile | None = None) -> int:
+                     profile: QueryProfile | None = None,
+                     cache: PartitionCache | None = None) -> int:
         """DELETE FROM t WHERE ...; rewrites affected partitions.
 
         Partition pruning runs first: partitions provably without
@@ -651,7 +719,7 @@ class Catalog:
         removed_ids: list[int] = []
         inserted_ids: list[int] = []
         for partition in self._dml_candidates(table, predicate,
-                                              profile):
+                                              profile, cache=cache):
             mask = evaluate_predicate(predicate, partition.columns(),
                                       table.schema)
             hits = int(mask.sum())
@@ -679,7 +747,8 @@ class Catalog:
 
     def update_where(self, table_name: str, predicate: ast.Expr,
                      column: str, value_fn: Callable[[Any], Any],
-                     profile: QueryProfile | None = None) -> int:
+                     profile: QueryProfile | None = None,
+                     cache: PartitionCache | None = None) -> int:
         """UPDATE t SET column = value_fn(old) WHERE ...
 
         Partition pruning runs first, then every partition containing
@@ -692,7 +761,7 @@ class Catalog:
         removed_ids: list[int] = []
         inserted_ids: list[int] = []
         for partition in self._dml_candidates(table, predicate,
-                                              profile):
+                                              profile, cache=cache):
             mask = evaluate_predicate(predicate, partition.columns(),
                                       table.schema)
             hits = int(mask.sum())

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Optional
 from ..faults.retry import RetryStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache.partition_cache import PartitionCache
     from ..obs.trace import Span, Tracer
 from ..pruning.base import PruneCategory, PruningResult
 from ..pruning.flow import FlowRecord
@@ -40,7 +41,18 @@ class ScanProfile:
     bytes_scanned: int = 0
     early_terminated: bool = False
     filter_eligible: bool = False
+    #: this scan's scan set came from the *predicate* cache (§8.2);
+    #: distinct from the warehouse-local *data* cache counters below.
     cache_hit: bool = False
+    #: partitions served from the warehouse-local data cache (§2)
+    cache_hits: int = 0
+    #: partitions that had to be fetched from object storage
+    cache_misses: int = 0
+    #: bytes the data cache kept off the object-store wire
+    cache_bytes_saved: int = 0
+    #: cache misses satisfied by this scan's own async readahead
+    #: (bytes were still read from storage, but off the critical path)
+    prefetched_partitions: int = 0
     #: the scan was answered entirely from the metadata store
     metadata_only: bool = False
     #: partitions whose metadata could not be fetched; they were
@@ -155,6 +167,23 @@ class QueryProfile:
         return sum(s.total_partitions for s in self.scans)
 
     @property
+    def data_cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.scans)
+
+    @property
+    def data_cache_misses(self) -> int:
+        return sum(s.cache_misses for s in self.scans)
+
+    @property
+    def data_cache_bytes_saved(self) -> int:
+        return sum(s.cache_bytes_saved for s in self.scans)
+
+    @property
+    def data_cache_hit_ratio(self) -> float:
+        lookups = self.data_cache_hits + self.data_cache_misses
+        return self.data_cache_hits / lookups if lookups else 0.0
+
+    @property
     def partitions_loaded(self) -> int:
         return sum(s.partitions_loaded for s in self.scans)
 
@@ -223,6 +252,9 @@ class QueryProfile:
                 1 for s in self.scans
                 if s.pruning_mode == "vectorized")),
             "scan_parallelism": float(self.scan_parallelism),
+            "data_cache_hits": float(self.data_cache_hits),
+            "data_cache_misses": float(self.data_cache_misses),
+            "data_cache_bytes_saved": float(self.data_cache_bytes_saved),
         }
 
     def resilience_summary(self) -> str:
@@ -291,11 +323,15 @@ class ExecContext:
                  metadata: MetadataStore | None = None,
                  query_id: str = "",
                  scan_parallelism: int = 1,
-                 tracer: "Optional[Tracer]" = None):
+                 tracer: "Optional[Tracer]" = None,
+                 cache: "Optional[PartitionCache]" = None):
         self.storage = storage
         self.metadata = metadata
         self.cost_model = storage.cost_model
         self.profile = QueryProfile(query_id=query_id)
+        #: optional warehouse-local data cache scans route loads through
+        #: (per-cluster when running under a :class:`WarehousePool`).
+        self.cache = cache
         #: worker threads table scans may fan morsels out to (1 =
         #: serial execution; typically the warehouse cluster size).
         self.scan_parallelism = max(1, int(scan_parallelism))
@@ -339,6 +375,10 @@ class ExecContext:
 
     def charge_partition_load(self, nbytes: int) -> None:
         self.charge_exec(self.cost_model.load_cost(nbytes))
+
+    def charge_cached_load(self, nbytes: int) -> None:
+        """Charge a data-cache hit: local read, no object-store trip."""
+        self.charge_exec(self.cost_model.cached_load_cost(nbytes))
 
     def charge_rows(self, rows: int) -> None:
         self.charge_exec(self.cost_model.scan_cost(rows))

@@ -185,6 +185,9 @@ class Scan(Operator):
                 span.annotate(early_terminated=True)
             if profile.topk_skipped:
                 span.annotate(topk_skipped=profile.topk_skipped)
+            if profile.cache_hits or profile.cache_misses:
+                span.annotate(cache_hits=profile.cache_hits,
+                              cache_misses=profile.cache_misses)
             span.end()
             self._span = None
 
@@ -200,8 +203,33 @@ class Scan(Operator):
             return 1
         return min(workers, len(self.scan_set))
 
+    def _make_prefetcher(self):
+        """Async readahead for the serial scan path, when safe.
+
+        Only scans whose load order is fully known up front prefetch:
+        runtime pruning (top-k boundaries, deferred filters) decides
+        per partition whether to load at all, and reading ahead of
+        those decisions would fetch bytes a serial scan provably
+        skips. The parallel morsel loop needs no prefetcher — its
+        bounded in-flight window *is* the readahead.
+        """
+        cache = self.context.cache
+        if (cache is None or not cache.prefetch
+                or self.topk_pruners
+                or self.runtime_filter_pruner is not None
+                or len(self.scan_set) <= 1):
+            return None
+        from ..cache.prefetcher import Prefetcher
+
+        window = max(4, self.context.scan_parallelism * 2)
+        return Prefetcher(
+            cache, self.context.storage, self.scan_set.partition_ids,
+            columns=self.columns, window=window)
+
     def _iter_serial(self) -> Iterator[Chunk]:
         entries = self.scan_set.entries
+        cache = self.context.cache
+        prefetcher = self._make_prefetcher()
         consumed = 0
         try:
             for partition_id, zone_map in entries:
@@ -209,6 +237,24 @@ class Scan(Operator):
                 self.context.charge_metadata_lookups(1)
                 if self._runtime_skip(zone_map):
                     continue
+                if cache is not None:
+                    prefetched = (prefetcher.claim(partition_id)
+                                  if prefetcher is not None else False)
+                    partition = cache.get(
+                        partition_id, columns=self.columns,
+                        record=not prefetched)
+                    if prefetched:
+                        # Readahead fetched it moments ago: the bytes
+                        # were read from storage this query, so this
+                        # counts as a miss (nothing saved) — just off
+                        # the critical path.
+                        cache.record_miss()
+                    if partition is not None:
+                        yield self._consume_partition(
+                            partition_id, partition,
+                            cache_hit=not prefetched,
+                            prefetched=prefetched)
+                        continue
                 retry_stats = self.context.profile.retry_stats
                 penalty_before = retry_stats.penalty_ms()
                 partition = self.context.storage.load(
@@ -219,8 +265,13 @@ class Scan(Operator):
                 penalty = retry_stats.penalty_ms() - penalty_before
                 if penalty:
                     self.context.charge_exec(penalty)
+                if cache is not None:
+                    self._trace_evictions(
+                        cache.put(partition, self.columns))
                 yield self._consume_partition(partition_id, partition)
         finally:
+            if prefetcher is not None:
+                prefetcher.close()
             if consumed < len(entries):
                 self.profile.early_terminated = True
 
@@ -233,14 +284,24 @@ class Scan(Operator):
         entries = self.scan_set.entries
         storage = self.context.storage
         columns = self.columns
+        cache = self.context.cache
 
         def load_morsel(partition_id: int):
             # Private stats per morsel: retry attribution merges into
             # the query profile when the morsel is consumed, in order.
+            # Cache lookups happen here on the worker thread (the
+            # cache is thread-safe); profile accounting and trace
+            # events stay on the consumer thread.
             local = RetryStats()
+            if cache is not None:
+                cached = cache.get(partition_id, columns=columns)
+                if cached is not None:
+                    return cached, local, True, []
             partition = storage.load(partition_id, columns=columns,
                                      retry_stats=local)
-            return partition, local
+            evicted = (cache.put(partition, columns)
+                       if cache is not None else [])
+            return partition, local, False, evicted
 
         executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="scan-morsel")
@@ -269,7 +330,7 @@ class Scan(Operator):
                 # accounting, and the position at which a failing
                 # partition raises all match serial execution.
                 partition_id, future = pending.popleft()
-                partition, local = future.result()
+                partition, local, cache_hit, evicted = future.result()
                 penalty = local.penalty_ms()
                 self.context.profile.retry_stats.absorb(local)
                 if penalty:
@@ -281,18 +342,45 @@ class Scan(Operator):
                         "retry", parent=self._span,
                         partition=partition_id, retries=local.retries,
                         backoff_ms=penalty)
-                yield self._consume_partition(partition_id, partition)
+                self._trace_evictions(evicted)
+                yield self._consume_partition(partition_id, partition,
+                                              cache_hit=cache_hit)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
             if not completed:
                 self.profile.early_terminated = True
 
-    def _consume_partition(self, partition_id: int, partition) -> Chunk:
-        """Charge and account one loaded partition, returning its chunk."""
+    def _consume_partition(self, partition_id: int, partition,
+                           cache_hit: bool = False,
+                           prefetched: bool = False) -> Chunk:
+        """Charge and account one loaded partition, returning its chunk.
+
+        ``partitions_loaded``/``rows_scanned``/``bytes_scanned`` keep
+        their cache-independent meaning (what the scan consumed), so
+        those counters are bit-identical cache-on vs cache-off; the
+        cache's effect shows up in the ``cache_*`` counters, in
+        ``IOStats.bytes_read`` (hits never touch storage), and on the
+        simulated clock (hits charge the local-read cost).
+        """
         nbytes = (partition.project_bytes(self.columns)
                   if self.columns is not None
                   else partition.nbytes())
-        self.context.charge_partition_load(nbytes)
+        stats = self.context.storage.stats
+        if cache_hit:
+            self.context.charge_cached_load(nbytes)
+            stats.record_cache_hit(nbytes)
+            self.profile.cache_hits += 1
+            self.profile.cache_bytes_saved += nbytes
+            self.context.trace_event("cache:hit", parent=self._span,
+                                     partition=partition_id,
+                                     bytes=nbytes)
+        else:
+            self.context.charge_partition_load(nbytes)
+            if self.context.cache is not None:
+                stats.record_cache_miss()
+                self.profile.cache_misses += 1
+                if prefetched:
+                    self.profile.prefetched_partitions += 1
         self.context.charge_rows(partition.row_count)
         self.profile.partitions_loaded += 1
         self.profile.rows_scanned += partition.row_count
@@ -302,6 +390,11 @@ class Scan(Operator):
             chunk = chunk.select(self.columns)
         chunk.source_partition = partition_id
         return chunk
+
+    def _trace_evictions(self, evicted: Sequence[int]) -> None:
+        for pid in evicted:
+            self.context.trace_event("cache:evict", parent=self._span,
+                                     partition=pid)
 
     def _runtime_skip(self, zone_map) -> bool:
         for pruner in self.topk_pruners:

@@ -29,6 +29,7 @@ from .telemetry import TelemetryRecord
 __all__ = [
     "TECHNIQUES",
     "technique_ratio_cdfs",
+    "data_cache_hit_ratio_cdf",
     "latency_percentiles",
     "fleet_summary",
     "fleet_json",
@@ -82,6 +83,20 @@ def technique_ratio_cdfs(
     return cdfs
 
 
+def data_cache_hit_ratio_cdf(
+        records: Sequence[TelemetryRecord],
+        points: Sequence[float] = RATIO_POINTS,
+) -> list[tuple[float, float]]:
+    """CDF of the per-query data-cache hit ratio, over the queries
+    whose scans consulted the cache at all (empty when data caching
+    was off for the whole window)."""
+    from ..bench.stats import cdf_points
+
+    ratios = [r.data_cache_hit_ratio for r in _executed(records)
+              if r.data_cache_hits + r.data_cache_misses > 0]
+    return cdf_points(ratios, points) if ratios else []
+
+
 def latency_percentiles(
         records: Sequence[TelemetryRecord],
         qs: Sequence[float] = LATENCY_QS,
@@ -119,6 +134,8 @@ def fleet_summary(records: Sequence[TelemetryRecord]
         for technique in record.eligible_techniques:
             eligible_counts[technique] = (
                 eligible_counts.get(technique, 0) + 1)
+    data_hits = sum(r.data_cache_hits for r in executed)
+    data_misses = sum(r.data_cache_misses for r in executed)
     return {
         "queries": len(records),
         "executed": len(executed),
@@ -127,6 +144,13 @@ def fleet_summary(records: Sequence[TelemetryRecord]
             1 for r in records if r.result_cache_hit),
         "predicate_cache_hits": sum(
             1 for r in executed if r.predicate_cache_hit),
+        "data_cache_hits": data_hits,
+        "data_cache_misses": data_misses,
+        "data_cache_hit_ratio": round(
+            data_hits / (data_hits + data_misses), 6)
+        if data_hits + data_misses else 0.0,
+        "data_cache_bytes_saved": sum(r.data_cache_bytes_saved
+                                      for r in executed),
         "metadata_only": sum(1 for r in executed if r.metadata_only),
         "degraded_queries": sum(1 for r in executed if r.degraded),
         "retried_queries": sum(1 for r in executed if r.retries),
@@ -152,6 +176,8 @@ def fleet_json(records: Sequence[TelemetryRecord]) -> str:
             technique: [[t, f] for t, f in points]
             for technique, points in
             technique_ratio_cdfs(records).items()},
+        "data_cache_hit_ratio_cdf": [
+            [t, f] for t, f in data_cache_hit_ratio_cdf(records)],
         "latency_percentiles": latency_percentiles(records),
     }
     return json.dumps(payload, indent=2) + "\n"
@@ -177,6 +203,11 @@ def render_fleet_report(records: Sequence[TelemetryRecord],
                f"{summary['metadata_only']}, degraded: "
                f"{summary['degraded_queries']}, retried: "
                f"{summary['retried_queries']}")
+    if summary["data_cache_hits"] or summary["data_cache_misses"]:
+        report.add(f"  data cache: {summary['data_cache_hits']} hits "
+                   f"/ {summary['data_cache_misses']} misses "
+                   f"({summary['data_cache_hit_ratio']:.1%}), "
+                   f"{summary['data_cache_bytes_saved']} bytes saved")
     report.add(f"  rows scanned: {summary['rows_scanned']}, "
                f"returned: {summary['rows_returned']}, bytes "
                f"scanned: {summary['bytes_scanned']}")
@@ -192,6 +223,17 @@ def render_fleet_report(records: Sequence[TelemetryRecord],
         label = (f"{technique} pruning ratio "
                  f"({eligible.get(technique, 0)} eligible queries)")
         report.add(render_cdf(points, label=label))
+        report.add()
+
+    cache_cdf = data_cache_hit_ratio_cdf(records)
+    if cache_cdf:
+        queries = sum(
+            1 for r in _executed(records)
+            if r.data_cache_hits + r.data_cache_misses > 0)
+        report.add(render_cdf(
+            cache_cdf,
+            label=f"data-cache hit ratio ({queries} queries "
+                  f"with cache traffic)"))
         report.add()
 
     percentiles = latency_percentiles(records)

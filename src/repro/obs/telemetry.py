@@ -61,6 +61,12 @@ class TelemetryRecord:
     bytes_scanned: int = 0
     result_cache_hit: bool = False
     predicate_cache_hit: bool = False
+    #: warehouse-local data cache traffic (paper §2): partitions this
+    #: query served locally vs fetched from object storage, and the
+    #: bytes the hits kept off the wire.
+    data_cache_hits: int = 0
+    data_cache_misses: int = 0
+    data_cache_bytes_saved: int = 0
     metadata_only: bool = False
     degraded: bool = False
     degraded_partitions: int = 0
@@ -75,6 +81,12 @@ class TelemetryRecord:
     queue_wait_ms: float = 0.0
     cluster: str = ""
     scan_parallelism: int = 1
+
+    @property
+    def data_cache_hit_ratio(self) -> float:
+        """Hits over data-cache lookups (0 when the cache saw none)."""
+        lookups = self.data_cache_hits + self.data_cache_misses
+        return self.data_cache_hits / lookups if lookups else 0.0
 
     @property
     def pruning_ratio(self) -> float:
@@ -126,6 +138,9 @@ class TelemetryRecord:
             bytes_scanned=sum(s.bytes_scanned for s in profile.scans),
             predicate_cache_hit=any(s.cache_hit
                                     for s in profile.scans),
+            data_cache_hits=profile.data_cache_hits,
+            data_cache_misses=profile.data_cache_misses,
+            data_cache_bytes_saved=profile.data_cache_bytes_saved,
             metadata_only=bool(profile.scans) and all(
                 s.metadata_only for s in profile.scans),
             degraded=profile.degraded,
@@ -158,6 +173,11 @@ class TelemetryRecord:
             "bytes_scanned": self.bytes_scanned,
             "result_cache_hit": self.result_cache_hit,
             "predicate_cache_hit": self.predicate_cache_hit,
+            "data_cache_hits": self.data_cache_hits,
+            "data_cache_misses": self.data_cache_misses,
+            "data_cache_bytes_saved": self.data_cache_bytes_saved,
+            "data_cache_hit_ratio": round(
+                self.data_cache_hit_ratio, 6),
             "metadata_only": self.metadata_only,
             "degraded": self.degraded,
             "degraded_partitions": self.degraded_partitions,
@@ -272,6 +292,12 @@ class TelemetrySink:
                 1 for r in records if r.result_cache_hit),
             "predicate_cache_hits": sum(
                 1 for r in records if r.predicate_cache_hit),
+            "data_cache_hits": sum(r.data_cache_hits
+                                   for r in records),
+            "data_cache_misses": sum(r.data_cache_misses
+                                     for r in records),
+            "data_cache_bytes_saved": sum(r.data_cache_bytes_saved
+                                          for r in records),
             "degraded_queries": sum(1 for r in records if r.degraded),
             "retried_queries": sum(1 for r in records if r.retries),
             "partitions_total": population,

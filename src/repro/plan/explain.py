@@ -123,6 +123,14 @@ def _describe_scan(scan: Scan) -> str:
         annotations.append(f"bytes scanned: {profile.bytes_scanned}")
     if profile.cache_hit:
         annotations.append("predicate cache hit")
+    if profile.cache_hits or profile.cache_misses:
+        annotations.append(
+            f"data cache: {profile.cache_hits} hits / "
+            f"{profile.cache_misses} misses "
+            f"(saved {profile.cache_bytes_saved} bytes)")
+    if profile.prefetched_partitions:
+        annotations.append(
+            f"prefetched: {profile.prefetched_partitions}")
     if profile.degraded:
         annotations.append(
             f"DEGRADED: {profile.degraded_partitions} partition(s) "

@@ -60,13 +60,12 @@ class LimitPruner:
                           if pid in scan_set]
         before = len(scan_set)
 
-        if before <= 1:
-            return LimitPruneReport(
-                LimitPruneOutcome.ALREADY_MINIMAL,
-                self._no_change(scan_set))
-
-        if self.k == 0:
+        if self.k == 0 and before:
             # LIMIT 0 needs no data at all (BI tools probing schemas).
+            # This must precede the already-minimal fast path: a
+            # single-partition scan set is NOT minimal for LIMIT 0 —
+            # the empty set is — and short-circuiting on size would
+            # load one partition that provably contributes nothing.
             return LimitPruneReport(
                 LimitPruneOutcome.PRUNED_TO_ONE,
                 PruningResult(
@@ -75,6 +74,11 @@ class LimitPruner:
                     kept=ScanSet(),
                     pruned_ids=scan_set.partition_ids,
                 ))
+
+        if before <= 1:
+            return LimitPruneReport(
+                LimitPruneOutcome.ALREADY_MINIMAL,
+                self._no_change(scan_set))
 
         if not fully_matching:
             return LimitPruneReport(

@@ -104,6 +104,8 @@ class MetricsRegistry:
       ``queries_failed`` / ``queries_cancelled`` /
       ``queries_rejected`` / ``queries_timed_out`` / ``dml_statements``
     - counters ``result_cache_hits`` / ``result_cache_misses``
+    - counters ``data_cache_hits`` / ``data_cache_misses`` /
+      ``data_cache_bytes_saved`` (warehouse-local partition cache)
     - counters ``partitions_total`` / ``partitions_loaded`` /
       ``partitions_pruned`` / ``rows_scanned`` / ``bytes_scanned``
       (from profiles)
@@ -147,7 +149,9 @@ class MetricsRegistry:
                     "bytes_scanned",
                     "retries", "retry_backoff_ms",
                     "injected_latency_ms", "partitions_degraded",
-                    "pruning_time_ms", "scans_vectorized"):
+                    "pruning_time_ms", "scans_vectorized",
+                    "data_cache_hits", "data_cache_misses",
+                    "data_cache_bytes_saved"):
             self.counter(key).inc(export[key])
         self.histogram("scan_parallelism").observe(
             export["scan_parallelism"])
@@ -164,6 +168,13 @@ class MetricsRegistry:
         """result_cache_hits / (hits + misses); 0.0 before traffic."""
         hits = self.counter("result_cache_hits").value
         misses = self.counter("result_cache_misses").value
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
+
+    def data_cache_hit_ratio(self) -> float:
+        """data_cache_hits / (hits + misses); 0.0 before traffic."""
+        hits = self.counter("data_cache_hits").value
+        misses = self.counter("data_cache_misses").value
         lookups = hits + misses
         return hits / lookups if lookups else 0.0
 
@@ -191,6 +202,7 @@ class MetricsRegistry:
             out[f"{histogram.name}.p95"] = histogram.percentile(95)
             out[f"{histogram.name}.p99"] = histogram.percentile(99)
         out["result_cache.hit_ratio"] = self.cache_hit_ratio()
+        out["data_cache.hit_ratio"] = self.data_cache_hit_ratio()
         out["pruning.ratio"] = self.pruning_ratio()
         return out
 

@@ -24,8 +24,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .admission import AdmissionController, AdmissionRejected, CancelToken
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cache.partition_cache import PartitionCache
 
 __all__ = ["ScalingEvent", "WarehouseCluster", "WarehousePool"]
 
@@ -40,13 +44,18 @@ class ScalingEvent:
 
 
 class WarehouseCluster:
-    """One cluster: a named admission controller."""
+    """One cluster: a named admission controller plus its local data
+    cache (each cluster has its own SSD cache in the paper's
+    architecture; a retiring cluster's cache disappears with it)."""
 
-    def __init__(self, name: str, slots: int, max_queue: int):
+    def __init__(self, name: str, slots: int, max_queue: int,
+                 cache: "Optional[PartitionCache]" = None):
         self.name = name
         self.admission = AdmissionController(slots=slots,
                                              max_queue=max_queue)
         self.queries_served = 0
+        #: warehouse-local partition cache; None when caching is off.
+        self.cache = cache
 
     @property
     def load(self) -> int:
@@ -66,7 +75,10 @@ class WarehousePool:
                  max_queue_per_cluster: int = 32,
                  min_clusters: int = 1, max_clusters: int = 4,
                  scale_out_queue_depth: int = 2,
-                 scale_in_idle_checks: int = 8):
+                 scale_in_idle_checks: int = 8,
+                 cache_factory:
+                 "Optional[Callable[[str], PartitionCache]]" = None,
+                 warm_new_caches: bool = True):
         if not 1 <= min_clusters <= max_clusters:
             raise ValueError(
                 "need 1 <= min_clusters <= max_clusters")
@@ -76,6 +88,14 @@ class WarehousePool:
         self.max_clusters = max_clusters
         self.scale_out_queue_depth = scale_out_queue_depth
         self.scale_in_idle_checks = scale_in_idle_checks
+        #: builds each cluster's local :class:`PartitionCache` from its
+        #: name (None = data caching off). The factory is responsible
+        #: for attaching the cache to the metadata store.
+        self.cache_factory = cache_factory
+        #: copy the hottest entries of an existing cluster's cache into
+        #: a scaled-out cluster's fresh cache, so a new cluster does
+        #: not start fully cold.
+        self.warm_new_caches = warm_new_caches
         self._lock = threading.Lock()
         self._counter = 0
         self._clusters: list[WarehouseCluster] = [
@@ -86,8 +106,10 @@ class WarehousePool:
     def _new_cluster(self) -> WarehouseCluster:
         name = f"cluster-{self._counter}"
         self._counter += 1
+        cache = (self.cache_factory(name)
+                 if self.cache_factory is not None else None)
         return WarehouseCluster(name, self.slots_per_cluster,
-                                self.max_queue_per_cluster)
+                                self.max_queue_per_cluster, cache=cache)
 
     # ------------------------------------------------------------------
     @property
@@ -132,6 +154,16 @@ class WarehousePool:
                     and self.total_queued
                     >= self.scale_out_queue_depth):
                 cluster = self._new_cluster()
+                if (cluster.cache is not None
+                        and self.warm_new_caches):
+                    # Seed the fresh cluster's cache with the busiest
+                    # sibling's hot set so it does not scan fully cold.
+                    donor = max(
+                        (c for c in self._clusters
+                         if c.cache is not None),
+                        key=lambda c: c.queries_served, default=None)
+                    if donor is not None:
+                        cluster.cache.warm_from(donor.cache)
                 self._clusters.append(cluster)
                 self.events.append(ScalingEvent(
                     "scale_out", len(self._clusters),
@@ -164,6 +196,10 @@ class WarehousePool:
                     and len(self._clusters) > self.min_clusters):
                 retired = self._clusters.pop()
                 self._idle_streak = 0
+                if retired.cache is not None:
+                    # The cluster's local storage goes away with it:
+                    # detach from metadata events and drop all entries.
+                    retired.cache.close()
                 self.events.append(ScalingEvent(
                     "scale_in", len(self._clusters),
                     f"idle for {self.scale_in_idle_checks} "

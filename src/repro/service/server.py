@@ -104,7 +104,9 @@ class QueryService:
                  query_retry_policy: RetryPolicy | None = None,
                  metrics: MetricsRegistry | None = None,
                  scan_parallelism: int | None = None,
-                 telemetry_capacity: int = 4096):
+                 telemetry_capacity: int = 4096,
+                 data_cache_bytes: int | None = None,
+                 warm_new_caches: bool = True):
         self.catalog = catalog
         #: fleet telemetry: the catalog writes one record per executed
         #: statement; the service annotates it with queue wait, wall
@@ -121,12 +123,28 @@ class QueryService:
         #: escaped the storage/metadata retry layers. SELECT-only:
         #: DML is not idempotent, so it never re-runs.
         self.query_retry_policy = query_retry_policy
+        #: per-cluster warehouse-local data caches (paper §2): each
+        #: cluster caches the partitions it scans on its own local
+        #: storage, retired clusters drop theirs, scaled-out clusters
+        #: are optionally warmed from the busiest sibling. ``None``
+        #: turns data caching off (the default keeps existing
+        #: deployments byte-identical).
+        cache_factory = None
+        if data_cache_bytes is not None:
+            from ..cache.partition_cache import PartitionCache
+
+            def cache_factory(name: str) -> PartitionCache:
+                return PartitionCache(
+                    data_cache_bytes,
+                    name=f"{name}-data-cache").attach(catalog.metadata)
         self.pool = WarehousePool(
             slots_per_cluster=slots_per_cluster,
             max_queue_per_cluster=max_queue_per_cluster,
             min_clusters=min_clusters, max_clusters=max_clusters,
             scale_out_queue_depth=scale_out_queue_depth,
-            scale_in_idle_checks=scale_in_idle_checks)
+            scale_in_idle_checks=scale_in_idle_checks,
+            cache_factory=cache_factory,
+            warm_new_caches=warm_new_caches)
         self.result_cache = ResultCache(result_cache_entries) \
             if enable_result_cache else None
         self.metrics = metrics or MetricsRegistry()
@@ -248,6 +266,24 @@ class QueryService:
                      "queries_retried", "queries_degraded",
                      "queries_timed_out"):
             snap[name] = self.metrics.counter(name).value
+        caches = [c for c in self.pool.clusters
+                  if c.cache is not None]
+        if caches:
+            per_cluster = {c.name: c.cache.stats().to_dict()
+                           for c in caches}
+            hits = sum(s["hits"] for s in per_cluster.values())
+            misses = sum(s["misses"] for s in per_cluster.values())
+            snap["data_cache"] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": (hits / (hits + misses)
+                              if hits + misses else 0.0),
+                "bytes_saved": sum(s["bytes_saved"]
+                                   for s in per_cluster.values()),
+                "resident_bytes": sum(s["resident_bytes"]
+                                      for s in per_cluster.values()),
+                "clusters": per_cluster,
+            }
         snap["telemetry"] = self.telemetry.summary()
         breaker = self.catalog.metadata.breaker
         if breaker is not None:
@@ -396,7 +432,8 @@ class QueryService:
             started = time.perf_counter()
             if select:
                 with self._table_lock.read():
-                    result = self.catalog.sql(handle.sql)
+                    result = self.catalog.sql(handle.sql,
+                                              cache=cluster.cache)
                     if self.result_cache is not None:
                         # Versions cannot move while we hold the read
                         # lock, so this snapshot matches the data the
@@ -406,7 +443,8 @@ class QueryService:
                             self.catalog.table_versions(tables))
             else:
                 with self._table_lock.write():
-                    result = self.catalog.sql(handle.sql)
+                    result = self.catalog.sql(handle.sql,
+                                              cache=cluster.cache)
         finally:
             self.pool.release(cluster)
         if select:

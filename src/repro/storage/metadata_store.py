@@ -54,6 +54,12 @@ class MetadataStore:
         # the table (see pruning/stats_index.py).
         self._stats_indexes: dict[str, "StatsIndex"] = {}
         self._stats_dirty: dict[str, dict[int, ZoneMap | None]] = {}
+        # Invalidation listeners: called as fn(table, partition_id)
+        # after a partition's metadata is removed (unregister /
+        # drop_table). Warehouse-local data caches subscribe here so
+        # DML/recluster rewrites evict stale entries automatically.
+        # Listeners run *outside* the lock to keep lock ordering simple.
+        self._invalidation_listeners: list[Callable[[str, int], None]] = []
         #: optional :class:`~repro.faults.FaultInjector` consulted on
         #: every read (simulated metadata-service faults).
         self.fault_injector = fault_injector
@@ -105,6 +111,9 @@ class MetadataStore:
             if table in self._stats_indexes:
                 self._stats_dirty.setdefault(table, {})[partition_id] = None
             self.version += 1
+            listeners = list(self._invalidation_listeners)
+        for listener in listeners:
+            listener(table, partition_id)
 
     def register_table(self, table: str,
                        zone_maps: Iterable[tuple[int, ZoneMap]]) -> None:
@@ -114,11 +123,33 @@ class MetadataStore:
     def drop_table(self, table: str) -> None:
         table = table.lower()
         with self._lock:
-            for partition_id in self._table_partitions.pop(table, {}):
+            removed = list(self._table_partitions.pop(table, {}))
+            for partition_id in removed:
                 del self._entries[(table, partition_id)]
             self._stats_indexes.pop(table, None)
             self._stats_dirty.pop(table, None)
             self.version += 1
+            listeners = list(self._invalidation_listeners)
+        for listener in listeners:
+            for partition_id in removed:
+                listener(table, partition_id)
+
+    # ------------------------------------------------------------------
+    # Invalidation listeners
+    # ------------------------------------------------------------------
+    def add_invalidation_listener(
+            self, listener: Callable[[str, int], None]) -> None:
+        """Subscribe ``fn(table, partition_id)`` to metadata removals."""
+        with self._lock:
+            self._invalidation_listeners.append(listener)
+
+    def remove_invalidation_listener(
+            self, listener: Callable[[str, int], None]) -> None:
+        with self._lock:
+            try:
+                self._invalidation_listeners.remove(listener)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # Resilience plumbing

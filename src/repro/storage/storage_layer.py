@@ -49,10 +49,20 @@ class CostModel:
     #: the whole table in one vectorized pass (~10x cheaper; §7 treats
     #: pruning time itself as a first-class cost).
     vectorized_prune_check_ms: float = 0.0002
+    #: fixed cost of serving a partition from the warehouse-local data
+    #: cache (§2): local SSD/memory, no object-store round trip.
+    cached_hit_cost_ms: float = 0.5
+    #: bandwidth term for cached reads (~1 GB/s effective local
+    #: bandwidth vs ~100 MB/s to object storage).
+    cached_ms_per_mb: float = 1.0
 
     def load_cost(self, nbytes: int) -> float:
         """Cost of fetching ``nbytes`` from object storage."""
         return self.request_latency_ms + self.ms_per_mb * nbytes / 2**20
+
+    def cached_load_cost(self, nbytes: int) -> float:
+        """Cost of reading ``nbytes`` from the warehouse-local cache."""
+        return self.cached_hit_cost_ms + self.cached_ms_per_mb * nbytes / 2**20
 
     def scan_cost(self, rows: int) -> float:
         """CPU cost of scanning/filtering ``rows`` rows."""
@@ -80,6 +90,9 @@ class IOStats:
     retry_backoff_ms: float = 0.0
     corrupt_reads: int = 0
     injected_latency_ms: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_saved: int = 0
     loaded_partition_ids: list[int] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
@@ -91,6 +104,21 @@ class IOStats:
             self.bytes_read += nbytes
             self.partitions_loaded += 1
             self.loaded_partition_ids.append(partition_id)
+
+    def record_cache_hit(self, nbytes: int) -> None:
+        """Account one data-cache hit: ``nbytes`` never left storage."""
+        with self._lock:
+            self.cache_hits += 1
+            self.cache_bytes_saved += nbytes
+
+    def record_cache_miss(self) -> None:
+        with self._lock:
+            self.cache_misses += 1
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def add_metadata_lookups(self, lookups: int) -> None:
         with self._lock:
@@ -130,6 +158,9 @@ class IOStats:
             self.retry_backoff_ms = 0.0
             self.corrupt_reads = 0
             self.injected_latency_ms = 0.0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.cache_bytes_saved = 0
             self.loaded_partition_ids.clear()
 
     def snapshot(self) -> "IOStats":
@@ -145,28 +176,43 @@ class IOStats:
                 retry_backoff_ms=self.retry_backoff_ms,
                 corrupt_reads=self.corrupt_reads,
                 injected_latency_ms=self.injected_latency_ms,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                cache_bytes_saved=self.cache_bytes_saved,
                 loaded_partition_ids=list(self.loaded_partition_ids),
             )
 
     def diff(self, earlier: "IOStats") -> "IOStats":
-        """Counters accumulated since ``earlier`` was snapshotted."""
+        """Counters accumulated since ``earlier`` was snapshotted.
+
+        The minuend is taken as one locked :meth:`snapshot`, never as a
+        sequence of live field reads: with parallel morsel scans
+        mutating the counters concurrently, unlocked field-by-field
+        reads produce torn diffs (e.g. ``retries > failed_requests``,
+        or ``loaded_partition_ids`` longer than ``partitions_loaded``).
+        """
+        current = self.snapshot()
         return IOStats(
-            requests=self.requests - earlier.requests,
-            bytes_read=self.bytes_read - earlier.bytes_read,
-            partitions_loaded=self.partitions_loaded
+            requests=current.requests - earlier.requests,
+            bytes_read=current.bytes_read - earlier.bytes_read,
+            partitions_loaded=current.partitions_loaded
             - earlier.partitions_loaded,
-            metadata_lookups=self.metadata_lookups
+            metadata_lookups=current.metadata_lookups
             - earlier.metadata_lookups,
-            rows_scanned=self.rows_scanned - earlier.rows_scanned,
-            failed_requests=self.failed_requests
+            rows_scanned=current.rows_scanned - earlier.rows_scanned,
+            failed_requests=current.failed_requests
             - earlier.failed_requests,
-            retries=self.retries - earlier.retries,
-            retry_backoff_ms=self.retry_backoff_ms
+            retries=current.retries - earlier.retries,
+            retry_backoff_ms=current.retry_backoff_ms
             - earlier.retry_backoff_ms,
-            corrupt_reads=self.corrupt_reads - earlier.corrupt_reads,
-            injected_latency_ms=self.injected_latency_ms
+            corrupt_reads=current.corrupt_reads - earlier.corrupt_reads,
+            injected_latency_ms=current.injected_latency_ms
             - earlier.injected_latency_ms,
-            loaded_partition_ids=self.loaded_partition_ids[
+            cache_hits=current.cache_hits - earlier.cache_hits,
+            cache_misses=current.cache_misses - earlier.cache_misses,
+            cache_bytes_saved=current.cache_bytes_saved
+            - earlier.cache_bytes_saved,
+            loaded_partition_ids=current.loaded_partition_ids[
                 len(earlier.loaded_partition_ids):],
         )
 
@@ -186,6 +232,10 @@ class StorageLayer:
                  retry_policy: "RetryPolicy | None" = None,
                  verify_checksums: bool | None = None):
         self._partitions: dict[int, MicroPartition] = {}
+        # Guards _partitions: DML put/delete runs concurrently with
+        # parallel scan workers loading (CPython dict ops are atomic,
+        # but the put-collision check-then-set below is not).
+        self._map_lock = threading.Lock()
         self.cost_model = cost_model or CostModel()
         self.stats = IOStats()
         #: optional :class:`~repro.faults.FaultInjector` consulted on
@@ -206,23 +256,41 @@ class StorageLayer:
         self.io_sleep_ms: float = 0.0
 
     def put(self, partition: MicroPartition) -> int:
-        """Store a partition; returns its id."""
-        self._partitions[partition.partition_id] = partition
+        """Store a partition; returns its id.
+
+        Micro-partitions are immutable and ids are never reused (DML
+        rewrites mint fresh ids), so an id collision is always a bug —
+        and silently overwriting would let caches serve stale bytes.
+
+        Raises:
+            StorageError: a different partition already holds this id.
+        """
+        with self._map_lock:
+            existing = self._partitions.get(partition.partition_id)
+            if existing is not None and existing is not partition:
+                raise StorageError(
+                    f"partition id {partition.partition_id} already "
+                    f"exists; micro-partition ids are immutable and "
+                    f"never reused")
+            self._partitions[partition.partition_id] = partition
         return partition.partition_id
 
     def put_all(self, partitions: Iterable[MicroPartition]) -> list[int]:
         return [self.put(p) for p in partitions]
 
     def delete(self, partition_id: int) -> None:
-        if partition_id not in self._partitions:
-            raise StorageError(f"no partition with id {partition_id}")
-        del self._partitions[partition_id]
+        with self._map_lock:
+            if partition_id not in self._partitions:
+                raise StorageError(f"no partition with id {partition_id}")
+            del self._partitions[partition_id]
 
     def __contains__(self, partition_id: int) -> bool:
-        return partition_id in self._partitions
+        with self._map_lock:
+            return partition_id in self._partitions
 
     def __len__(self) -> int:
-        return len(self._partitions)
+        with self._map_lock:
+            return len(self._partitions)
 
     def _verification_enabled(self) -> bool:
         if self.verify_checksums is not None:
@@ -235,12 +303,12 @@ class StorageLayer:
         decision = None
         if self.fault_injector is not None:
             decision = self.fault_injector.storage_check(partition_id)
-        try:
-            partition = self._partitions[partition_id]
-        except KeyError:
+        with self._map_lock:
+            partition = self._partitions.get(partition_id)
+        if partition is None:
             raise PartitionUnavailableError(
                 f"no partition with id {partition_id}",
-                partition_id=partition_id) from None
+                partition_id=partition_id)
         if decision is not None and decision.latency_ms:
             self.stats.record_injected_latency(decision.latency_ms)
             latency_sink[0] += decision.latency_ms
@@ -260,7 +328,8 @@ class StorageLayer:
 
     def load(self, partition_id: int,
              columns: Sequence[str] | None = None,
-             retry_stats: "RetryStats | None" = None) -> MicroPartition:
+             retry_stats: "RetryStats | None" = None,
+             retries: bool = True) -> MicroPartition:
         """Fetch a partition, charging one request plus bytes read.
 
         ``columns`` restricts accounting to the named columns (PAX layout
@@ -272,7 +341,9 @@ class StorageLayer:
         transient faults and corrupt reads with capped, jittered
         backoff (simulated time). ``retry_stats`` additionally
         receives per-query attribution of retries, backoff, and
-        injected latency.
+        injected latency. ``retries=False`` makes the load
+        single-attempt regardless of the policy (background prefetch
+        uses this so readahead never burns a query's retry budget).
 
         Raises:
             PartitionUnavailableError: the partition does not exist or
@@ -290,7 +361,7 @@ class StorageLayer:
                 retry_stats.record_retry(exc, delay_ms)
 
         try:
-            if self.retry_policy is not None:
+            if self.retry_policy is not None and retries:
                 partition = self.retry_policy.run(
                     lambda: self._load_attempt(partition_id, latency_sink),
                     on_retry=on_retry)
@@ -310,11 +381,11 @@ class StorageLayer:
 
     def peek(self, partition_id: int) -> MicroPartition:
         """Access a partition without accounting (testing/admin only)."""
-        try:
-            return self._partitions[partition_id]
-        except KeyError:
-            raise StorageError(
-                f"no partition with id {partition_id}") from None
+        with self._map_lock:
+            partition = self._partitions.get(partition_id)
+        if partition is None:
+            raise StorageError(f"no partition with id {partition_id}")
+        return partition
 
     def load_cost_ms(self, partition_id: int,
                      columns: Sequence[str] | None = None) -> float:

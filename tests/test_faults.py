@@ -346,10 +346,14 @@ class TestStorageResilience:
         assert catalog.storage.stats.failed_requests > 0
 
     def test_retry_penalty_charged_to_simulated_clock(self):
+        # Fault decisions hash absolute partition ids, which depend on
+        # how many partitions earlier tests allocated; 50 partitions
+        # at a 30% timeout rate make "at least one retry" certain for
+        # any id range (P(none) ~ 0.7^50).
         sql = "SELECT count(*) FROM events WHERE value >= 0"
-        baseline = make_catalog(500)
+        baseline = make_catalog(5000)
         base_ms = baseline.sql(sql).profile.total_ms
-        catalog = make_catalog(500)
+        catalog = make_catalog(5000)
         catalog.enable_fault_injection(
             FaultInjector(seed=5, storage=FaultSpec(
                 timeout_rate=0.3)),

@@ -201,6 +201,18 @@ class TestLimitPruner:
         report = LimitPruner(0).prune(scan_set, [])
         assert report.result.after == 0
 
+    def test_limit_zero_on_single_partition(self):
+        """Regression: the already-minimal fast path used to win over
+        the k=0 check, so a one-partition scan set kept its partition
+        (and loaded it) for LIMIT 0."""
+        scan_set = make_scan_set(n_rows=10, rows_per_partition=10)
+        assert len(scan_set) == 1
+        report = LimitPruner(0).prune(scan_set,
+                                      scan_set.partition_ids)
+        assert report.outcome == LimitPruneOutcome.PRUNED_TO_ONE
+        assert report.result.after == 0
+        assert report.result.pruned == 1
+
     def test_negative_k_rejected(self):
         with pytest.raises(ValueError):
             LimitPruner(-1)

@@ -1,6 +1,8 @@
 """Tests for zone maps, micro-partitions, tables, builders, layouts,
 the storage layer, and the metadata store."""
 
+import threading
+
 import pytest
 
 from repro.errors import MetadataError, SchemaError, StorageError
@@ -266,10 +268,62 @@ class TestStorageLayer:
         delta = storage.stats.diff(before)
         assert delta.partitions_loaded == 1
 
+    def test_stats_diff_is_atomic_under_writers(self, small_table):
+        """Regression: diff() used to read the live counters field by
+        field without the lock, so a concurrent load could tear the
+        view (e.g. requests counted but bytes_read not yet). With every
+        load adding exactly one request and one partition's bytes, a
+        consistent diff always shows bytes_read == requests * nbytes."""
+        storage = StorageLayer()
+        storage.put_all(small_table.partitions)
+        pid = small_table.partition_ids[0]
+        nbytes = storage.peek(pid).nbytes()
+        before = storage.stats.snapshot()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                storage.load(pid)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        torn = []
+        try:
+            for _ in range(300):
+                delta = storage.stats.diff(before)
+                if delta.bytes_read != delta.requests * nbytes:
+                    torn.append((delta.requests, delta.bytes_read))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not torn
+
+    def test_put_rejects_live_id_collision(self, small_table):
+        """Regression: partition ids are immutable and never reused;
+        silently replacing a live id would serve stale cached bytes."""
+        storage = StorageLayer()
+        original = small_table.partitions[0]
+        storage.put(original)
+        impostor = small_table.partitions[1]
+        impostor.partition_id = original.partition_id
+        with pytest.raises(StorageError):
+            storage.put(impostor)
+        assert storage.peek(original.partition_id) is original
+
+    def test_put_same_object_again_is_noop(self, small_table):
+        storage = StorageLayer()
+        partition = small_table.partitions[0]
+        storage.put(partition)
+        assert storage.put(partition) == partition.partition_id
+        assert len(storage) == 1
+
     def test_cost_model_monotone_in_bytes(self):
         model = CostModel()
         assert model.load_cost(10 * 2**20) > model.load_cost(2**20)
         assert model.scan_cost(10_000) > model.scan_cost(100)
+        assert model.cached_load_cost(2**20) < model.load_cost(2**20)
 
 
 class TestMetadataStore:
