@@ -1,0 +1,348 @@
+#!/usr/bin/env python
+"""PR benchmark report: plan-shape compiled-plan cache (repro.plancache).
+
+Measures the "compile once, serve millions" claim on a repetitive
+fleet workload and writes the results to ``BENCH_PR6.json`` (for CI
+artifact upload and regression tracking):
+
+1. **Compile-time reduction** — a >= 500-query stream drawn from a
+   small pool of plan shapes (the Figure-12 regime: most traffic
+   repeats a few shapes with fresh literals) over a *wide* table,
+   where parse+bind dominates cold compile cost. Gates: >= 5x
+   reduction in aggregate simulated compile time with the plan cache
+   on vs off, and a lower fleet-report p99 compile latency.
+2. **Differential safety** — the identical stream, interleaved with
+   DML, reclustering, and a drop/recreate schema change, must return
+   bit-identical rows with the cache on and off (gate: zero
+   divergence), and the schema change must be caught by the
+   fail-closed fingerprint check (gate: stale eviction observed,
+   zero rebind fallbacks).
+3. **Wiring visibility** — hit ratio in the fleet report, the
+   compile-latency CDF, EXPLAIN's cache footer, and telemetry flags.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_plancache_report.py
+        [--quick] [--output BENCH_PR6.json]
+
+``--quick`` shrinks the stream for CI smoke runs (every gate still
+applies; the stream keeps >= 500 queries — the workload is cheap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.catalog import Catalog  # noqa: E402
+from repro.obs.fleet import (  # noqa: E402
+    latency_percentiles,
+    render_fleet_report,
+)
+from repro.storage.clustering import Layout  # noqa: E402
+from repro.types import DataType, Schema  # noqa: E402
+
+#: a BI-style wide fact table: a handful of predicate columns plus
+#: dozens of payload columns that make full-width binding expensive
+#: (and that compile-time schema pruning never has to look at).
+N_PAYLOAD_COLUMNS = 44
+
+WIDE_SCHEMA = Schema.of(
+    ts=DataType.INTEGER,
+    category=DataType.VARCHAR,
+    value=DataType.DOUBLE,
+    score=DataType.INTEGER,
+    **{f"pay{i:02d}": DataType.INTEGER
+       for i in range(N_PAYLOAD_COLUMNS)},
+)
+
+CATEGORIES = ("alpha", "beta", "gamma", "delta")
+
+#: the shape pool: every template is one plan shape; each draw fills
+#: in fresh literals, so with the plan cache on the first draw per
+#: shape compiles and every later draw only rebinds.
+TEMPLATES = (
+    "SELECT ts, value FROM wide WHERE ts BETWEEN {lo} AND {hi}",
+    "SELECT ts, score FROM wide WHERE ts >= {lo} AND score >= {s} "
+    "ORDER BY score DESC LIMIT 11",
+    "SELECT count(*) AS c FROM wide WHERE ts < {hi}",
+    "SELECT category, count(*) AS c FROM wide WHERE ts < {hi} "
+    "GROUP BY category ORDER BY category",
+    "SELECT ts, value FROM wide WHERE category = '{cat}' "
+    "AND value >= {v} ORDER BY ts LIMIT 23",
+    "SELECT max(value) AS m FROM wide WHERE ts BETWEEN {lo} AND {hi} "
+    "AND category IN ('alpha', 'beta')",
+    "SELECT ts FROM wide WHERE value <= {v} AND score < {s} "
+    "ORDER BY ts DESC LIMIT 7",
+    "SELECT min(ts) AS lo, max(ts) AS hi FROM wide WHERE value > {v}",
+    "SELECT ts, category FROM wide WHERE score BETWEEN {s} "
+    "AND {s2} LIMIT 31",
+    "SELECT count(*) AS c FROM wide WHERE category = '{cat}' "
+    "AND ts >= {lo}",
+)
+
+
+def make_catalog(n_rows: int, rows_per_partition: int,
+                 plan_cache: bool) -> Catalog:
+    rng = random.Random(7)
+    rows = [
+        (i, rng.choice(CATEGORIES), round(rng.uniform(0, 1000), 3),
+         rng.randrange(1_000_000),
+         *(i * 31 + c for c in range(N_PAYLOAD_COLUMNS)))
+        for i in range(n_rows)
+    ]
+    catalog = Catalog(rows_per_partition=rows_per_partition)
+    catalog.create_table_from_rows("wide", WIDE_SCHEMA, rows,
+                                   layout=Layout.sorted_by("ts"))
+    if plan_cache:
+        catalog.enable_plan_cache()
+    catalog.enable_telemetry(capacity=16384)
+    return catalog
+
+
+def make_stream(n_queries: int, n_rows: int,
+                seed: int = 3) -> list[str]:
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(n_queries):
+        template = rng.choice(TEMPLATES)
+        lo = rng.randrange(n_rows)
+        s = rng.randrange(900_000)
+        stream.append(template.format(
+            lo=lo, hi=lo + rng.randrange(n_rows // 4),
+            s=s, s2=s + rng.randrange(100_000),
+            v=round(rng.uniform(0, 1000), 2),
+            cat=rng.choice(CATEGORIES)))
+    return stream
+
+
+# ----------------------------------------------------------------------
+# 1. Aggregate compile time + p99, cache on vs off
+# ----------------------------------------------------------------------
+def bench_compile_reduction(stream: list[str], n_rows: int,
+                            rows_per_partition: int) -> dict:
+    def run(plan_cache: bool) -> dict:
+        catalog = make_catalog(n_rows, rows_per_partition, plan_cache)
+        started = time.perf_counter()
+        compile_ms = 0.0
+        for sql in stream:
+            compile_ms += catalog.sql(sql).profile.compile_ms
+        wall_s = time.perf_counter() - started
+        percentiles = latency_percentiles(
+            catalog.telemetry.records()).get("compile_ms", {})
+        out = {
+            "aggregate_compile_ms": round(compile_ms, 3),
+            "compile_p50_ms": percentiles.get("p50", 0.0),
+            "compile_p99_ms": percentiles.get("p99", 0.0),
+            "wall_s": round(wall_s, 4),
+        }
+        if plan_cache:
+            out["plan_cache"] = catalog.plan_cache.stats.to_dict()
+            out["fleet_report"] = render_fleet_report(
+                catalog.telemetry.records(),
+                title="Plan-cache fleet window")
+        return out
+
+    off = run(plan_cache=False)
+    on = run(plan_cache=True)
+    reduction = off["aggregate_compile_ms"] / max(
+        on["aggregate_compile_ms"], 1e-9)
+    return {
+        "queries": len(stream),
+        "shapes": len(TEMPLATES),
+        "table_width": len(WIDE_SCHEMA.fields),
+        "off": {k: v for k, v in off.items() if k != "fleet_report"},
+        "on": {k: v for k, v in on.items() if k != "fleet_report"},
+        "aggregate_compile_reduction_x": round(reduction, 1),
+        "p99_compile_drop_ms": round(
+            off["compile_p99_ms"] - on["compile_p99_ms"], 4),
+        "fleet_report": on["fleet_report"],
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Differential under DML / recluster / schema change
+# ----------------------------------------------------------------------
+def bench_differential(stream: list[str], n_rows: int,
+                       rows_per_partition: int) -> dict:
+    def mutate(catalog: Catalog, step: int) -> None:
+        if step % 3 == 0:
+            catalog.sql(f"DELETE FROM wide WHERE ts BETWEEN "
+                        f"{step * 11} AND {step * 11 + 40}")
+        elif step % 3 == 1:
+            catalog.sql(f"UPDATE wide SET score = {step} "
+                        f"WHERE ts BETWEEN {step * 7} "
+                        f"AND {step * 7 + 25}")
+        else:
+            catalog.recluster("wide", "score")
+
+    def reshape(catalog: Catalog) -> None:
+        # Drop + recreate under the same name with one extra column:
+        # cached shapes must be detected as stale, never rebound
+        # against the old layout.
+        rows = [tuple(row) + (1,) for row in
+                catalog.sql("SELECT * FROM wide ORDER BY ts").rows]
+        catalog.drop_table("wide")
+        wider = Schema.of(
+            **{f.name: f.dtype for f in WIDE_SCHEMA.fields},
+            extra=DataType.INTEGER)
+        catalog.create_table_from_rows(
+            "wide", wider, rows, layout=Layout.sorted_by("ts"))
+
+    def run(plan_cache: bool) -> list:
+        catalog = make_catalog(n_rows, rows_per_partition, plan_cache)
+        outputs = []
+        for i, sql in enumerate(stream):
+            if i and i % 40 == 0:
+                mutate(catalog, i // 40)
+            if i == len(stream) // 2:
+                reshape(catalog)
+            outputs.append(sorted(catalog.sql(sql).rows))
+        if plan_cache:
+            run.stats = catalog.plan_cache.stats  # noqa: B010
+        return outputs
+
+    def probe_fail_closed() -> dict:
+        # The drop/recreate above is caught *eagerly* by the metadata
+        # listener, so the lookup-time fingerprint check (defense in
+        # depth) never fires in the script. Force drift past the
+        # listener by mutating a stored fingerprint directly and
+        # verify the lookup fails closed to a correct recompile.
+        from repro.plancache import parameterize_text
+        from repro.types import Field
+
+        catalog = make_catalog(400, rows_per_partition, True)
+        sql = "SELECT ts FROM wide WHERE ts < 50"
+        expected = catalog.sql(sql).rows
+        pq = parameterize_text(sql)
+        entry = catalog.plan_cache.peek(pq.shape_key)
+        entry.schemas["wide"] = Schema([Field("ts",
+                                              DataType.VARCHAR)])
+        result = catalog.sql(sql)
+        return {
+            "stale_schema_evictions":
+                catalog.plan_cache.stats.stale_schema_evictions,
+            "recompiled_correctly":
+                result.rows == expected
+                and not result.profile.plan_cache_hit,
+        }
+
+    plain = run(plan_cache=False)
+    cached = run(plan_cache=True)
+    stats = run.stats
+    return {
+        "queries_compared": len(stream),
+        "divergences": sum(1 for a, b in zip(cached, plain)
+                           if a != b),
+        "plan_cache_hits": stats.hits,
+        "version_bumps": stats.version_bumps,
+        "invalidations": stats.invalidations,
+        "rebind_fallbacks": stats.rebind_fallbacks,
+        "fail_closed_probe": probe_fail_closed(),
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. Wiring visibility
+# ----------------------------------------------------------------------
+def bench_visibility(n_rows: int, rows_per_partition: int,
+                     fleet_report: str) -> dict:
+    catalog = make_catalog(n_rows, rows_per_partition,
+                           plan_cache=True)
+    sql = "SELECT ts, value FROM wide WHERE ts < 100"
+    catalog.sql(sql)
+    hot = catalog.sql(sql.replace("100", "200"))
+    record = catalog.telemetry.records()[-1]
+    return {
+        "explain_has_cache_footer":
+            "plan cache: cached shape" in catalog.explain(sql),
+        "telemetry_plan_cache_hit": record.plan_cache_hit,
+        "profile_flags": [hot.profile.plan_cache_checked,
+                          hot.profile.plan_cache_hit],
+        "fleet_report_has_hit_ratio_line":
+            "plan cache:" in fleet_report,
+        "fleet_report_has_compile_cdf":
+            "compile latency ms" in fleet_report,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller table / stream (CI smoke)")
+    parser.add_argument("--output", default=str(
+        REPO_ROOT / "BENCH_PR6.json"))
+    args = parser.parse_args()
+
+    # Both modes keep ~10 partitions: compile-time pruning is
+    # data-dependent work that rebinding *must* re-run, so its cost
+    # scales with the partition count whether the plan cache is on or
+    # off. The cache's win is the parse+bind side; growing the table
+    # by rows (not partitions) keeps the comparison about that.
+    if args.quick:
+        n_rows, rows_per_partition, n_queries = 2000, 200, 500
+    else:
+        n_rows, rows_per_partition, n_queries = 8000, 800, 1000
+
+    stream = make_stream(n_queries, n_rows)
+    reduction = bench_compile_reduction(stream, n_rows,
+                                        rows_per_partition)
+    fleet_report = reduction.pop("fleet_report")
+    differential = bench_differential(stream[:200],
+                                      min(n_rows, 2000),
+                                      rows_per_partition)
+    visibility = bench_visibility(min(n_rows, 2000),
+                                  rows_per_partition, fleet_report)
+
+    gates = {
+        "stream_ge_500_queries": len(stream) >= 500,
+        "aggregate_compile_reduction_ge_5x":
+            reduction["aggregate_compile_reduction_x"] >= 5.0,
+        "p99_compile_latency_drops":
+            reduction["p99_compile_drop_ms"] > 0,
+        "zero_divergence": differential["divergences"] == 0,
+        "invalidation_observed":
+            differential["invalidations"] > 0
+            and differential["rebind_fallbacks"] == 0
+            and differential["fail_closed_probe"][
+                "stale_schema_evictions"] > 0
+            and differential["fail_closed_probe"][
+                "recompiled_correctly"],
+        "counters_visible": all((
+            visibility["explain_has_cache_footer"],
+            visibility["telemetry_plan_cache_hit"],
+            all(visibility["profile_flags"]),
+            visibility["fleet_report_has_hit_ratio_line"],
+            visibility["fleet_report_has_compile_cdf"])),
+    }
+
+    payload = {
+        "pr": 6,
+        "title": "Plan-shape compiled-plan cache (repro.plancache)",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "compile_reduction": reduction,
+        "differential": differential,
+        "visibility": visibility,
+        "gates": gates,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print("\n" + fleet_report)
+    failed = [name for name, ok in gates.items() if not ok]
+    if failed:
+        print(f"\nFAILED gates: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("\nAll gates passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

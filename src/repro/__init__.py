@@ -60,6 +60,12 @@ from .storage import (
 )
 from .storage.builder import build_table
 from .cache import CacheStats, PartitionCache, Prefetcher
+from .plancache import (
+    ParameterizedQuery,
+    PlanCache,
+    PlanCacheStats,
+    parameterize_text,
+)
 from .catalog import Catalog, QueryResult
 from .plan.compiler import CompilerOptions
 from .expr.ast import col, lit
@@ -73,7 +79,7 @@ from .obs import (
 )
 from .service import QueryService
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "DataType",
@@ -115,6 +121,10 @@ __all__ = [
     "CacheStats",
     "PartitionCache",
     "Prefetcher",
+    "ParameterizedQuery",
+    "PlanCache",
+    "PlanCacheStats",
+    "parameterize_text",
     "Catalog",
     "QueryResult",
     "QueryService",

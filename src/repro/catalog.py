@@ -113,6 +113,10 @@ class Catalog:
         #: fleet telemetry sink; off until :meth:`enable_telemetry`.
         self.telemetry: TelemetrySink | None = None
         self.predicate_cache: PredicateCache | None = None
+        #: compiled-plan template cache (Fig. 12, §7); off until
+        #: :meth:`enable_plan_cache`.
+        self.plan_cache = None
+        self._plan_cache_prune_schemas = True
         #: warehouse-local data cache; off until
         #: :meth:`enable_data_cache` (or a per-call override — the
         #: service layer passes each cluster's own cache into
@@ -270,6 +274,27 @@ class Catalog:
                 prefetch=prefetch).attach(self.metadata)
         return self.data_cache
 
+    def enable_plan_cache(self, max_entries: int = 256,
+                          schema_pruning: bool = True):
+        """Turn on the plan-shape compiled-plan cache (Fig. 12, §7).
+
+        Subsequent SELECTs are parameterized at the token level; the
+        first execution of each plan shape caches its logical-plan
+        template, and repeats skip parse/bind/plan entirely — only the
+        literals are rebound and the data-dependent pruning passes
+        re-run against the live metadata. ``schema_pruning`` restricts
+        template planning to the columns a statement references, so
+        wide-schema compile cost scales with columns touched.
+        Idempotent — an existing cache is kept.
+        """
+        if self.plan_cache is None:
+            from .plancache import PlanCache
+
+            self.plan_cache = PlanCache(max_entries=max_entries)
+            self.plan_cache.attach(self)
+            self._plan_cache_prune_schemas = schema_pruning
+        return self.plan_cache
+
     def enable_telemetry(self, capacity: int = 4096,
                          slow_query_ms: float = 100.0
                          ) -> TelemetrySink:
@@ -411,39 +436,166 @@ class Catalog:
 
     def sql(self, text: str,
             options: CompilerOptions | None = None,
-            cache: PartitionCache | None = None) -> QueryResult:
+            cache: PartitionCache | None = None,
+            parsed=None) -> QueryResult:
         """Parse, plan, and execute one SELECT, DELETE, or UPDATE.
 
         DML statements return a single-row result with the number of
         affected rows; their profile records the partition pruning the
         DML benefited from (§7's flow covers DML too). ``cache``
         overrides the catalog-wide data cache for this statement
-        (per-warehouse-cluster caches).
+        (per-warehouse-cluster caches). ``parsed`` lets callers that
+        already hold the parsed statement (the service layer's hot
+        path) skip the re-parse; it must be the parse of ``text``.
         """
         from .sql.parser import DeleteStmt, UpdateStmt, parse_statement
 
         started = time.perf_counter()
         tracer = self._new_tracer()
-        with _span(tracer, "parse"):
-            stmt = parse_statement(text)
-        if isinstance(stmt, (DeleteStmt, UpdateStmt)):
-            kind = "dml"
-            with _span(tracer, "dml", table=stmt.table):
-                result = self._execute_dml(stmt, cache=cache)
-            if tracer is not None:
-                result.profile.trace = tracer.finish()
-        else:
-            kind = "select"
-            with _span(tracer, "plan"):
-                plan = plan_select(stmt, self.schema_of)
-            result = self.execute_plan(plan, options, tracer=tracer,
-                                       cache=cache)
+        stmt = parsed
+        result = None
+        kind = "select"
+        if self.plan_cache is not None and not isinstance(
+                stmt, (DeleteStmt, UpdateStmt)):
+            result, stmt = self._sql_via_plan_cache(
+                text, options, cache, tracer, stmt)
+        if result is None:
+            if stmt is None:
+                with _span(tracer, "parse"):
+                    stmt = parse_statement(text)
+            if isinstance(stmt, (DeleteStmt, UpdateStmt)):
+                kind = "dml"
+                with _span(tracer, "dml", table=stmt.table):
+                    result = self._execute_dml(stmt, cache=cache)
+                if tracer is not None:
+                    result.profile.trace = tracer.finish()
+            else:
+                with _span(tracer, "plan"):
+                    plan = plan_select(stmt, self.schema_of)
+                result = self.execute_plan(
+                    plan, options, tracer=tracer, cache=cache,
+                    pre_compile_ms=self._cold_compile_cost(stmt))
         result.sql = text
         if self.telemetry is not None:
             wall_ms = (time.perf_counter() - started) * 1e3
             self.telemetry.record(TelemetryRecord.from_result(
                 result, wall_ms=wall_ms, kind=kind))
         return result
+
+    def _cold_compile_cost(self, stmt) -> float:
+        """Simulated parse+bind cost of one cold compile.
+
+        Binding considers every column of every referenced table's
+        schema — the full-width cost that compile-time schema pruning
+        (``repro.plancache.schema_prune``) avoids.
+        """
+        cost = self.storage.cost_model
+        tables = dict.fromkeys(
+            t.lower() for t in [stmt.table.name]
+            + [j.table.name for j in stmt.joins])
+        width = 0
+        for name in tables:
+            try:
+                width += len(self.schema_of(name))
+            except SchemaError:
+                pass  # unknown table: the planner raises the real error
+        return cost.parse_cost_ms + cost.bind_column_cost_ms * width
+
+    def _sql_via_plan_cache(self, text, options, cache, tracer, stmt):
+        """Serve one SELECT through the plan cache if possible.
+
+        Returns ``(result, stmt)``: ``result`` is ``None`` when the
+        statement must take the cold path, and ``stmt`` carries any
+        parse work already done here so the cold path never re-parses.
+        Every failure mode on the cached path — bind mismatch, stale
+        schema, template extraction failure — falls closed to the cold
+        compile, which surfaces errors with the original literals.
+        """
+        from .plancache import (
+            CachedPlan,
+            StalePlanError,
+            bind_plan,
+            binds_match,
+            build_template,
+            make_pruned_resolver,
+            parameterize_text,
+            validate_binds,
+        )
+        from .sql.parser import SelectStmt, parse_statement
+
+        cost = self.storage.cost_model
+        plan_cache = self.plan_cache
+        with _span(tracer, "parameterize"):
+            pq = parameterize_text(text)
+        if not pq.is_select or plan_cache.is_uncacheable(pq.shape_key):
+            return None, stmt
+        entry = plan_cache.lookup(pq.shape_key)
+        if entry is not None:
+            usable = False
+            try:
+                with _span(tracer, "plan_cache:rebind",
+                           binds=len(pq.binds)):
+                    plan_cache.validate(entry, self.schema_of)
+                    validate_binds(pq.binds, entry.slots)
+                    usable = True
+            except StalePlanError:
+                pass  # evicted; recompile below (fail closed)
+            except Exception:
+                plan_cache.record_fallback()
+            if usable:
+                if tracer is not None:
+                    tracer.event("plan_cache:hit", shape=pq.shape_key)
+                result = self.execute_plan(
+                    None, options, tracer=tracer, cache=cache,
+                    pre_compile_ms=cost.plan_rebind_cost_ms,
+                    rebind=(entry.template, pq.binds, entry.slots))
+                result.profile.plan_cache_checked = True
+                result.profile.plan_cache_hit = True
+                return result, None
+        # Miss: plan a parameterized template, cache it, and execute
+        # the rebound plan — hits and misses run the identical tree,
+        # so a hit can never diverge from what a miss would return.
+        if stmt is None:
+            with _span(tracer, "parse"):
+                stmt = parse_statement(text)
+        if not isinstance(stmt, SelectStmt):
+            return None, stmt
+        try:
+            template_stmt, slots, ast_binds = build_template(stmt)
+            cacheable = binds_match(ast_binds, pq.binds)
+        except Exception:
+            cacheable = False
+        if not cacheable:
+            plan_cache.mark_uncacheable(pq.shape_key)
+            return None, stmt
+        tables = list(dict.fromkeys(
+            t.lower() for t in [stmt.table.name]
+            + [j.table.name for j in stmt.joins]))
+        try:
+            if self._plan_cache_prune_schemas:
+                resolver, width = make_pruned_resolver(
+                    stmt, self.schema_of, tables)
+            else:
+                resolver = self.schema_of
+                width = sum(len(self.schema_of(t)) for t in tables)
+            with _span(tracer, "plan"):
+                template = plan_select(template_stmt, resolver)
+            plan = bind_plan(template, pq.binds, slots)
+        except Exception:
+            # Genuine planning errors recur on the cold path, which
+            # reports them against the original literals.
+            return None, stmt
+        plan_cache.store(CachedPlan(
+            shape_key=pq.shape_key, template=template, slots=slots,
+            tables=tuple(tables),
+            schemas={t: self.schema_of(t) for t in tables},
+            bind_width=width))
+        result = self.execute_plan(
+            plan, options, tracer=tracer, cache=cache,
+            pre_compile_ms=cost.parse_cost_ms
+            + cost.bind_column_cost_ms * width)
+        result.profile.plan_cache_checked = True
+        return result, None
 
     def _execute_dml(self, stmt,
                      cache: PartitionCache | None = None) -> QueryResult:
@@ -537,7 +689,16 @@ class Catalog:
         versions = ", ".join(
             f"{name}=v{self._table(name).version}"
             for name in dict.fromkeys(t.lower() for t in tables))
-        return f"{rendered}\n-- table versions: {versions}"
+        report = f"{rendered}\n-- table versions: {versions}"
+        if self.plan_cache is not None:
+            from .plancache import parameterize_text
+
+            pq = parameterize_text(text)
+            status = ("cached shape (literal rebind on execution)"
+                      if self.plan_cache.peek(pq.shape_key)
+                      else "shape not cached (cold compile)")
+            report += f"\n-- plan cache: {status}"
+        return report
 
     def explain_analyze(self, text: str,
                         options: CompilerOptions | None = None) -> str:
@@ -597,11 +758,22 @@ class Catalog:
             report += "\n-- trace:\n-- " + tree.replace("\n", "\n-- ")
         return report
 
-    def execute_plan(self, plan: LogicalNode,
+    def execute_plan(self, plan: LogicalNode | None,
                      options: CompilerOptions | None = None,
                      tracer: Tracer | None = None,
-                     cache: PartitionCache | None = None) -> QueryResult:
-        """Compile and execute an already-planned logical tree."""
+                     cache: PartitionCache | None = None,
+                     pre_compile_ms: float = 0.0,
+                     rebind: tuple | None = None) -> QueryResult:
+        """Compile and execute an already-planned logical tree.
+
+        ``pre_compile_ms`` charges simulated compile time spent before
+        lowering (parse/bind on the cold path, literal rebinding on a
+        plan-cache hit) so ``profile.compile_ms`` reflects the whole
+        front end. ``rebind=(template, binds, slots)`` lowers a cached
+        plan-cache template through
+        :meth:`~repro.plan.compiler.QueryCompiler.compile_rebound`
+        instead of ``plan``.
+        """
         options = options or CompilerOptions()
         if options.predicate_cache is None and \
                 self.predicate_cache is not None:
@@ -613,8 +785,16 @@ class Catalog:
                               scan_parallelism=self.scan_parallelism,
                               tracer=tracer,
                               cache=self._effective_cache(cache))
+        if pre_compile_ms:
+            context.charge_compile(pre_compile_ms)
         with _span(tracer, "compile"):
-            compiled = self._compiler.compile(plan, context, options)
+            if rebind is not None:
+                template, binds, slots = rebind
+                compiled = self._compiler.compile_rebound(
+                    template, binds, slots, context, options)
+            else:
+                compiled = self._compiler.compile(plan, context,
+                                                  options)
         with _span(tracer, "execute") as exec_span:
             context.exec_span = exec_span
             execution = execute(compiled.root, context)

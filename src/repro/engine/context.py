@@ -130,6 +130,12 @@ class QueryProfile:
     limit_eligible: bool = False
     topk_eligible: bool = False
     join_eligible: bool = False
+    #: True when this query executed a rebound plan-cache template
+    #: instead of compiling cold (repro.plancache).
+    plan_cache_hit: bool = False
+    #: True when the plan cache was consulted for this query at all
+    #: (hit or miss); False when the cache is disabled or bypassed.
+    plan_cache_checked: bool = False
     #: retries/backoff/latency absorbed below this query (storage reads
     #: attribute into it directly; metadata retries are folded in from
     #: the scan profiles).
@@ -255,6 +261,10 @@ class QueryProfile:
             "data_cache_hits": float(self.data_cache_hits),
             "data_cache_misses": float(self.data_cache_misses),
             "data_cache_bytes_saved": float(self.data_cache_bytes_saved),
+            "plan_cache_hits": 1.0 if self.plan_cache_hit else 0.0,
+            "plan_cache_misses": 1.0 if (self.plan_cache_checked
+                                         and not self.plan_cache_hit)
+            else 0.0,
         }
 
     def resilience_summary(self) -> str:

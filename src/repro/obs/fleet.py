@@ -30,6 +30,7 @@ __all__ = [
     "TECHNIQUES",
     "technique_ratio_cdfs",
     "data_cache_hit_ratio_cdf",
+    "compile_latency_cdf",
     "latency_percentiles",
     "fleet_summary",
     "fleet_json",
@@ -97,6 +98,30 @@ def data_cache_hit_ratio_cdf(
     return cdf_points(ratios, points) if ratios else []
 
 
+def compile_latency_cdf(
+        records: Sequence[TelemetryRecord],
+        qs: Sequence[float] = (10, 25, 50, 75, 90, 95, 99, 100),
+) -> list[tuple[float, float]]:
+    """CDF of per-query simulated compile time over executed queries.
+
+    Thresholds are derived from the observed distribution (its ``qs``
+    quantiles) rather than fixed, so the curve stays readable whether
+    the window is all cold compiles or all plan-cache rebinds. Empty
+    when no executed record carries a compile time.
+    """
+    from ..bench.stats import cdf_points
+
+    values = [r.compile_ms for r in _executed(records)]
+    if not values or not any(values):
+        return []
+    thresholds: list[float] = []
+    for q in qs:
+        point = round(percentile(values, q), 4)
+        if not thresholds or point > thresholds[-1]:
+            thresholds.append(point)
+    return cdf_points(values, thresholds)
+
+
 def latency_percentiles(
         records: Sequence[TelemetryRecord],
         qs: Sequence[float] = LATENCY_QS,
@@ -136,6 +161,7 @@ def fleet_summary(records: Sequence[TelemetryRecord]
                 eligible_counts.get(technique, 0) + 1)
     data_hits = sum(r.data_cache_hits for r in executed)
     data_misses = sum(r.data_cache_misses for r in executed)
+    plan_hits = sum(1 for r in executed if r.plan_cache_hit)
     return {
         "queries": len(records),
         "executed": len(executed),
@@ -151,6 +177,9 @@ def fleet_summary(records: Sequence[TelemetryRecord]
         if data_hits + data_misses else 0.0,
         "data_cache_bytes_saved": sum(r.data_cache_bytes_saved
                                       for r in executed),
+        "plan_cache_hits": plan_hits,
+        "plan_cache_hit_ratio": round(plan_hits / len(executed), 6)
+        if executed else 0.0,
         "metadata_only": sum(1 for r in executed if r.metadata_only),
         "degraded_queries": sum(1 for r in executed if r.degraded),
         "retried_queries": sum(1 for r in executed if r.retries),
@@ -178,6 +207,8 @@ def fleet_json(records: Sequence[TelemetryRecord]) -> str:
             technique_ratio_cdfs(records).items()},
         "data_cache_hit_ratio_cdf": [
             [t, f] for t, f in data_cache_hit_ratio_cdf(records)],
+        "compile_latency_cdf": [
+            [t, f] for t, f in compile_latency_cdf(records)],
         "latency_percentiles": latency_percentiles(records),
     }
     return json.dumps(payload, indent=2) + "\n"
@@ -208,6 +239,11 @@ def render_fleet_report(records: Sequence[TelemetryRecord],
                    f"/ {summary['data_cache_misses']} misses "
                    f"({summary['data_cache_hit_ratio']:.1%}), "
                    f"{summary['data_cache_bytes_saved']} bytes saved")
+    if summary["plan_cache_hits"]:
+        report.add(f"  plan cache: {summary['plan_cache_hits']} of "
+                   f"{summary['executed']} executed queries served "
+                   f"from cached plans "
+                   f"({summary['plan_cache_hit_ratio']:.1%})")
     report.add(f"  rows scanned: {summary['rows_scanned']}, "
                f"returned: {summary['rows_returned']}, bytes "
                f"scanned: {summary['bytes_scanned']}")
@@ -234,6 +270,15 @@ def render_fleet_report(records: Sequence[TelemetryRecord],
             cache_cdf,
             label=f"data-cache hit ratio ({queries} queries "
                   f"with cache traffic)"))
+        report.add()
+
+    compile_cdf = compile_latency_cdf(records)
+    if compile_cdf:
+        executed_n = len(_executed(records))
+        report.add(render_cdf(
+            compile_cdf,
+            label=f"compile latency ms ({executed_n} executed "
+                  f"queries)"))
         report.add()
 
     percentiles = latency_percentiles(records)

@@ -61,6 +61,9 @@ class TelemetryRecord:
     bytes_scanned: int = 0
     result_cache_hit: bool = False
     predicate_cache_hit: bool = False
+    #: the compiled-plan cache served this query's plan shape (the
+    #: literals were rebound; no parse/bind/plan work was repeated)
+    plan_cache_hit: bool = False
     #: warehouse-local data cache traffic (paper §2): partitions this
     #: query served locally vs fetched from object storage, and the
     #: bytes the hits kept off the wire.
@@ -138,6 +141,7 @@ class TelemetryRecord:
             bytes_scanned=sum(s.bytes_scanned for s in profile.scans),
             predicate_cache_hit=any(s.cache_hit
                                     for s in profile.scans),
+            plan_cache_hit=profile.plan_cache_hit,
             data_cache_hits=profile.data_cache_hits,
             data_cache_misses=profile.data_cache_misses,
             data_cache_bytes_saved=profile.data_cache_bytes_saved,
@@ -173,6 +177,7 @@ class TelemetryRecord:
             "bytes_scanned": self.bytes_scanned,
             "result_cache_hit": self.result_cache_hit,
             "predicate_cache_hit": self.predicate_cache_hit,
+            "plan_cache_hit": self.plan_cache_hit,
             "data_cache_hits": self.data_cache_hits,
             "data_cache_misses": self.data_cache_misses,
             "data_cache_bytes_saved": self.data_cache_bytes_saved,
@@ -292,6 +297,8 @@ class TelemetrySink:
                 1 for r in records if r.result_cache_hit),
             "predicate_cache_hits": sum(
                 1 for r in records if r.predicate_cache_hit),
+            "plan_cache_hits": sum(
+                1 for r in records if r.plan_cache_hit),
             "data_cache_hits": sum(r.data_cache_hits
                                    for r in records),
             "data_cache_misses": sum(r.data_cache_misses

@@ -167,6 +167,9 @@ class CompiledQuery:
     #: from the metadata store once per query, not once per pruning
     #: stage (the metadata-aggregate probe used to re-fetch).
     scan_sets: dict[str, ScanSet] = dataclass_field(default_factory=dict)
+    #: True when this query was lowered from a rebound plan-cache
+    #: template rather than a cold-planned tree (repro.plancache).
+    rebound: bool = False
 
 
 class QueryCompiler:
@@ -191,6 +194,24 @@ class QueryCompiler:
         built = self._build(plan, context, options, compiled,
                             required)
         compiled.root = built.op
+        return compiled
+
+    def compile_rebound(self, template: L.LogicalNode, binds,
+                        slots, context: ExecContext,
+                        options: CompilerOptions | None = None
+                        ) -> CompiledQuery:
+        """Rebind a cached logical-plan template and lower it.
+
+        The plan-cache hit path: literal substitution is O(plan), and
+        lowering then re-fetches scan sets and re-runs every
+        data-dependent pruning pass against the current metadata — a
+        rebound query can never reuse a stale scan set.
+        """
+        from ..plancache.parameterize import bind_plan
+
+        compiled = self.compile(bind_plan(template, binds, slots),
+                                context, options)
+        compiled.rebound = True
         return compiled
 
     # ------------------------------------------------------------------

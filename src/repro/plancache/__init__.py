@@ -1,0 +1,38 @@
+"""Plan-shape compiled-plan cache: compile once, serve millions (§7).
+
+See :mod:`.parameterize` for shape keys and literal rebinding,
+:mod:`.plan_cache` for the bounded template cache, and
+:mod:`.schema_prune` for compile-time schema pruning.
+"""
+
+from .parameterize import (
+    BindMismatchError,
+    Param,
+    ParameterizedQuery,
+    UnparameterizableError,
+    bind_plan,
+    build_template,
+    binds_match,
+    parameterize_text,
+    validate_binds,
+)
+from .plan_cache import CachedPlan, PlanCache, PlanCacheStats, StalePlanError
+from .schema_prune import make_pruned_resolver, referenced_columns
+
+__all__ = [
+    "BindMismatchError",
+    "CachedPlan",
+    "Param",
+    "ParameterizedQuery",
+    "PlanCache",
+    "PlanCacheStats",
+    "StalePlanError",
+    "UnparameterizableError",
+    "bind_plan",
+    "binds_match",
+    "build_template",
+    "make_pruned_resolver",
+    "parameterize_text",
+    "referenced_columns",
+    "validate_binds",
+]

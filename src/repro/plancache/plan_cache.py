@@ -1,0 +1,227 @@
+"""A bounded, thread-safe cache of compiled logical-plan templates.
+
+Entries are keyed by the token-level *shape key* (see
+:mod:`.parameterize`) and validated against a per-table schema
+fingerprint at every lookup, so a hit can only rebind a template whose
+referenced schemas are bit-identical to the current catalog. Everything
+data-dependent — scan sets, pruning decisions, predicate-cache reuse —
+is re-derived per execution from the rebound plan, which makes stale
+scan sets structurally impossible: the cache stores *how to plan the
+shape*, never *what the data looked like*.
+
+Invalidation has three layers, cheapest first:
+
+1. **Schema fingerprints** (fail closed): on lookup, each referenced
+   table's current schema is compared structurally against the schema
+   the template was planned under. Any difference — including a table
+   that was dropped and recreated with a new layout — evicts the entry
+   and falls back to a cold compile.
+2. **MetadataStore invalidation listeners**: partition removals whose
+   table no longer exists in the catalog (``DROP TABLE``) evict every
+   entry referencing the table proactively.
+3. **Catalog version counters**: DML/recluster version bumps are
+   observed and counted (``version_bumps``), documenting that data
+   changed under cached shapes; templates stay valid because rebinding
+   recompiles against the live ``StatsIndex``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import ReproError
+from ..plan import logical as L
+from ..types import DataType, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..catalog import Catalog
+
+__all__ = ["CachedPlan", "PlanCache", "PlanCacheStats", "StalePlanError"]
+
+
+class StalePlanError(ReproError):
+    """A cached template no longer matches the live catalog schemas."""
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters describing plan-cache behavior since creation."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    stale_schema_evictions: int = 0
+    capacity_evictions: int = 0
+    invalidations: int = 0
+    uncacheable: int = 0
+    rebind_fallbacks: int = 0
+    version_bumps: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "lookups": self.lookups, "hits": self.hits,
+            "misses": self.misses, "stores": self.stores,
+            "stale_schema_evictions": self.stale_schema_evictions,
+            "capacity_evictions": self.capacity_evictions,
+            "invalidations": self.invalidations,
+            "uncacheable": self.uncacheable,
+            "rebind_fallbacks": self.rebind_fallbacks,
+            "version_bumps": self.version_bumps,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+@dataclass
+class CachedPlan:
+    """One plan-shape template plus everything needed to validate it."""
+
+    shape_key: str
+    #: logical plan planned from the Param-ified statement.
+    template: L.LogicalNode
+    #: bind-slot types, in slot order.
+    slots: tuple[DataType, ...]
+    #: lowercased referenced table names.
+    tables: tuple[str, ...]
+    #: schema each table had when the template was planned.
+    schemas: dict[str, Schema] = field(default_factory=dict)
+    #: columns the planner considered at bind time (pruned width).
+    bind_width: int = 0
+    hits: int = 0
+
+
+class PlanCache:
+    """Thread-safe bounded LRU of :class:`CachedPlan` templates."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._uncacheable: set[str] = set()
+        self._lock = threading.Lock()
+        self.stats = PlanCacheStats()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, catalog: "Catalog") -> None:
+        """Subscribe to the catalog's invalidation surfaces."""
+        def on_metadata_invalidation(table: str, partition_id: int) -> None:
+            # Partition metadata vanished. If the table itself is gone
+            # (DROP TABLE), its templates can never rebind again —
+            # evict them now rather than waiting for a stale lookup.
+            if table not in catalog.tables:
+                self.invalidate_table(table)
+
+        def on_version_bump(table: str, version: int) -> None:
+            with self._lock:
+                self.stats.version_bumps += 1
+
+        catalog.metadata.add_invalidation_listener(on_metadata_invalidation)
+        catalog.add_change_listener(on_version_bump)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def lookup(self, shape_key: str) -> CachedPlan | None:
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get(shape_key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(shape_key)
+            self.stats.hits += 1
+            entry.hits += 1
+            return entry
+
+    def peek(self, shape_key: str) -> CachedPlan | None:
+        """The cached entry for a shape (or None), without touching
+        LRU order or stats — for EXPLAIN and introspection."""
+        with self._lock:
+            return self._entries.get(shape_key)
+
+    def validate(self, entry: CachedPlan,
+                 resolver: Callable[[str], Schema]) -> None:
+        """Fail-closed schema check; evicts and raises on any drift.
+
+        Raises:
+            StalePlanError: a referenced table was dropped or its
+                schema changed since the template was planned.
+        """
+        for table in entry.tables:
+            try:
+                current = resolver(table)
+            except Exception as exc:
+                self._evict_stale(entry.shape_key)
+                raise StalePlanError(
+                    f"table {table!r} unavailable: {exc}") from exc
+            if current != entry.schemas.get(table):
+                self._evict_stale(entry.shape_key)
+                raise StalePlanError(
+                    f"schema of {table!r} changed since plan was cached")
+
+    def store(self, entry: CachedPlan) -> None:
+        with self._lock:
+            self._entries[entry.shape_key] = entry
+            self._entries.move_to_end(entry.shape_key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.capacity_evictions += 1
+
+    # ------------------------------------------------------------------
+    # Negative cache
+    # ------------------------------------------------------------------
+    def mark_uncacheable(self, shape_key: str) -> None:
+        """Remember that a shape failed template extraction."""
+        with self._lock:
+            if len(self._uncacheable) >= self.max_entries:
+                self._uncacheable.clear()
+            self._uncacheable.add(shape_key)
+            self.stats.uncacheable += 1
+
+    def is_uncacheable(self, shape_key: str) -> bool:
+        with self._lock:
+            return shape_key in self._uncacheable
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_table(self, table: str) -> int:
+        """Evict every template referencing ``table``; returns count."""
+        table = table.lower()
+        with self._lock:
+            doomed = [key for key, entry in self._entries.items()
+                      if table in entry.tables]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def record_fallback(self) -> None:
+        """A hit could not be rebound; the query recompiled cold."""
+        with self._lock:
+            self.stats.rebind_fallbacks += 1
+
+    def _evict_stale(self, shape_key: str) -> None:
+        with self._lock:
+            if self._entries.pop(shape_key, None) is not None:
+                self.stats.stale_schema_evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._uncacheable.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -104,6 +104,8 @@ class MetricsRegistry:
       ``queries_failed`` / ``queries_cancelled`` /
       ``queries_rejected`` / ``queries_timed_out`` / ``dml_statements``
     - counters ``result_cache_hits`` / ``result_cache_misses``
+    - counters ``plan_cache_hits`` / ``plan_cache_misses``
+      (compiled-plan cache, see :mod:`repro.plancache`)
     - counters ``data_cache_hits`` / ``data_cache_misses`` /
       ``data_cache_bytes_saved`` (warehouse-local partition cache)
     - counters ``partitions_total`` / ``partitions_loaded`` /
@@ -151,7 +153,8 @@ class MetricsRegistry:
                     "injected_latency_ms", "partitions_degraded",
                     "pruning_time_ms", "scans_vectorized",
                     "data_cache_hits", "data_cache_misses",
-                    "data_cache_bytes_saved"):
+                    "data_cache_bytes_saved",
+                    "plan_cache_hits", "plan_cache_misses"):
             self.counter(key).inc(export[key])
         self.histogram("scan_parallelism").observe(
             export["scan_parallelism"])
@@ -175,6 +178,13 @@ class MetricsRegistry:
         """data_cache_hits / (hits + misses); 0.0 before traffic."""
         hits = self.counter("data_cache_hits").value
         misses = self.counter("data_cache_misses").value
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
+
+    def plan_cache_hit_ratio(self) -> float:
+        """plan_cache_hits / (hits + misses); 0.0 before traffic."""
+        hits = self.counter("plan_cache_hits").value
+        misses = self.counter("plan_cache_misses").value
         lookups = hits + misses
         return hits / lookups if lookups else 0.0
 
@@ -203,6 +213,7 @@ class MetricsRegistry:
             out[f"{histogram.name}.p99"] = histogram.percentile(99)
         out["result_cache.hit_ratio"] = self.cache_hit_ratio()
         out["data_cache.hit_ratio"] = self.data_cache_hit_ratio()
+        out["plan_cache.hit_ratio"] = self.plan_cache_hit_ratio()
         out["pruning.ratio"] = self.pruning_ratio()
         return out
 

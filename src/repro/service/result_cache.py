@@ -1,10 +1,13 @@
-"""Query result cache keyed on normalized SQL + table versions.
+"""Query result cache keyed on parameterized SQL + table versions.
 
 Snowflake's Cloud Services layer answers repeated queries from a
 result cache without ever touching a warehouse (§2). Our cache key is
-the *normalized* statement text (see :mod:`repro.sql.normalize`); an
-entry additionally pins the data **version** of every table the query
-read. A lookup only hits when each referenced table still has the
+the statement's *(plan-shape key, bound-literal tuple)* pair (see
+:mod:`repro.plancache.parameterize`) — so literal spellings that
+normalize differently as text (``1.0`` vs ``1.00``) share one entry —
+with the normalized statement text (:mod:`repro.sql.normalize`) as a
+fallback key. An entry additionally pins the data **version** of
+every table the query read. A lookup only hits when each referenced table still has the
 version recorded at store time, so DML and reclustering invalidate
 results automatically — version-mismatched entries are evicted as
 stale the moment they are seen (and eagerly via
@@ -18,6 +21,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Hashable
 
 from ..catalog import QueryResult
 
@@ -45,20 +49,25 @@ class CacheStats:
 class CacheEntry:
     """One cached result with its validity snapshot."""
 
-    key: str
+    key: Hashable
     result: QueryResult
     table_versions: dict[str, int] = field(default_factory=dict)
     hits: int = 0
 
 
 class ResultCache:
-    """LRU result cache with version-based invalidation."""
+    """LRU result cache with version-based invalidation.
+
+    Keys are any hashable value — the service uses
+    ``(shape_key, binds)`` tuples so same-shape queries with equal
+    literals share an entry regardless of spelling.
+    """
 
     def __init__(self, max_entries: int = 256):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._entries: OrderedDict[Hashable, CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -66,7 +75,7 @@ class ResultCache:
         return len(self._entries)
 
     # ------------------------------------------------------------------
-    def lookup(self, key: str,
+    def lookup(self, key: Hashable,
                current_versions: dict[str, int]) -> QueryResult | None:
         """The cached result, or None on miss/stale.
 
@@ -90,7 +99,7 @@ class ResultCache:
             self.stats.hits += 1
             return entry.result
 
-    def store(self, key: str, result: QueryResult,
+    def store(self, key: Hashable, result: QueryResult,
               table_versions: dict[str, int]) -> None:
         """Insert/replace an entry; evicts LRU beyond capacity."""
         entry = CacheEntry(key=key, result=result,

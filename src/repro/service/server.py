@@ -106,8 +106,15 @@ class QueryService:
                  scan_parallelism: int | None = None,
                  telemetry_capacity: int = 4096,
                  data_cache_bytes: int | None = None,
-                 warm_new_caches: bool = True):
+                 warm_new_caches: bool = True,
+                 plan_cache_entries: int | None = None):
         self.catalog = catalog
+        #: plan-shape compiled-plan cache (Fig. 12): result-cache
+        #: misses that repeat a known shape skip parse/bind/plan and
+        #: only rebind literals. ``None`` leaves the catalog's own
+        #: setting untouched.
+        if plan_cache_entries is not None:
+            catalog.enable_plan_cache(max_entries=plan_cache_entries)
         #: fleet telemetry: the catalog writes one record per executed
         #: statement; the service annotates it with queue wait, wall
         #: clock, and cluster, and adds records for cache hits and
@@ -284,6 +291,10 @@ class QueryService:
                                       for s in per_cluster.values()),
                 "clusters": per_cluster,
             }
+        if self.catalog.plan_cache is not None:
+            snap["plan_cache"] = self.catalog.plan_cache.stats.to_dict()
+            snap["plan_cache_hit_ratio"] = \
+                self.metrics.plan_cache_hit_ratio()
         snap["telemetry"] = self.telemetry.summary()
         breaker = self.catalog.metadata.breaker
         if breaker is not None:
@@ -389,15 +400,21 @@ class QueryService:
 
     def _execute(self, handle: QueryHandle,
                  queue_timeout: float | None) -> None:
+        from ..sql.parser import SelectStmt, parse_statement
+
         handle.token.raise_if_cancelled()
-        select = is_select(handle.sql)  # also surfaces parse errors
+        # Parse exactly once per execution; the parsed statement feeds
+        # the select/DML dispatch, the table-version snapshot, and the
+        # catalog (which would otherwise each re-parse the text).
+        stmt = parse_statement(handle.sql)  # surfaces parse errors
+        select = isinstance(stmt, SelectStmt)
         if not select:
             self.metrics.counter("dml_statements").inc()
-        cache_key = ""
+        cache_key: Any = ""
         tables: tuple[str, ...] = ()
         if select and self.result_cache is not None:
-            cache_key = normalize_sql(handle.sql)
-            tables = referenced_tables(handle.sql)
+            cache_key = self._result_cache_key(handle.sql)
+            tables = referenced_tables(stmt)
             with self._table_lock.read():
                 versions = self.catalog.table_versions(tables)
                 cached = self.result_cache.lookup(cache_key, versions)
@@ -433,7 +450,8 @@ class QueryService:
             if select:
                 with self._table_lock.read():
                     result = self.catalog.sql(handle.sql,
-                                              cache=cluster.cache)
+                                              cache=cluster.cache,
+                                              parsed=stmt)
                     if self.result_cache is not None:
                         # Versions cannot move while we hold the read
                         # lock, so this snapshot matches the data the
@@ -444,7 +462,8 @@ class QueryService:
             else:
                 with self._table_lock.write():
                     result = self.catalog.sql(handle.sql,
-                                              cache=cluster.cache)
+                                              cache=cluster.cache,
+                                              parsed=stmt)
         finally:
             self.pool.release(cluster)
         if select:
@@ -454,6 +473,21 @@ class QueryService:
             handle.token.raise_if_cancelled()
         self._record(handle, result, started)
         self._finish(handle, QueryStatus.DONE, result=result)
+
+    def _result_cache_key(self, text: str) -> Any:
+        """Parameterized result-cache key: (shape key, bound literals).
+
+        Same-shape statements with equal literal *values* share one
+        entry even when the spellings differ (``1.0`` vs ``1.00``),
+        which the old normalized-text key treated as distinct. Falls
+        back to the normalized text if parameterization fails.
+        """
+        from ..plancache.parameterize import parameterize_text
+
+        try:
+            return parameterize_text(text).cache_key
+        except ReproError:
+            return normalize_sql(text)
 
     def _record(self, handle: QueryHandle, result: QueryResult,
                 started: float) -> None:

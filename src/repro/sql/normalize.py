@@ -46,10 +46,16 @@ def normalize_sql(text: str) -> str:
     return " ".join(parts)
 
 
-def referenced_tables(text: str) -> tuple[str, ...]:
+def referenced_tables(statement) -> tuple[str, ...]:
     """Sorted, lower-cased names of every table a statement reads
-    or writes (FROM table, JOIN tables, or the DML target)."""
-    stmt = parse_statement(text)
+    or writes (FROM table, JOIN tables, or the DML target).
+
+    Accepts either raw SQL text or an already-parsed statement, so
+    hot paths that hold the parse (the service layer) don't pay a
+    second parse just to learn the table set.
+    """
+    stmt = (parse_statement(statement) if isinstance(statement, str)
+            else statement)
     if isinstance(stmt, SelectStmt):
         names = [stmt.table.name]
         names.extend(join.table.name for join in stmt.joins)

@@ -55,6 +55,17 @@ class CostModel:
     #: bandwidth term for cached reads (~1 GB/s effective local
     #: bandwidth vs ~100 MB/s to object storage).
     cached_ms_per_mb: float = 1.0
+    #: fixed front-end cost of a cold compile: lexing, parsing, and
+    #: building the logical plan (§7 treats compile time as a
+    #: first-class cost; the plan cache exists to avoid this).
+    parse_cost_ms: float = 0.25
+    #: per-column binding/name-resolution cost across the referenced
+    #: tables' schemas — full width cold, touched-columns-only with
+    #: compile-time schema pruning (repro.plancache.schema_prune).
+    bind_column_cost_ms: float = 0.03
+    #: flat cost of rebinding literals into a cached plan template on
+    #: a plan-cache hit (replaces parse + bind entirely).
+    plan_rebind_cost_ms: float = 0.05
 
     def load_cost(self, nbytes: int) -> float:
         """Cost of fetching ``nbytes`` from object storage."""
