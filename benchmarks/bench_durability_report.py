@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""PR benchmark report: durability (WAL + checkpoints + recovery).
+
+Measures the operational claims of the durability subsystem and writes
+them to ``BENCH_PR7.json`` (for CI artifact upload and regression
+tracking):
+
+1. **WAL overhead** — a seeded DML workload run with durability off
+   and on. Gate: WAL-on throughput >= 0.5x WAL-off (logging costs
+   less than half the commit path).
+2. **Recovery fidelity** — a >= 500-mutation log is recovered into a
+   fresh catalog and compared against an always-alive oracle that
+   applied the same mutations. Gates: zero result divergence across
+   the differential query set, and bounded recovery wall time.
+3. **Crash matrix** — a simulated crash at every enumerated commit
+   point followed by recovery. Gate: every point lands exactly on
+   its pre-/post-commit oracle.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_durability_report.py
+        [--quick] [--output BENCH_PR7.json]
+
+``--quick`` shrinks the workload for CI smoke runs (every gate still
+applies, including the >= 500-mutation recovery log).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.catalog import Catalog  # noqa: E402
+from repro.faults import CrashInjector, SimulatedCrash  # noqa: E402
+from repro.faults.crash import CRASH_POINTS  # noqa: E402
+from repro.types import DataType, Schema  # noqa: E402
+
+SCHEMA = Schema.of(ts=DataType.INTEGER, score=DataType.INTEGER,
+                   note=DataType.VARCHAR)
+
+DIFFERENTIAL_QUERIES = (
+    "SELECT * FROM events ORDER BY ts, score",
+    "SELECT count(*) AS c FROM events WHERE score < 500",
+    "SELECT score, count(*) AS c FROM events WHERE ts < 1500000 "
+    "GROUP BY score",
+    "SELECT * FROM events WHERE score >= 100 ORDER BY ts LIMIT 11",
+)
+
+
+def make_catalog(n_rows: int, rows_per_partition: int = 50) -> Catalog:
+    catalog = Catalog(rows_per_partition=rows_per_partition)
+    rows = [(i, (i * 37) % 1000, f"n{i:07d}") for i in range(n_rows)]
+    catalog.create_table_from_rows("events", SCHEMA, rows)
+    return catalog
+
+
+def mutation(catalog: Catalog, i: int) -> None:
+    """The ``i``-th statement of the seeded DML stream: rolling
+    inserts with updates and deletes trailing behind, so the table
+    stays bounded however long the stream runs."""
+    base = 1_000_000 + (i // 3) * 10
+    kind = i % 3
+    if kind == 0:
+        catalog.insert("events", [(base + j, (i + j) % 1000,
+                                   f"m{i:06d}") for j in range(5)])
+    elif kind == 1:
+        catalog.sql(f"UPDATE events SET score = {i % 997} "
+                    f"WHERE ts BETWEEN {base - 20} AND {base - 11}")
+    else:
+        catalog.sql(f"DELETE FROM events "
+                    f"WHERE ts BETWEEN {base - 40} AND {base - 31}")
+
+
+# ----------------------------------------------------------------------
+# 1. WAL overhead: DML throughput with durability off vs on
+# ----------------------------------------------------------------------
+def bench_wal_overhead(n_rows: int, n_mutations: int,
+                       wal_dir: Path) -> dict:
+    off = make_catalog(n_rows)
+    started = time.perf_counter()
+    for i in range(n_mutations):
+        mutation(off, i)
+    off_s = time.perf_counter() - started
+
+    on = make_catalog(n_rows)
+    on.enable_durability(wal_dir)
+    started = time.perf_counter()
+    for i in range(n_mutations):
+        mutation(on, i)
+    on_s = time.perf_counter() - started
+
+    stats = on.durability.stats()
+    off_thr = n_mutations / max(off_s, 1e-9)
+    on_thr = n_mutations / max(on_s, 1e-9)
+    return {
+        "mutations": n_mutations,
+        "wal_off_s": round(off_s, 4),
+        "wal_on_s": round(on_s, 4),
+        "wal_off_stmts_per_s": round(off_thr, 1),
+        "wal_on_stmts_per_s": round(on_thr, 1),
+        "throughput_ratio": round(on_thr / off_thr, 4),
+        "wal_appends": stats["wal_appends"],
+        "wal_bytes": stats["wal_bytes"],
+        "bytes_per_mutation": round(
+            stats["wal_bytes"] / max(stats["wal_appends"], 1), 1),
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Recovery of a long log vs an always-alive oracle
+# ----------------------------------------------------------------------
+def bench_recovery(n_rows: int, n_mutations: int,
+                   wal_dir: Path) -> dict:
+    durable = make_catalog(n_rows)
+    durable.enable_durability(wal_dir)
+    oracle = make_catalog(n_rows)
+    for i in range(n_mutations):
+        mutation(durable, i)
+        mutation(oracle, i)
+    wal_size = durable.durability.wal.size()
+    durable.durability.close()
+
+    started = time.perf_counter()
+    recovered = Catalog.recover(wal_dir)
+    recovery_s = time.perf_counter() - started
+    replayed = recovered.durability.stats()["recovered"]["replayed"]
+
+    divergences = sum(
+        1 for sql in DIFFERENTIAL_QUERIES
+        if sorted(recovered.sql(sql).rows)
+        != sorted(oracle.sql(sql).rows))
+    checksums_match = (
+        sorted(p.compute_checksum()
+               for p in recovered.tables["events"].partitions)
+        == sorted(p.compute_checksum()
+                  for p in oracle.tables["events"].partitions))
+    return {
+        "mutations": n_mutations,
+        "replayed": replayed,
+        "wal_size_bytes": wal_size,
+        "recovery_s": round(recovery_s, 4),
+        "replayed_per_s": round(replayed / max(recovery_s, 1e-9), 1),
+        "queries_compared": len(DIFFERENTIAL_QUERIES),
+        "divergences": divergences,
+        "checksums_match": checksums_match,
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. Crash matrix: every enumerated point, recovered to its oracle
+# ----------------------------------------------------------------------
+def fingerprint(catalog: Catalog):
+    return {
+        name: (sorted(table.to_rows(), key=repr),
+               sorted(p.compute_checksum() for p in table.partitions))
+        for name, table in sorted(catalog.tables.items())
+    }
+
+
+def bench_crash_matrix(n_rows: int, tmp_root: Path) -> dict:
+    dml_points = {"pre-append": "pre", "mid-append": "pre",
+                  "post-append-pre-apply": "post"}
+    outcomes = {}
+    for point in CRASH_POINTS:
+        injector = CrashInjector()
+        wal_dir = tmp_root / f"crash-{point}"
+        durable = make_catalog(n_rows)
+        durable.enable_durability(wal_dir, crash_injector=injector)
+        oracle = make_catalog(n_rows)
+        for i in range(6):
+            mutation(durable, i)
+            mutation(oracle, i)
+        pre = fingerprint(durable)
+        injector.arm(point, at=1)
+        crashed = False
+        try:
+            if point in dml_points:
+                mutation(durable, 6)
+            else:
+                durable.checkpoint()
+        except SimulatedCrash:
+            crashed = True
+        if point in dml_points:
+            mutation(oracle, 6)
+        post = fingerprint(oracle)
+        recovered = fingerprint(Catalog.recover(wal_dir))
+        if point in dml_points:
+            expected = post if dml_points[point] == "post" else pre
+        else:
+            expected = pre  # checkpoint crashes lose nothing
+        outcomes[point] = {
+            "crashed": crashed,
+            "recovered_to_oracle": recovered == expected,
+            "no_third_state": recovered in (pre, post),
+        }
+    return outcomes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload (CI smoke)")
+    parser.add_argument("--output", default=str(
+        REPO_ROOT / "BENCH_PR7.json"))
+    args = parser.parse_args()
+
+    if args.quick:
+        n_rows, overhead_muts, recovery_muts = 400, 90, 510
+    else:
+        n_rows, overhead_muts, recovery_muts = 1500, 300, 1200
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_root = Path(tmp)
+        overhead = bench_wal_overhead(n_rows, overhead_muts,
+                                      tmp_root / "overhead")
+        recovery = bench_recovery(n_rows, recovery_muts,
+                                  tmp_root / "recovery")
+        crash_matrix = bench_crash_matrix(min(n_rows, 400), tmp_root)
+
+    gates = {
+        "wal_on_throughput_ge_half_of_off":
+            overhead["throughput_ratio"] >= 0.5,
+        "recovery_log_ge_500_mutations":
+            recovery["replayed"] >= 500,
+        "recovery_zero_divergence":
+            recovery["divergences"] == 0
+            and recovery["checksums_match"],
+        "recovery_under_30s": recovery["recovery_s"] < 30.0,
+        "crash_matrix_all_points_recover": all(
+            o["crashed"] and o["recovered_to_oracle"]
+            and o["no_third_state"]
+            for o in crash_matrix.values()),
+    }
+
+    payload = {
+        "pr": 7,
+        "title": "Durability: WAL, checkpoints, crash recovery "
+                 "(repro.durability)",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "wal_overhead": overhead,
+        "recovery": recovery,
+        "crash_matrix": crash_matrix,
+        "gates": gates,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+    failed = [name for name, ok in gates.items() if not ok]
+    if failed:
+        print(f"\nFAILED gates: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("\nAll gates passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,13 +39,22 @@ from .errors import (
     MetadataUnavailableError,
     CircuitOpenError,
     QueryTimeout,
+    DurabilityError,
+    WalCorruptionError,
 )
 from .faults import (
     CircuitBreaker,
+    CrashInjector,
     FaultInjector,
     FaultSpec,
     RetryPolicy,
     RetryStats,
+    SimulatedCrash,
+)
+from .durability import (
+    CheckpointManager,
+    DurabilityManager,
+    WriteAheadLog,
 )
 from .storage import (
     Column,
@@ -79,7 +88,7 @@ from .obs import (
 )
 from .service import QueryService
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "DataType",
@@ -103,11 +112,18 @@ __all__ = [
     "MetadataUnavailableError",
     "CircuitOpenError",
     "QueryTimeout",
+    "DurabilityError",
+    "WalCorruptionError",
     "CircuitBreaker",
+    "CrashInjector",
     "FaultInjector",
     "FaultSpec",
     "RetryPolicy",
     "RetryStats",
+    "SimulatedCrash",
+    "CheckpointManager",
+    "DurabilityManager",
+    "WriteAheadLog",
     "Column",
     "ColumnStats",
     "ZoneMap",

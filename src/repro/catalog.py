@@ -22,7 +22,7 @@ import itertools
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from .engine.context import ExecContext, QueryProfile
 from .engine.executor import execute
 from .errors import (
     CircuitOpenError,
+    DurabilityError,
     MetadataError,
     MetadataUnavailableError,
     SchemaError,
@@ -53,6 +54,9 @@ from .storage.micropartition import MicroPartition
 from .storage.storage_layer import CostModel, StorageLayer
 from .storage.table import Table
 from .types import DataType, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .durability import DurabilityManager
 
 _QUERY_COUNTER = itertools.count(1)
 
@@ -122,6 +126,12 @@ class Catalog:
         #: service layer passes each cluster's own cache into
         #: :meth:`sql`).
         self.data_cache: PartitionCache | None = None
+        #: WAL + checkpoint pair making mutations crash-safe; off
+        #: until :meth:`enable_durability`.
+        self.durability: "DurabilityManager | None" = None
+        #: True while recovery replays WAL records into this catalog
+        #: (replayed mutations must not be re-logged).
+        self._replaying = False
         self._iceberg_sources: dict[str, dict[int, object]] = {}
         self._compiler = QueryCompiler(self)
         self._change_listeners: list[Callable[[str, int], None]] = []
@@ -160,6 +170,10 @@ class Catalog:
         """Register an existing table (its partitions move to storage)."""
         if table.name in self.tables:
             raise SchemaError(f"table {table.name!r} already exists")
+        if self._durable:
+            from .durability.codec import create_record
+
+            self._wal_log(create_record(table))
         self.tables[table.name] = table
         for partition in table.partitions:
             self.storage.put(partition)
@@ -239,9 +253,14 @@ class Catalog:
 
     def drop_table(self, name: str) -> None:
         """Remove a table, its partitions, metadata, and cache entries."""
-        table = self.tables.pop(name.lower(), None)
+        table = self.tables.get(name.lower())
         if table is None:
             raise SchemaError(f"no table named {name!r}")
+        if self._durable:
+            from .durability.codec import drop_record
+
+            self._wal_log(drop_record(table.name))
+        del self.tables[table.name]
         for partition_id in table.partition_ids:
             self.storage.delete(partition_id)
         self.metadata.drop_table(table.name)
@@ -305,6 +324,124 @@ class Catalog:
             self.telemetry = TelemetrySink(
                 capacity=capacity, slow_query_ms=slow_query_ms)
         return self.telemetry
+
+    # ------------------------------------------------------------------
+    # Durability (WAL + checkpoints + recovery)
+    # ------------------------------------------------------------------
+    def enable_durability(self, path, *,
+                          checkpoint_bytes: int = 4 * 2**20,
+                          keep_checkpoints: int = 1,
+                          crash_injector=None,
+                          sync: bool = False) -> "DurabilityManager":
+        """Make this catalog's mutations crash-safe under ``path``.
+
+        Every subsequent committed mutation is appended to a
+        CRC-framed write-ahead log *before* it is applied (see
+        :mod:`repro.durability`). When ``path`` already holds durable
+        state, the catalog — which must be empty — is first recovered
+        from the newest checkpoint plus the WAL tail; otherwise a
+        baseline checkpoint of the current state is written so
+        recovery is always checkpoint + tail. Idempotent — an existing
+        manager is kept.
+        """
+        if self.durability is not None:
+            return self.durability
+        from .durability import DurabilityManager
+
+        manager = DurabilityManager(
+            path, checkpoint_bytes=checkpoint_bytes,
+            keep_checkpoints=keep_checkpoints,
+            crash_injector=crash_injector, sync=sync)
+        if manager.has_state():
+            if self.tables:
+                raise DurabilityError(
+                    f"cannot recover durable state from {path} into "
+                    f"a catalog that already has tables "
+                    f"{sorted(self.tables)}")
+            self._replaying = True
+            try:
+                manager.recover_into(self)
+            finally:
+                self._replaying = False
+        self.durability = manager
+        if manager.checkpoints.newest() is None:
+            # Baseline snapshot: captures tables created before
+            # durability was enabled, so recovery never needs a
+            # special empty-checkpoint case.
+            manager.checkpoint(self)
+        return manager
+
+    @classmethod
+    def recover(cls, path, **kwargs) -> "Catalog":
+        """Rebuild a catalog from a durability directory.
+
+        Equivalent to constructing an empty catalog and calling
+        :meth:`enable_durability` — the recovered catalog keeps
+        logging to the same WAL.
+        """
+        catalog = cls(**kwargs)
+        catalog.enable_durability(path)
+        return catalog
+
+    def checkpoint(self):
+        """Snapshot now and truncate the WAL (durability required)."""
+        if self.durability is None:
+            raise DurabilityError(
+                "checkpoint() requires enable_durability()")
+        return self.durability.checkpoint(self)
+
+    @property
+    def _durable(self) -> bool:
+        """True when mutations must be logged (not during replay)."""
+        return self.durability is not None and not self._replaying
+
+    def _wal_log(self, record: dict,
+                 profile: QueryProfile | None = None,
+                 tracer: Tracer | None = None) -> None:
+        """Append one mutation record ahead of applying it."""
+        seqno, nbytes = self.durability.log(record)
+        if profile is not None:
+            profile.wal_appends += 1
+            profile.wal_bytes += nbytes
+        if tracer is not None:
+            tracer.event("wal:append", seqno=seqno, bytes=nbytes,
+                         op=record.get("op", ""))
+
+    def apply_wal_record(self, record: dict) -> None:
+        """Apply one decoded WAL record (recovery replay path).
+
+        Replay reuses the exact apply helpers live commits use, so a
+        replayed mutation reproduces partition ids, contents, version
+        bumps, and cache invalidations identically.
+        """
+        from .durability.codec import decode_partitions, decode_schema
+
+        op = record["op"]
+        if op == "create":
+            schema = decode_schema(record["schema"])
+            self.create_table(Table(
+                record["table"], schema,
+                decode_partitions(schema, record["partitions"])))
+        elif op == "insert":
+            table = self._table(record["table"])
+            self._apply_insert(table, decode_partitions(
+                table.schema, record["partitions"]))
+        elif op == "rewrite":
+            table = self._table(record["table"])
+            removed = [table.partition(pid)
+                       for pid in record["removed"]]
+            added = decode_partitions(table.schema,
+                                      record["partitions"])
+            self._apply_rewrite(table, removed, added,
+                                kind=record["kind"],
+                                columns=record.get("columns"))
+        elif op == "drop":
+            self.drop_table(record["table"])
+        else:
+            from .errors import WalCorruptionError
+
+            raise WalCorruptionError(
+                f"unknown WAL record op {op!r}")
 
     def _new_tracer(self) -> Tracer | None:
         return Tracer() if self.enable_tracing else None
@@ -466,7 +603,8 @@ class Catalog:
             if isinstance(stmt, (DeleteStmt, UpdateStmt)):
                 kind = "dml"
                 with _span(tracer, "dml", table=stmt.table):
-                    result = self._execute_dml(stmt, cache=cache)
+                    result = self._execute_dml(stmt, cache=cache,
+                                               tracer=tracer)
                 if tracer is not None:
                     result.profile.trace = tracer.finish()
             else:
@@ -598,7 +736,8 @@ class Catalog:
         return result, None
 
     def _execute_dml(self, stmt,
-                     cache: PartitionCache | None = None) -> QueryResult:
+                     cache: PartitionCache | None = None,
+                     tracer: Tracer | None = None) -> QueryResult:
         from .sql.parser import DeleteStmt
 
         table = self._table(stmt.table)
@@ -607,11 +746,12 @@ class Catalog:
         profile = QueryProfile(query_id=f"q{next(_QUERY_COUNTER)}")
         if isinstance(stmt, DeleteStmt):
             affected = self.delete_where(table.name, predicate,
-                                         profile=profile, cache=cache)
+                                         profile=profile, cache=cache,
+                                         tracer=tracer)
         else:
             affected = self._update_with_expr(
                 table, predicate, stmt.column, stmt.value, profile,
-                cache=cache)
+                cache=cache, tracer=tracer)
         return QueryResult(
             schema=Schema.of(rows_affected=DataType.INTEGER),
             rows=[(affected,)],
@@ -620,7 +760,8 @@ class Catalog:
     def _update_with_expr(self, table: Table, predicate: ast.Expr,
                           column: str, value_expr: ast.Expr,
                           profile: QueryProfile,
-                          cache: PartitionCache | None = None) -> int:
+                          cache: PartitionCache | None = None,
+                          tracer: Tracer | None = None) -> int:
         """UPDATE with a SQL value expression evaluated per row."""
         from .expr.eval import evaluate
 
@@ -630,8 +771,8 @@ class Catalog:
         if value_dtype != target_dtype:
             value_expr = ast.Cast(value_expr, target_dtype)
         updated_rows = 0
-        removed_ids: list[int] = []
-        inserted_ids: list[int] = []
+        removed: list[MicroPartition] = []
+        added: list[MicroPartition] = []
         for partition in self._dml_candidates(table, predicate,
                                               profile, cache=cache):
             mask = evaluate_predicate(predicate, partition.columns(),
@@ -640,7 +781,7 @@ class Catalog:
             if hits == 0:
                 continue
             updated_rows += hits
-            removed_ids.append(partition.partition_id)
+            removed.append(partition)
             columns = partition.columns()
             old = columns[column]
             new = evaluate(value_expr, columns, table.schema)
@@ -653,14 +794,10 @@ class Catalog:
                 np.asarray(merged_values,
                            dtype=target_dtype.numpy_dtype()),
                 np.asarray(merged_nulls, dtype=np.bool_))
-            replacement = MicroPartition(table.schema, columns)
-            self._swap_partition(table, partition, replacement)
-            inserted_ids.append(replacement.partition_id)
-        if self.predicate_cache is not None and removed_ids:
-            self.predicate_cache.on_update(table.name, removed_ids,
-                                           inserted_ids, [column])
-        if removed_ids:
-            self._bump_version(table)
+            added.append(MicroPartition(table.schema, columns))
+        self._commit_rewrite(table, removed, added, kind="update",
+                             columns=[column], profile=profile,
+                             tracer=tracer)
         return updated_rows
 
     def plan_sql(self, text: str) -> LogicalNode:
@@ -718,7 +855,7 @@ class Catalog:
             stmt = parse_statement(text)
         if isinstance(stmt, (DeleteStmt, UpdateStmt)):
             with _span(tracer, "dml", table=stmt.table):
-                result = self._execute_dml(stmt)
+                result = self._execute_dml(stmt, tracer=tracer)
             profile = result.profile
             if tracer is not None:
                 profile.trace = tracer.finish()
@@ -753,6 +890,9 @@ class Catalog:
             body = render_plan(compiled.root)
         resilience = profile.resilience_summary().replace("\n", "\n-- ")
         report = f"{header}\n{body}\n-- {resilience}"
+        if self.durability is not None:
+            report += (f"\n-- wal: {profile.wal_appends} appends / "
+                       f"{profile.wal_bytes} bytes")
         if profile.trace is not None:
             tree = render_span_tree(profile.trace)
             report += "\n-- trace:\n-- " + tree.replace("\n", "\n-- ")
@@ -811,12 +951,28 @@ class Catalog:
     # ------------------------------------------------------------------
     def insert(self, table_name: str,
                rows: Sequence[Sequence[Any]]) -> list[int]:
-        """Append rows as new micro-partitions; returns new ids."""
+        """Append rows as new micro-partitions; returns new ids.
+
+        Two-phase: the partitions are built first (pure), logged to
+        the WAL as one record, and only then applied — so a crash
+        either loses the whole insert or none of it.
+        """
         table = self._table(table_name)
         appended = build_table(table.name, table.schema, rows,
                                rows_per_partition=self.rows_per_partition)
+        if appended.partitions and self._durable:
+            from .durability.codec import insert_record
+
+            self._wal_log(insert_record(table.name,
+                                        appended.partitions))
+        return self._apply_insert(table, appended.partitions)
+
+    def _apply_insert(self, table: Table,
+                      partitions: Sequence[MicroPartition]
+                      ) -> list[int]:
+        """Register already-built partitions (live commit and replay)."""
         new_ids = []
-        for partition in appended.partitions:
+        for partition in partitions:
             table.add_partition(partition)
             self.storage.put(partition)
             self.metadata.register(table.name, partition.partition_id,
@@ -887,17 +1043,20 @@ class Catalog:
 
     def delete_where(self, table_name: str, predicate: ast.Expr,
                      profile: QueryProfile | None = None,
-                     cache: PartitionCache | None = None) -> int:
+                     cache: PartitionCache | None = None,
+                     tracer: Tracer | None = None) -> int:
         """DELETE FROM t WHERE ...; rewrites affected partitions.
 
         Partition pruning runs first: partitions provably without
         matches are untouched. Returns the number of rows deleted.
         Pass a :class:`QueryProfile` to record the pruning outcome.
+        The full rewrite is computed before anything is applied
+        (two-phase), so the WAL record precedes every swap.
         """
         table = self._table(table_name)
         deleted_rows = 0
-        removed_ids: list[int] = []
-        inserted_ids: list[int] = []
+        removed: list[MicroPartition] = []
+        added: list[MicroPartition] = []
         for partition in self._dml_candidates(table, predicate,
                                               profile, cache=cache):
             mask = evaluate_predicate(predicate, partition.columns(),
@@ -906,40 +1065,33 @@ class Catalog:
             if hits == 0:
                 continue
             deleted_rows += hits
-            removed_ids.append(partition.partition_id)
-            survivors = partition.row_count - hits
-            replacement = None
-            if survivors:
+            removed.append(partition)
+            if partition.row_count - hits:
                 keep = ~mask
                 columns = {name: col.filter(keep)
                            for name, col in partition.columns().items()}
-                replacement = MicroPartition(table.schema, columns)
-            self._swap_partition(table, partition, replacement)
-            if replacement is not None:
-                inserted_ids.append(replacement.partition_id)
-        if self.predicate_cache is not None and removed_ids:
-            self.predicate_cache.on_delete(table.name, removed_ids)
-            if inserted_ids:
-                self.predicate_cache.on_insert(table.name, inserted_ids)
-        if removed_ids:
-            self._bump_version(table)
+                added.append(MicroPartition(table.schema, columns))
+        self._commit_rewrite(table, removed, added, kind="delete",
+                             profile=profile, tracer=tracer)
         return deleted_rows
 
     def update_where(self, table_name: str, predicate: ast.Expr,
                      column: str, value_fn: Callable[[Any], Any],
                      profile: QueryProfile | None = None,
-                     cache: PartitionCache | None = None) -> int:
+                     cache: PartitionCache | None = None,
+                     tracer: Tracer | None = None) -> int:
         """UPDATE t SET column = value_fn(old) WHERE ...
 
         Partition pruning runs first, then every partition containing
-        affected rows is rewritten. Returns the number of rows updated.
+        affected rows is rewritten (two-phase: plan, log, apply).
+        Returns the number of rows updated.
         """
         table = self._table(table_name)
         column = column.lower()
         dtype = table.schema.dtype_of(column)
         updated_rows = 0
-        removed_ids: list[int] = []
-        inserted_ids: list[int] = []
+        removed: list[MicroPartition] = []
+        added: list[MicroPartition] = []
         for partition in self._dml_candidates(table, predicate,
                                               profile, cache=cache):
             mask = evaluate_predicate(predicate, partition.columns(),
@@ -948,7 +1100,7 @@ class Catalog:
             if hits == 0:
                 continue
             updated_rows += hits
-            removed_ids.append(partition.partition_id)
+            removed.append(partition)
             columns = partition.columns()
             old = columns[column]
             new_values = old.to_pylist()
@@ -957,14 +1109,10 @@ class Catalog:
             from .storage.column import Column
 
             columns[column] = Column.from_pylist(dtype, new_values)
-            replacement = MicroPartition(table.schema, columns)
-            self._swap_partition(table, partition, replacement)
-            inserted_ids.append(replacement.partition_id)
-        if self.predicate_cache is not None and removed_ids:
-            self.predicate_cache.on_update(table.name, removed_ids,
-                                           inserted_ids, [column])
-        if removed_ids:
-            self._bump_version(table)
+            added.append(MicroPartition(table.schema, columns))
+        self._commit_rewrite(table, removed, added, kind="update",
+                             columns=[column], profile=profile,
+                             tracer=tracer)
         return updated_rows
 
     # ------------------------------------------------------------------
@@ -1010,35 +1158,76 @@ class Catalog:
         table = self._table(table_name)
         if not keys:
             raise SchemaError("recluster requires at least one key")
-        old_ids = table.partition_ids
+        old_partitions = list(table.partitions)
         rows = table.to_rows()
         rebuilt = build_table(
             table.name, table.schema, rows,
             rows_per_partition=rows_per_partition
             or self.rows_per_partition,
             layout=Layout.sorted_by(*keys))
-        for partition_id in old_ids:
-            self.storage.delete(partition_id)
-            self.metadata.unregister(table.name, partition_id)
-        table.replace_partitions(rebuilt.partitions)
-        for partition in rebuilt.partitions:
-            self.storage.put(partition)
-            self.metadata.register(table.name, partition.partition_id,
-                                   partition.zone_map)
-        if self.predicate_cache is not None:
-            self.predicate_cache.on_update(
-                table.name, old_ids, table.partition_ids,
-                table.schema.names())
-        self._bump_version(table)
+        if not old_partitions and not rebuilt.partitions:
+            self._bump_version(table)  # empty table: no-op rewrite
+            return 0
+        self._commit_rewrite(table, old_partitions,
+                             rebuilt.partitions, kind="recluster")
         return table.num_partitions
 
-    def _swap_partition(self, table: Table, old: MicroPartition,
-                        new: MicroPartition | None) -> None:
-        table.remove_partition(old.partition_id)
-        self.storage.delete(old.partition_id)
-        self.metadata.unregister(table.name, old.partition_id)
-        if new is not None:
+    # ------------------------------------------------------------------
+    # Rewrite commit machinery (shared by DELETE/UPDATE/RECLUSTER)
+    # ------------------------------------------------------------------
+    def _commit_rewrite(self, table: Table,
+                        removed: Sequence[MicroPartition],
+                        added: Sequence[MicroPartition],
+                        kind: str,
+                        columns: Sequence[str] | None = None,
+                        profile: QueryProfile | None = None,
+                        tracer: Tracer | None = None) -> None:
+        """Log one rewrite record, then apply it (log-before-apply).
+
+        A rewrite that touches nothing logs nothing — one WAL record
+        per *committed* mutation, never per attempted statement.
+        """
+        if not removed and not added:
+            return
+        if self._durable:
+            from .durability.codec import rewrite_record
+
+            self._wal_log(rewrite_record(
+                table.name, kind,
+                [p.partition_id for p in removed], added, columns),
+                profile=profile, tracer=tracer)
+        self._apply_rewrite(table, removed, added, kind=kind,
+                            columns=columns)
+
+    def _apply_rewrite(self, table: Table,
+                       removed: Sequence[MicroPartition],
+                       added: Sequence[MicroPartition],
+                       kind: str,
+                       columns: Sequence[str] | None = None) -> None:
+        """Swap partition sets in storage/metadata and fire the cache
+        invalidation hooks (live commit and replay take this path)."""
+        removed_ids = []
+        for old in removed:
+            table.remove_partition(old.partition_id)
+            self.storage.delete(old.partition_id)
+            self.metadata.unregister(table.name, old.partition_id)
+            removed_ids.append(old.partition_id)
+        inserted_ids = []
+        for new in added:
             table.add_partition(new)
             self.storage.put(new)
             self.metadata.register(table.name, new.partition_id,
                                    new.zone_map)
+            inserted_ids.append(new.partition_id)
+        if self.predicate_cache is not None and removed_ids:
+            if kind == "delete":
+                self.predicate_cache.on_delete(table.name, removed_ids)
+                if inserted_ids:
+                    self.predicate_cache.on_insert(table.name,
+                                                   inserted_ids)
+            else:
+                cols = (list(columns) if columns is not None
+                        else table.schema.names())
+                self.predicate_cache.on_update(
+                    table.name, removed_ids, inserted_ids, cols)
+        self._bump_version(table)

@@ -1,0 +1,39 @@
+"""Durability: write-ahead logging, checkpoints, crash recovery.
+
+The paper's architecture (§2) assumes a durable storage layer beneath
+the compute tier; this package gives the reproduction's catalog the
+same property. Every committed mutation (insert / delete_where /
+update_where / recluster / create / drop) is appended to a CRC-framed
+:class:`WriteAheadLog` *before* it is applied in memory, an atomic
+:class:`CheckpointManager` snapshot bounds replay, and
+:class:`DurabilityManager.recover_into` deterministically rebuilds a
+bit-identical catalog after a crash at any point on the commit path.
+
+Quickstart::
+
+    from repro import Catalog
+
+    catalog = Catalog()
+    catalog.enable_durability("/data/warehouse")   # WAL + checkpoints
+    catalog.create_table_from_rows("t", schema, rows)
+    catalog.sql("DELETE FROM t WHERE v < 0")       # logged, then applied
+
+    # ... process dies; later:
+    recovered = Catalog.recover("/data/warehouse")
+
+Crash-point testing uses
+:class:`repro.faults.CrashInjector` — see ``tests/test_durability.py``
+for the crash-at-every-point sweep and ``docs/durability.md`` for the
+format and crash-matrix reference.
+"""
+
+from .checkpoint import CheckpointInfo, CheckpointManager
+from .manager import DurabilityManager
+from .wal import WriteAheadLog
+
+__all__ = [
+    "CheckpointInfo",
+    "CheckpointManager",
+    "DurabilityManager",
+    "WriteAheadLog",
+]

@@ -1,0 +1,116 @@
+"""Atomic catalog checkpoints keyed by WAL sequence number.
+
+A checkpoint is one snapshot directory written by
+:func:`repro.persistence.save_catalog` under ``checkpoints/``::
+
+    checkpoints/
+        ckpt-000000000042/     <- manifest.json carries wal_seqno=42
+        .tmp-ckpt-...          <- in-flight writes (ignored, cleaned)
+
+Every checkpoint is written into a fresh temp directory and published
+with a single ``os.rename`` — it either exists completely or not at
+all, so a crash at any point during checkpointing can never damage a
+previous snapshot. The newest *valid* checkpoint wins at recovery;
+older ones are pruned once a newer one is safely published.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..faults.crash import CrashInjector
+
+__all__ = ["CheckpointInfo", "CheckpointManager"]
+
+_PREFIX = "ckpt-"
+_TMP_PREFIX = ".tmp-"
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One published checkpoint: its WAL high-water mark and path."""
+
+    seqno: int
+    path: Path
+
+
+class CheckpointManager:
+    """Writes, lists, and prunes atomic catalog snapshots."""
+
+    def __init__(self, root: str | Path, *,
+                 crash_injector: CrashInjector | None = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.crash_injector = crash_injector
+        #: checkpoints published by this process
+        self.written = 0
+        # A crash mid-checkpoint leaves a .tmp-* directory behind;
+        # it was never published, so it is dead weight — drop it.
+        for stale in self.root.glob(f"{_TMP_PREFIX}*"):
+            shutil.rmtree(stale, ignore_errors=True)
+
+    @staticmethod
+    def _dirname(seqno: int) -> str:
+        return f"{_PREFIX}{seqno:012d}"
+
+    # ------------------------------------------------------------------
+    def list(self) -> list[CheckpointInfo]:
+        """Valid checkpoints, oldest first."""
+        found = []
+        for entry in self.root.iterdir():
+            if not entry.is_dir() or not entry.name.startswith(_PREFIX):
+                continue
+            try:
+                seqno = int(entry.name[len(_PREFIX):])
+            except ValueError:
+                continue
+            if not (entry / "manifest.json").exists():
+                continue  # unpublishable leftovers; never valid
+            found.append(CheckpointInfo(seqno, entry))
+        found.sort(key=lambda info: info.seqno)
+        return found
+
+    def newest(self) -> CheckpointInfo | None:
+        checkpoints = self.list()
+        return checkpoints[-1] if checkpoints else None
+
+    # ------------------------------------------------------------------
+    def write(self, catalog, seqno: int) -> CheckpointInfo:
+        """Snapshot ``catalog`` as the checkpoint for WAL ``seqno``.
+
+        Crash points: ``mid-checkpoint`` fires after the snapshot files
+        are written but before the publishing rename (the checkpoint
+        does not exist yet); ``post-rename`` fires after publication
+        but before the caller truncates the WAL (replay filters the
+        already-checkpointed records by seqno, so nothing double-
+        applies).
+        """
+        from ..persistence import save_catalog
+
+        final = self.root / self._dirname(seqno)
+        tmp = self.root / f"{_TMP_PREFIX}{self._dirname(seqno)}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        save_catalog(catalog, tmp, extra_manifest={"wal_seqno": seqno})
+        injector = self.crash_injector
+        if injector is not None:
+            injector.crashpoint("mid-checkpoint")
+        if final.exists():
+            shutil.rmtree(final)  # idempotent re-checkpoint at seqno
+        os.rename(tmp, final)
+        if injector is not None:
+            injector.crashpoint("post-rename")
+        self.written += 1
+        return CheckpointInfo(seqno, final)
+
+    def prune(self, keep: int = 1) -> int:
+        """Delete all but the newest ``keep`` checkpoints."""
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        victims = self.list()[:-keep]
+        for info in victims:
+            shutil.rmtree(info.path, ignore_errors=True)
+        return len(victims)

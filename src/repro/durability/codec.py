@@ -1,0 +1,143 @@
+"""Logical WAL record payloads: JSON in, catalog objects out.
+
+Records are *logical redo* records: instead of binary page images they
+carry the schema and full row contents of every partition a mutation
+added, plus the ids of the partitions it removed. Payloads are plain
+JSON — no pickling anywhere on the durability path, matching the
+persistence layer's format discipline — with ``DATE`` values encoded
+as ISO strings and decoded back through the schema's
+:class:`~repro.types.DataType`.
+
+Partition ids are recorded explicitly and re-assigned verbatim on
+replay (``MicroPartition.from_rows(..., partition_id=...)``), so a
+recovered catalog reproduces the crashed process's partition ids,
+contents, and checksums exactly — recovery is bit-identical, not just
+row-equal.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Iterable, Sequence
+
+from ..storage.micropartition import MicroPartition
+from ..storage.table import Table
+from ..types import DataType, Field, Schema
+
+__all__ = [
+    "create_record",
+    "decode_partitions",
+    "decode_schema",
+    "drop_record",
+    "encode_schema",
+    "insert_record",
+    "rewrite_record",
+]
+
+
+# ----------------------------------------------------------------------
+# Schema
+# ----------------------------------------------------------------------
+def encode_schema(schema: Schema) -> list[list[str]]:
+    return [[f.name, f.dtype.value] for f in schema]
+
+
+def decode_schema(data: Sequence[Sequence[str]]) -> Schema:
+    return Schema(Field(name, DataType(dtype)) for name, dtype in data)
+
+
+# ----------------------------------------------------------------------
+# Row values
+# ----------------------------------------------------------------------
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, _dt.date):
+        return value.isoformat()
+    return value
+
+
+def _decode_value(value: Any, dtype: DataType) -> Any:
+    if value is None:
+        return None
+    if dtype == DataType.DATE:
+        return _dt.date.fromisoformat(value)
+    return value
+
+
+def _encode_rows(rows: Iterable[Sequence[Any]]) -> list[list[Any]]:
+    return [[_encode_value(v) for v in row] for row in rows]
+
+
+def _decode_rows(schema: Schema,
+                 rows: Iterable[Sequence[Any]]) -> list[list[Any]]:
+    dtypes = [f.dtype for f in schema]
+    return [[_decode_value(v, t) for v, t in zip(row, dtypes)]
+            for row in rows]
+
+
+# ----------------------------------------------------------------------
+# Partitions
+# ----------------------------------------------------------------------
+def _encode_partitions(partitions: Iterable[MicroPartition]
+                       ) -> list[dict[str, Any]]:
+    return [{"id": p.partition_id, "rows": _encode_rows(p.to_rows())}
+            for p in partitions]
+
+
+def decode_partitions(schema: Schema,
+                      specs: Iterable[dict[str, Any]]
+                      ) -> list[MicroPartition]:
+    """Rebuild partitions with their original ids and row contents."""
+    return [MicroPartition.from_rows(
+        schema, _decode_rows(schema, spec["rows"]),
+        partition_id=int(spec["id"])) for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# Record constructors (one per committed mutation kind)
+# ----------------------------------------------------------------------
+def create_record(table: Table) -> dict[str, Any]:
+    """CREATE TABLE: schema plus the initial partition layout."""
+    return {
+        "op": "create",
+        "table": table.name,
+        "schema": encode_schema(table.schema),
+        "partitions": _encode_partitions(table.partitions),
+    }
+
+
+def insert_record(table_name: str,
+                  partitions: Sequence[MicroPartition]
+                  ) -> dict[str, Any]:
+    """INSERT: the freshly built partitions appended to the table."""
+    return {
+        "op": "insert",
+        "table": table_name,
+        "partitions": _encode_partitions(partitions),
+    }
+
+
+def rewrite_record(table_name: str, kind: str,
+                   removed_ids: Sequence[int],
+                   partitions: Sequence[MicroPartition],
+                   columns: Sequence[str] | None = None
+                   ) -> dict[str, Any]:
+    """DELETE / UPDATE / RECLUSTER: a partition-wise rewrite.
+
+    ``kind`` labels the mutation for the predicate-cache invalidation
+    hooks replay must re-run; ``columns`` names the rewritten columns
+    for ``kind == "update"``.
+    """
+    record: dict[str, Any] = {
+        "op": "rewrite",
+        "table": table_name,
+        "kind": kind,
+        "removed": list(removed_ids),
+        "partitions": _encode_partitions(partitions),
+    }
+    if columns is not None:
+        record["columns"] = list(columns)
+    return record
+
+
+def drop_record(table_name: str) -> dict[str, Any]:
+    return {"op": "drop", "table": table_name}

@@ -1,0 +1,229 @@
+"""The write-ahead log: CRC-framed, monotonically sequenced records.
+
+One frame per committed mutation::
+
+    [payload_len u32 LE][seqno u64 LE][crc32 u32 LE][payload JSON utf-8]
+
+``crc32`` covers the seqno and the payload, so neither can be altered
+without detection. Sequence numbers are strictly monotonic (+1), which
+turns replay gaps into typed corruption instead of silent data loss.
+
+Failure semantics mirror production WALs (etcd, Postgres):
+
+* a **torn or truncated final frame** — short header, short payload,
+  or a final frame whose CRC fails — is the expected signature of a
+  crash mid-append: the mutation never committed, the tail is dropped
+  (and physically truncated on reopen);
+* a **corrupt interior frame** (bad CRC or a sequence discontinuity
+  with valid frames after it) means committed history is damaged, and
+  reading fails closed with
+  :class:`~repro.errors.WalCorruptionError`.
+
+Appends flush eagerly — the "simulated fsync" commit barrier — so the
+bytes a crash point observes on disk are exactly what had been
+committed when it fired. A real ``os.fsync`` can be enabled with
+``sync=True`` for tests that want the OS-level barrier too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..errors import WalCorruptionError
+from ..faults.crash import CrashInjector
+
+__all__ = ["WriteAheadLog"]
+
+_HEADER = struct.Struct("<IQI")  # payload_len, seqno, crc32
+_SEQ = struct.Struct("<Q")
+#: sanity cap on a single frame; anything larger is corruption
+_MAX_RECORD_BYTES = 1 << 31
+
+
+def _frame_crc(seqno: int, payload: bytes) -> int:
+    return zlib.crc32(_SEQ.pack(seqno) + payload)
+
+
+def iter_frames(data: bytes) -> Iterator[tuple[int, bytes, int]]:
+    """Yield ``(seqno, payload, end_offset)`` for every intact frame.
+
+    Stops silently at a torn tail (incomplete or CRC-corrupt *final*
+    frame); raises :class:`WalCorruptionError` for interior damage.
+    """
+    offset = 0
+    size = len(data)
+    prev_seq: int | None = None
+    while offset < size:
+        if size - offset < _HEADER.size:
+            return  # torn tail: incomplete header
+        length, seqno, crc = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if length > _MAX_RECORD_BYTES or end > size:
+            return  # torn tail: incomplete payload
+        payload = data[offset + _HEADER.size:end]
+        if _frame_crc(seqno, payload) != crc:
+            if end == size:
+                return  # torn tail: final frame half-written
+            raise WalCorruptionError(
+                f"WAL record seqno={seqno} at byte {offset} failed "
+                f"its CRC check with committed records after it")
+        if prev_seq is not None and seqno != prev_seq + 1:
+            raise WalCorruptionError(
+                f"WAL sequence discontinuity at byte {offset}: "
+                f"seqno {seqno} follows {prev_seq}")
+        yield seqno, payload, end
+        prev_seq = seqno
+        offset = end
+
+
+class WriteAheadLog:
+    """Append-only framed log with crash-point hooks.
+
+    Thread-safe: appends serialize on an internal lock (the service
+    layer additionally serializes DML under its write lock, so log
+    order equals apply order). Opening an existing log scans it,
+    truncates any torn tail left by a crash, and resumes the sequence
+    after the last intact record.
+    """
+
+    def __init__(self, path: str | Path, *,
+                 crash_injector: CrashInjector | None = None,
+                 sync: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.crash_injector = crash_injector
+        self.sync = sync
+        self._lock = threading.Lock()
+        #: lifetime append counters for this process (observability)
+        self.appends = 0
+        self.appended_bytes = 0
+        #: True when opening found and dropped a torn tail
+        self.torn_tail_repaired = False
+        last_seq = 0
+        valid_end = 0
+        data = self.path.read_bytes() if self.path.exists() else b""
+        for seqno, _payload, end in iter_frames(data):
+            last_seq = seqno
+            valid_end = end
+        if valid_end < len(data):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+            self.torn_tail_repaired = True
+        self._last_seq = last_seq
+        self._handle = open(self.path, "ab")
+
+    # ------------------------------------------------------------------
+    @property
+    def last_seqno(self) -> int:
+        """Sequence number of the last committed record (0 when none)."""
+        return self._last_seq
+
+    def ensure_seq_floor(self, seqno: int) -> None:
+        """Never hand out sequence numbers <= ``seqno``.
+
+        Called with the newest checkpoint's sequence number on open: a
+        fully truncated log must still continue the global sequence,
+        or fresh records would be mistaken for already-checkpointed
+        ones on the next recovery.
+        """
+        with self._lock:
+            self._last_seq = max(self._last_seq, seqno)
+
+    def size(self) -> int:
+        """Current on-disk size in bytes (bytes since last truncation)."""
+        with self._lock:
+            self._handle.flush()
+            return self.path.stat().st_size
+
+    # ------------------------------------------------------------------
+    def append(self, record: dict[str, Any]) -> tuple[int, int]:
+        """Durably append one record; returns ``(seqno, frame_bytes)``.
+
+        Crash points: ``pre-append`` fires before any byte is written;
+        ``mid-append`` writes (and flushes) the first half of the frame
+        before dying — the torn-write case recovery must tolerate.
+        """
+        payload = json.dumps(record, separators=(",", ":")).encode()
+        injector = self.crash_injector
+        with self._lock:
+            seqno = self._last_seq + 1
+            frame = _HEADER.pack(len(payload), seqno,
+                                 _frame_crc(seqno, payload)) + payload
+            if injector is not None:
+                injector.crashpoint("pre-append")
+                injector.crashpoint(
+                    "mid-append",
+                    on_fire=lambda: self._write(
+                        frame[:max(1, len(frame) // 2)]))
+            self._write(frame)
+            self._last_seq = seqno
+            self.appends += 1
+            self.appended_bytes += len(frame)
+        return seqno, len(frame)
+
+    def _write(self, data: bytes) -> None:
+        self._handle.write(data)
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    def records(self) -> list[tuple[int, dict[str, Any]]]:
+        """Every intact ``(seqno, record)``, oldest first.
+
+        Raises :class:`WalCorruptionError` for interior corruption or
+        an undecodable committed payload; a torn tail is dropped.
+        """
+        with self._lock:
+            self._handle.flush()
+            data = self.path.read_bytes()
+        out = []
+        for seqno, payload, _end in iter_frames(data):
+            try:
+                out.append((seqno, json.loads(payload.decode())))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise WalCorruptionError(
+                    f"WAL record seqno={seqno} passed its CRC but "
+                    f"does not decode: {exc}") from exc
+        return out
+
+    def truncate_through(self, seqno: int) -> None:
+        """Drop every record with sequence number <= ``seqno``.
+
+        Rewrites the retained tail to a temp file and atomically
+        replaces the log, so a crash mid-truncation leaves either the
+        old or the new log — never a mangled one.
+        """
+        with self._lock:
+            self._handle.flush()
+            data = self.path.read_bytes()
+            kept = bytearray()
+            start = 0
+            for record_seq, _payload, end in iter_frames(data):
+                if record_seq <= seqno:
+                    start = end
+                else:
+                    break
+            kept.extend(data[start:])
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with open(tmp, "wb") as handle:
+                handle.write(bytes(kept))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(tmp, self.path)
+            self._handle = open(self.path, "ab")
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()
+
+    def __repr__(self) -> str:
+        return (f"WriteAheadLog({self.path}, last_seqno="
+                f"{self._last_seq}, appends={self.appends})")

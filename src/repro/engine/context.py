@@ -136,6 +136,11 @@ class QueryProfile:
     #: True when the plan cache was consulted for this query at all
     #: (hit or miss); False when the cache is disabled or bypassed.
     plan_cache_checked: bool = False
+    #: write-ahead-log records this statement appended (DML under
+    #: durability; always 0 for SELECTs and with durability off).
+    wal_appends: int = 0
+    #: framed bytes those appends wrote to the WAL.
+    wal_bytes: int = 0
     #: retries/backoff/latency absorbed below this query (storage reads
     #: attribute into it directly; metadata retries are folded in from
     #: the scan profiles).
@@ -265,6 +270,8 @@ class QueryProfile:
             "plan_cache_misses": 1.0 if (self.plan_cache_checked
                                          and not self.plan_cache_hit)
             else 0.0,
+            "wal_appends": float(self.wal_appends),
+            "wal_bytes": float(self.wal_bytes),
         }
 
     def resilience_summary(self) -> str:

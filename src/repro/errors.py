@@ -49,6 +49,22 @@ class MetadataError(ReproError):
     """Partition metadata is missing or inconsistent."""
 
 
+class DurabilityError(StorageError):
+    """The durability subsystem (WAL / checkpoint / recovery) rejected
+    an operation — e.g. recovering into a non-empty catalog."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A write-ahead-log record in the *interior* of the log failed its
+    CRC or sequence check.
+
+    Interior corruption means committed history is damaged, so recovery
+    fails closed instead of silently replaying a prefix. A torn or
+    truncated *final* record is the expected signature of a crash
+    mid-append and is tolerated (the mutation never committed).
+    """
+
+
 # ----------------------------------------------------------------------
 # Fault / resilience hierarchy (repro.faults)
 #

@@ -17,7 +17,11 @@ stack plumbs through:
   deterministic jitter, retry budgets, per-class retryability) and
   :class:`RetryStats` accounting;
 - :mod:`.breaker` — :class:`CircuitBreaker`, fail-fast protection
-  around the metadata store during outages.
+  around the metadata store during outages;
+- :mod:`.crash` — :class:`CrashInjector`, deterministic process-death
+  simulation at named commit-path points (``pre-append``,
+  ``mid-append`` torn writes, ...) for the durability subsystem's
+  crash-recovery sweep (see :mod:`repro.durability`).
 
 Quickstart::
 
@@ -37,6 +41,7 @@ Quickstart::
 """
 
 from .breaker import CircuitBreaker
+from .crash import CRASH_POINTS, CrashInjector, SimulatedCrash
 from .injector import (
     METADATA,
     STORAGE,
@@ -47,12 +52,15 @@ from .injector import (
 from .retry import DEFAULT_RETRYABLE, RetryPolicy, RetryStats
 
 __all__ = [
+    "CRASH_POINTS",
     "CircuitBreaker",
+    "CrashInjector",
     "FaultDecision",
     "FaultInjector",
     "FaultSpec",
     "RetryPolicy",
     "RetryStats",
+    "SimulatedCrash",
     "DEFAULT_RETRYABLE",
     "STORAGE",
     "METADATA",

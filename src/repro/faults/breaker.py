@@ -75,8 +75,15 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         with self._lock:
             self._consecutive_failures += 1
-            if self._state == self.CLOSED and \
-                    self._consecutive_failures >= self.failure_threshold:
+            if self._state == self.OPEN:
+                # A probe failed. Restart the rejection cycle so the
+                # next probe is admitted only after a *full*
+                # ``probe_interval`` rejections — otherwise the counter
+                # keeps its mid-cycle remainder and the breaker probes
+                # a still-broken dependency almost immediately.
+                self._rejections_since_open = 0
+                return
+            if self._consecutive_failures >= self.failure_threshold:
                 self._state = self.OPEN
                 self._rejections_since_open = 0
                 self.opens += 1

@@ -180,6 +180,8 @@ def fleet_summary(records: Sequence[TelemetryRecord]
         "plan_cache_hits": plan_hits,
         "plan_cache_hit_ratio": round(plan_hits / len(executed), 6)
         if executed else 0.0,
+        "wal_appends": sum(r.wal_appends for r in records),
+        "wal_bytes": sum(r.wal_bytes for r in records),
         "metadata_only": sum(1 for r in executed if r.metadata_only),
         "degraded_queries": sum(1 for r in executed if r.degraded),
         "retried_queries": sum(1 for r in executed if r.retries),
@@ -244,6 +246,9 @@ def render_fleet_report(records: Sequence[TelemetryRecord],
                    f"{summary['executed']} executed queries served "
                    f"from cached plans "
                    f"({summary['plan_cache_hit_ratio']:.1%})")
+    if summary["wal_appends"]:
+        report.add(f"  durability: {summary['wal_appends']} WAL "
+                   f"appends / {summary['wal_bytes']} bytes logged")
     report.add(f"  rows scanned: {summary['rows_scanned']}, "
                f"returned: {summary['rows_returned']}, bytes "
                f"scanned: {summary['bytes_scanned']}")

@@ -70,6 +70,10 @@ class TelemetryRecord:
     data_cache_hits: int = 0
     data_cache_misses: int = 0
     data_cache_bytes_saved: int = 0
+    #: write-ahead-log records this statement appended / bytes those
+    #: appends framed (DML with durability enabled; otherwise 0).
+    wal_appends: int = 0
+    wal_bytes: int = 0
     metadata_only: bool = False
     degraded: bool = False
     degraded_partitions: int = 0
@@ -145,6 +149,8 @@ class TelemetryRecord:
             data_cache_hits=profile.data_cache_hits,
             data_cache_misses=profile.data_cache_misses,
             data_cache_bytes_saved=profile.data_cache_bytes_saved,
+            wal_appends=profile.wal_appends,
+            wal_bytes=profile.wal_bytes,
             metadata_only=bool(profile.scans) and all(
                 s.metadata_only for s in profile.scans),
             degraded=profile.degraded,
@@ -183,6 +189,8 @@ class TelemetryRecord:
             "data_cache_bytes_saved": self.data_cache_bytes_saved,
             "data_cache_hit_ratio": round(
                 self.data_cache_hit_ratio, 6),
+            "wal_appends": self.wal_appends,
+            "wal_bytes": self.wal_bytes,
             "metadata_only": self.metadata_only,
             "degraded": self.degraded,
             "degraded_partitions": self.degraded_partitions,
@@ -305,6 +313,8 @@ class TelemetrySink:
                                      for r in records),
             "data_cache_bytes_saved": sum(r.data_cache_bytes_saved
                                           for r in records),
+            "wal_appends": sum(r.wal_appends for r in records),
+            "wal_bytes": sum(r.wal_bytes for r in records),
             "degraded_queries": sum(1 for r in records if r.degraded),
             "retried_queries": sum(1 for r in records if r.retries),
             "partitions_total": population,

@@ -5,12 +5,24 @@ ids, catalog settings) plus one ``<table>.npz`` per table holding every
 partition's column values and null masks. No pickling: VARCHAR columns
 are stored as fixed-width unicode arrays and converted back to object
 arrays on load.
+
+Saves are **atomic**: the snapshot is written to a hidden temp sibling
+directory and swapped into place with directory renames, so a crash at
+any point during :func:`save_catalog` leaves the previous good copy
+loadable. Every load failure mode — missing or corrupt manifest,
+truncated/corrupt ``.npz``, missing table file, unknown keys — raises
+a typed :class:`~repro.errors.StorageError` rather than leaking bare
+``KeyError``/``OSError``.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import zipfile
 from pathlib import Path
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -28,19 +40,30 @@ MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 1
 
 
-def save_catalog(catalog: Catalog, path: str | Path) -> None:
-    """Write every table of the catalog under ``path``.
+def save_catalog(catalog: Catalog, path: str | Path,
+                 extra_manifest: Mapping[str, Any] | None = None
+                 ) -> None:
+    """Atomically write every table of the catalog under ``path``.
 
-    The directory is created if needed; existing contents with the
-    same file names are overwritten.
+    The snapshot is staged in a temp sibling directory and renamed
+    into place, so an interrupted save can never clobber an existing
+    snapshot at ``path``. ``extra_manifest`` entries are merged into
+    the manifest (the durability layer stores its WAL sequence number
+    this way).
     """
     root = Path(path)
-    root.mkdir(parents=True, exist_ok=True)
+    root.parent.mkdir(parents=True, exist_ok=True)
+    staging = root.parent / f".{root.name}.tmp-save"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
     manifest: dict = {
         "version": FORMAT_VERSION,
         "rows_per_partition": catalog.rows_per_partition,
         "tables": {},
     }
+    if extra_manifest:
+        manifest.update(extra_manifest)
     for name, table in catalog.tables.items():
         manifest["tables"][name] = {
             "schema": [[f.name, f.dtype.value] for f in table.schema],
@@ -52,39 +75,81 @@ def save_catalog(catalog: Catalog, path: str | Path) -> None:
                 key = f"{partition.partition_id}__{column_name}"
                 arrays[f"{key}__v"] = _encode_values(column)
                 arrays[f"{key}__n"] = column.nulls
-        np.savez_compressed(root / f"{name}.npz", **arrays)
-    with open(root / MANIFEST_NAME, "w") as handle:
+        np.savez_compressed(staging / f"{name}.npz", **arrays)
+    with open(staging / MANIFEST_NAME, "w") as handle:
         json.dump(manifest, handle, indent=2)
+    if not root.exists():
+        os.rename(staging, root)
+        return
+    # Swap: retire the old snapshot, promote the staged one. The
+    # window between the two renames has no directory at ``path``;
+    # the fully-atomic variant (used by checkpoints) publishes each
+    # snapshot under a fresh name instead.
+    backup = root.parent / f".{root.name}.old-save"
+    if backup.exists():
+        shutil.rmtree(backup)
+    os.rename(root, backup)
+    os.rename(staging, root)
+    shutil.rmtree(backup)
 
 
-def load_catalog(path: str | Path, **catalog_kwargs) -> Catalog:
-    """Reconstruct a catalog saved with :func:`save_catalog`.
-
-    Partition ids are preserved and the global id generator is bumped
-    past them, so tables created afterwards cannot collide.
+def load_manifest(path: str | Path) -> dict:
+    """Read and validate a snapshot's ``manifest.json``.
 
     Raises:
-        StorageError: if the directory or manifest is missing or the
-            format version is unsupported.
+        StorageError: missing directory/manifest, undecodable JSON,
+            unsupported format version, or a malformed table map.
     """
     root = Path(path)
     manifest_path = root / MANIFEST_NAME
     if not manifest_path.exists():
         raise StorageError(f"no catalog manifest at {manifest_path}")
-    with open(manifest_path) as handle:
-        manifest = json.load(handle)
-    if manifest.get("version") != FORMAT_VERSION:
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise StorageError(
-            f"unsupported catalog format version "
-            f"{manifest.get('version')!r}")
-    catalog = Catalog(
-        rows_per_partition=manifest.get("rows_per_partition", 1000),
-        **catalog_kwargs)
-    max_id = 0
+            f"unreadable catalog manifest at {manifest_path}: "
+            f"{exc}") from exc
+    if not isinstance(manifest, dict) \
+            or manifest.get("version") != FORMAT_VERSION:
+        version = manifest.get("version") \
+            if isinstance(manifest, dict) else manifest
+        raise StorageError(
+            f"unsupported catalog format version {version!r}")
+    if not isinstance(manifest.get("tables"), dict):
+        raise StorageError(
+            f"catalog manifest at {manifest_path} has no table map")
+    return manifest
+
+
+def load_tables(path: str | Path, manifest: Mapping[str, Any]
+                ) -> list[Table]:
+    """Reconstruct every table of a snapshot, with typed failures.
+
+    Raises:
+        StorageError: malformed manifest entries, a missing or
+            truncated ``.npz``, or partition keys absent from it.
+    """
+    root = Path(path)
+    tables = []
     for name, entry in manifest["tables"].items():
+        tables.append(_load_table(root, name, entry))
+    return tables
+
+
+def _load_table(root: Path, name: str, entry: Mapping[str, Any]
+                ) -> Table:
+    try:
         schema = Schema(Field(col, DataType(dtype))
                         for col, dtype in entry["schema"])
-        with np.load(root / f"{name}.npz", allow_pickle=False) as data:
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(
+            f"malformed manifest entry for table {name!r}: "
+            f"{exc!r}") from exc
+    npz_path = root / f"{name}.npz"
+    try:
+        with np.load(npz_path, allow_pickle=False) as data:
             partitions = []
             for partition_id in entry["partitions"]:
                 columns = {}
@@ -98,8 +163,37 @@ def load_catalog(path: str | Path, **catalog_kwargs) -> Catalog:
                                                  nulls)
                 partitions.append(MicroPartition(
                     schema, columns, partition_id=partition_id))
-                max_id = max(max_id, partition_id)
-        catalog.create_table(Table(name, schema, partitions))
+    except StorageError:
+        raise
+    except (OSError, KeyError, ValueError, TypeError,
+            zipfile.BadZipFile) as exc:
+        raise StorageError(
+            f"failed to load table {name!r} from {npz_path}: "
+            f"{exc!r}") from exc
+    return Table(name, schema, partitions)
+
+
+def load_catalog(path: str | Path, **catalog_kwargs) -> Catalog:
+    """Reconstruct a catalog saved with :func:`save_catalog`.
+
+    Partition ids are preserved and the global id generator is bumped
+    past them, so tables created afterwards cannot collide.
+
+    Raises:
+        StorageError: for every failure mode — missing or corrupt
+            manifest, unsupported version, missing/truncated table
+            files, or manifest keys absent from them.
+    """
+    root = Path(path)
+    manifest = load_manifest(root)
+    catalog = Catalog(
+        rows_per_partition=manifest.get("rows_per_partition", 1000),
+        **catalog_kwargs)
+    max_id = 0
+    for table in load_tables(root, manifest):
+        for partition_id in table.partition_ids:
+            max_id = max(max_id, partition_id)
+        catalog.create_table(table)
     partition_id_generator.ensure_floor(max_id)
     return catalog
 

@@ -117,6 +117,8 @@ class MetricsRegistry:
     - counters ``pruning_time_ms`` / ``scans_vectorized`` and
       histogram ``scan_parallelism`` (vectorized pruning + morsel
       scan execution)
+    - counters ``wal_appends`` / ``wal_bytes`` / ``checkpoints``
+      (durability subsystem, see :mod:`repro.durability`)
     - histograms ``queue_wait_ms`` / ``latency_ms`` (wall clock) and
       ``sim_exec_ms`` / ``sim_compile_ms`` (simulated clock)
     """
@@ -154,7 +156,8 @@ class MetricsRegistry:
                     "pruning_time_ms", "scans_vectorized",
                     "data_cache_hits", "data_cache_misses",
                     "data_cache_bytes_saved",
-                    "plan_cache_hits", "plan_cache_misses"):
+                    "plan_cache_hits", "plan_cache_misses",
+                    "wal_appends", "wal_bytes"):
             self.counter(key).inc(export[key])
         self.histogram("scan_parallelism").observe(
             export["scan_parallelism"])

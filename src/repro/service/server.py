@@ -30,6 +30,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
+from pathlib import Path
 from typing import Any
 
 from ..catalog import Catalog, QueryResult
@@ -107,8 +108,22 @@ class QueryService:
                  telemetry_capacity: int = 4096,
                  data_cache_bytes: int | None = None,
                  warm_new_caches: bool = True,
-                 plan_cache_entries: int | None = None):
+                 plan_cache_entries: int | None = None,
+                 durability_dir: str | Path | None = None,
+                 durability_checkpoint_bytes: int = 4 * 2 ** 20):
         self.catalog = catalog
+        #: crash safety (WAL + checkpoints, see :mod:`repro.durability`).
+        #: Opening a directory with existing state replays it into the
+        #: catalog before the service takes traffic; afterwards every
+        #: committed DML statement is logged before it is applied, and
+        #: a background thread checkpoints once the log grows past
+        #: ``durability_checkpoint_bytes``.
+        if durability_dir is not None:
+            catalog.enable_durability(
+                durability_dir,
+                checkpoint_bytes=durability_checkpoint_bytes)
+        self._checkpoint_lock = threading.Lock()
+        self._checkpointing = False
         #: plan-shape compiled-plan cache (Fig. 12): result-cache
         #: misses that repeat a known shape skip parse/bind/plan and
         #: only rebind literals. ``None`` leaves the catalog's own
@@ -250,6 +265,7 @@ class QueryService:
         finally:
             self.pool.release(cluster)
         self.metrics.counter("dml_statements").inc()
+        self._maybe_checkpoint()
         return new_ids
 
     def describe(self) -> dict[str, Any]:
@@ -295,6 +311,10 @@ class QueryService:
             snap["plan_cache"] = self.catalog.plan_cache.stats.to_dict()
             snap["plan_cache_hit_ratio"] = \
                 self.metrics.plan_cache_hit_ratio()
+        if self.catalog.durability is not None:
+            snap["durability"] = self.catalog.durability.stats()
+            snap["checkpoints"] = self.metrics.counter(
+                "checkpoints").value
         snap["telemetry"] = self.telemetry.summary()
         breaker = self.catalog.metadata.breaker
         if breaker is not None:
@@ -303,6 +323,41 @@ class QueryService:
         if injector is not None:
             snap["faults_injected"] = injector.total_injected()
         return snap
+
+    # ------------------------------------------------------------------
+    # Background checkpointing
+    # ------------------------------------------------------------------
+    def _maybe_checkpoint(self) -> None:
+        """Kick off a background checkpoint when the WAL has grown past
+        the configured threshold. Single-flight: at most one checkpoint
+        thread runs at a time; DML keeps committing (to the WAL) while
+        a previous checkpoint is still writing."""
+        manager = self.catalog.durability
+        if manager is None or not manager.should_checkpoint():
+            return
+        with self._checkpoint_lock:
+            if self._checkpointing:
+                return
+            self._checkpointing = True
+        threading.Thread(target=self._run_checkpoint,
+                         name="durability-checkpoint",
+                         daemon=True).start()
+
+    def _run_checkpoint(self) -> None:
+        try:
+            manager = self.catalog.durability
+            if manager is None:
+                return
+            # The exclusive lock gives the snapshot a quiesced catalog;
+            # DML queued behind it resumes logging to the truncated WAL.
+            with self._table_lock.write():
+                if not manager.should_checkpoint():
+                    return
+                manager.checkpoint(self.catalog)
+            self.metrics.counter("checkpoints").inc()
+        finally:
+            with self._checkpoint_lock:
+                self._checkpointing = False
 
     # ------------------------------------------------------------------
     # Internals
@@ -466,6 +521,8 @@ class QueryService:
                                               parsed=stmt)
         finally:
             self.pool.release(cluster)
+        if not select:
+            self._maybe_checkpoint()
         if select:
             # A SELECT cancelled mid-execution discards its result;
             # committed DML is reported as done regardless (its

@@ -102,7 +102,15 @@ class TestChaosStress:
         out to 4 worker threads on top of the 12 client threads."""
         self._run_chaos(seed, scan_parallelism=4)
 
-    def _run_chaos(self, seed, scan_parallelism: int = 1):
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:2])
+    def test_transient_chaos_with_durability(self, seed, tmp_path):
+        """Same stress with the WAL on and background checkpoints
+        firing mid-storm; afterwards a recovery from the durability
+        directory must reproduce the live catalog exactly."""
+        self._run_chaos(seed, durability_dir=tmp_path / "wal")
+
+    def _run_chaos(self, seed, scan_parallelism: int = 1,
+                   durability_dir=None):
         catalog = make_catalog(2000,
                                scan_parallelism=scan_parallelism)
         # Oracle answers computed before any fault injection exists.
@@ -118,7 +126,9 @@ class TestChaosStress:
                                max_queue_per_cluster=64,
                                min_clusters=1, max_clusters=3,
                                query_retry_policy=RetryPolicy(
-                                   max_attempts=4))
+                                   max_attempts=4),
+                               durability_dir=durability_dir,
+                               durability_checkpoint_bytes=64 * 1024)
         mismatches: list[str] = []
         errors: list[BaseException] = []
         untyped: list[BaseException] = []
@@ -187,6 +197,24 @@ class TestChaosStress:
         assert retries > 0
         snapshot = service.metrics.snapshot()
         assert snapshot.get("retries", 0) >= 0  # exported series exists
+
+        if durability_dir is not None:
+            import time
+
+            # Quiesce: let any in-flight background checkpoint land
+            # before reading the directory from a second catalog.
+            deadline = time.time() + 15
+            while service._checkpointing and time.time() < deadline:
+                time.sleep(0.02)
+            assert not service._checkpointing
+            assert snapshot["wal_appends"] > 0
+            recovered = Catalog.recover(durability_dir)
+            with injector.paused():
+                for sql in self.STABLE_QUERIES:
+                    assert sorted(recovered.sql(sql).rows) == \
+                        sorted(service.sql(sql).rows), sql
+            assert recovered.sql(
+                "SELECT count(*) AS c FROM events").rows == [(2000,)]
 
     def test_same_seed_same_injection_counts(self):
         # Partition ids are globally monotonic, so determinism is

@@ -293,10 +293,14 @@ class TestChecksums:
         catalog.enable_fault_injection(
             injector, retry_policy=RetryPolicy(max_attempts=10))
         # WHERE clause forces real partition loads (an unfiltered
-        # count(*) would be answered from metadata alone).
-        result = catalog.sql(
-            "SELECT count(*) FROM events WHERE value >= 0")
-        assert result.rows == [(500,)]
+        # count(*) would be answered from metadata alone). Decisions
+        # re-roll per access, so some round must corrupt.
+        for _ in range(10):
+            result = catalog.sql(
+                "SELECT count(*) FROM events WHERE value >= 0")
+            assert result.rows == [(500,)]
+            if catalog.storage.stats.corrupt_reads > 0:
+                break
         assert catalog.storage.stats.corrupt_reads > 0
         assert injector.injected().get("storage.corruption", 0) > 0
 
@@ -466,6 +470,35 @@ class TestCircuitBreaker:
         breaker.record_success()
         assert breaker.state == CircuitBreaker.CLOSED
         breaker.check()  # closed again, no raise
+
+    def test_failed_probe_restarts_rejection_cycle(self):
+        """Regression: a probe failure while OPEN used to leave
+        ``_rejections_since_open`` mid-cycle, so with concurrent
+        rejections in flight the next probe could be admitted after
+        far fewer than ``probe_interval`` rejections — hammering a
+        dependency that just proved it was still down."""
+        breaker = CircuitBreaker(failure_threshold=1, probe_interval=5)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        # Other callers burn 3 of the 5 rejections in the cycle...
+        for _ in range(3):
+            with pytest.raises(CircuitOpenError):
+                breaker.check()
+        # ...then an in-flight probe's failure is recorded.
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 1  # no double-count of the open
+        # The cycle restarted: a full probe_interval of calls (4
+        # rejections, then the probe) before anything is admitted.
+        admitted_at = None
+        for i in range(1, 11):
+            try:
+                breaker.check()
+                admitted_at = i
+                break
+            except CircuitOpenError:
+                pass
+        assert admitted_at == 5
 
     def test_breaker_trips_during_metadata_outage(self):
         catalog = make_catalog(500)

@@ -111,3 +111,144 @@ class TestErrors:
         assert deleted == 10
         assert loaded.sql("SELECT count(*) AS n FROM events") \
             .rows == [(90,)]
+
+
+class TestAtomicSave:
+    def test_crash_mid_resave_preserves_old_snapshot(
+            self, tmp_path, monkeypatch):
+        """Regression: ``save_catalog`` used to write into the target
+        directory in place, so dying mid-save left a half-written,
+        unloadable snapshot. Now the old copy survives any crash."""
+        import numpy as np
+
+        original = make_catalog()
+        save_catalog(original, tmp_path / "cat")
+        before_events = original.tables["events"].to_rows()
+
+        # Grow the catalog, then kill the re-save midway through
+        # writing its second table.
+        original.insert("dims", [(100, "added-after-save")])
+        real_savez = np.savez_compressed
+        calls = {"n": 0}
+
+        def dying_savez(path, **arrays):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise OSError("disk full mid-save")
+            return real_savez(path, **arrays)
+
+        monkeypatch.setattr(np, "savez_compressed", dying_savez)
+        with pytest.raises(OSError):
+            save_catalog(original, tmp_path / "cat")
+        monkeypatch.undo()
+
+        # The pre-save snapshot is intact and loadable.
+        loaded = load_catalog(tmp_path / "cat")
+        assert loaded.tables["events"].to_rows() == before_events
+        assert len(loaded.tables["dims"].to_rows()) == 10
+
+        # The leftover staging directory does not poison a retry.
+        save_catalog(original, tmp_path / "cat")
+        retried = load_catalog(tmp_path / "cat")
+        assert len(retried.tables["dims"].to_rows()) == 11
+
+    def test_crash_during_first_save_leaves_no_target(
+            self, tmp_path, monkeypatch):
+        import numpy as np
+
+        original = make_catalog()
+
+        def dying_savez(path, **arrays):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", dying_savez)
+        with pytest.raises(OSError):
+            save_catalog(original, tmp_path / "cat")
+        monkeypatch.undo()
+        assert not (tmp_path / "cat").exists()
+        with pytest.raises(StorageError):
+            load_catalog(tmp_path / "cat")
+        save_catalog(original, tmp_path / "cat")  # retry succeeds
+        assert load_catalog(tmp_path / "cat").tables.keys() == \
+            original.tables.keys()
+
+
+class TestLoadFailureModes:
+    """Every broken-snapshot shape raises a typed StorageError, never
+    a bare KeyError/OSError/BadZipFile."""
+
+    def _saved(self, tmp_path):
+        save_catalog(make_catalog(), tmp_path / "cat")
+        return tmp_path / "cat"
+
+    def test_truncated_npz(self, tmp_path):
+        root = self._saved(tmp_path)
+        npz = root / "events.npz"
+        npz.write_bytes(npz.read_bytes()[:100])
+        with pytest.raises(StorageError, match="events"):
+            load_catalog(root)
+
+    def test_corrupt_npz(self, tmp_path):
+        root = self._saved(tmp_path)
+        (root / "events.npz").write_bytes(b"this is not a zip file")
+        with pytest.raises(StorageError, match="events"):
+            load_catalog(root)
+
+    def test_missing_table_file(self, tmp_path):
+        root = self._saved(tmp_path)
+        (root / "events.npz").unlink()
+        with pytest.raises(StorageError, match="events"):
+            load_catalog(root)
+
+    def test_undecodable_manifest_json(self, tmp_path):
+        root = self._saved(tmp_path)
+        (root / "manifest.json").write_text("{not json")
+        with pytest.raises(StorageError, match="manifest"):
+            load_catalog(root)
+
+    def test_manifest_not_a_mapping(self, tmp_path):
+        import json
+
+        root = self._saved(tmp_path)
+        (root / "manifest.json").write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(StorageError, match="version"):
+            load_catalog(root)
+
+    def test_manifest_without_table_map(self, tmp_path):
+        import json
+
+        root = self._saved(tmp_path)
+        (root / "manifest.json").write_text(
+            json.dumps({"version": 1, "tables": "oops"}))
+        with pytest.raises(StorageError, match="table map"):
+            load_catalog(root)
+
+    def test_manifest_references_key_absent_from_npz(self, tmp_path):
+        import json
+
+        root = self._saved(tmp_path)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["tables"]["events"]["partitions"].append(999_999)
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="events"):
+            load_catalog(root)
+
+    def test_malformed_schema_entry(self, tmp_path):
+        import json
+
+        root = self._saved(tmp_path)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["tables"]["events"]["schema"] = [["only-a-name"]]
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="malformed manifest"):
+            load_catalog(root)
+
+    def test_unknown_dtype_in_schema(self, tmp_path):
+        import json
+
+        root = self._saved(tmp_path)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["tables"]["events"]["schema"][0][1] = "quaternion"
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="malformed manifest"):
+            load_catalog(root)
