@@ -88,7 +88,7 @@ from .obs import (
 )
 from .service import QueryService
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "DataType",

@@ -888,6 +888,12 @@ class Catalog:
             header = (f"-- EXPLAIN ANALYZE ({len(execution.rows)} rows, "
                       f"{profile.total_ms:.2f} ms simulated)")
             body = render_plan(compiled.root)
+            topk_checks = sum(s.topk_checks for s in profile.scans)
+            if topk_checks:
+                body += (f"\n-- topk: {topk_checks} checks / "
+                         f"{sum(s.topk_skipped for s in profile.scans)}"
+                         f" skipped / {profile.topk_boundary_updates} "
+                         f"boundary updates")
         resilience = profile.resilience_summary().replace("\n", "\n-- ")
         report = f"{header}\n{body}\n-- {resilience}"
         if self.durability is not None:

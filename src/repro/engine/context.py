@@ -35,6 +35,16 @@ class ScanProfile:
     limit_report: Optional[LimitPruneReport] = None
     topk_checks: int = 0
     topk_skipped: int = 0
+    #: successful tightenings of this scan's top-k boundary (shared
+    #: CAS updates published by the downstream TopK / GROUP BY heap).
+    topk_boundary_updates: int = 0
+    #: partitions speculatively read ahead (prefetcher or parallel
+    #: morsel window) that a later, tighter runtime-prune decision
+    #: then skipped. Wasted wire bytes, never charged to the query;
+    #: allowed to differ from a serial scan (which reads ahead
+    #: nothing), unlike every other counter here.
+    prefetched_then_skipped: int = 0
+    prefetched_then_skipped_bytes: int = 0
     partitions_loaded: int = 0
     rows_scanned: int = 0
     #: estimated bytes read from the loaded partitions (column sizes)
@@ -199,6 +209,18 @@ class QueryProfile:
         return sum(s.partitions_loaded for s in self.scans)
 
     @property
+    def topk_boundary_updates(self) -> int:
+        return sum(s.topk_boundary_updates for s in self.scans)
+
+    @property
+    def prefetched_then_skipped(self) -> int:
+        return sum(s.prefetched_then_skipped for s in self.scans)
+
+    @property
+    def prefetched_then_skipped_bytes(self) -> int:
+        return sum(s.prefetched_then_skipped_bytes for s in self.scans)
+
+    @property
     def partitions_pruned(self) -> int:
         return sum(s.partitions_pruned for s in self.scans)
 
@@ -266,6 +288,11 @@ class QueryProfile:
             "data_cache_hits": float(self.data_cache_hits),
             "data_cache_misses": float(self.data_cache_misses),
             "data_cache_bytes_saved": float(self.data_cache_bytes_saved),
+            "topk_boundary_updates": float(self.topk_boundary_updates),
+            "prefetched_then_skipped": float(
+                self.prefetched_then_skipped),
+            "prefetched_then_skipped_bytes": float(
+                self.prefetched_then_skipped_bytes),
             "plan_cache_hits": 1.0 if self.plan_cache_hit else 0.0,
             "plan_cache_misses": 1.0 if (self.plan_cache_checked
                                          and not self.plan_cache_hit)
@@ -316,6 +343,9 @@ class QueryProfile:
                     f"{scan.limit_report.result.after}")
             if scan.topk_skipped:
                 parts.append(f"topk skipped {scan.topk_skipped}")
+            if scan.topk_boundary_updates:
+                parts.append(
+                    f"boundary updates {scan.topk_boundary_updates}")
             parts.append(f"loaded {scan.partitions_loaded}")
             if scan.degraded:
                 parts.append(

@@ -91,9 +91,19 @@ class Scan(Operator):
     consumer thread in scan-set order, chunks are merged back in that
     same order, per-worker retry stats fold into the query profile as
     each morsel is consumed, and a failing load surfaces its typed
-    error at the same position the serial scan would. Adaptive top-k
-    boundary pruning stays serial — its skip decisions depend on
-    results of earlier partitions.
+    error at the same position the serial scan would.
+
+    Adaptive top-k boundary pruning parallelizes too (PR 8): the
+    boundary is a shared tighten-only CAS, so workers re-check it per
+    morsel at claim time (skipping loads the consumer's check will
+    provably also skip) while the *accounted* check still runs on the
+    consumer thread at the partition's scan-set position — where the
+    boundary state is exactly what a serial scan would have seen,
+    because the downstream TopK heap consumes chunks in that same
+    order. Rows, order, typed errors, and every profile counter except
+    the explicitly speculative ``prefetched_then_skipped`` pair are
+    therefore bit-identical to serial execution; skip counts observed
+    by workers can only exceed (never miss) the serial decisions.
     """
 
     def __init__(self, context: ExecContext, table: str, schema: Schema,
@@ -109,6 +119,15 @@ class Scan(Operator):
             self.profile.total_partitions = len(scan_set)
         self.topk_pruners: list[TopKPruner] = []
         self.runtime_filter_pruner: FilterPruner | None = None
+        #: SoA zone-map index for vectorized runtime pruning, attached
+        #: by the compiler when vectorized pruning is enabled; runtime
+        #: join-filter summaries and deferred filters classify against
+        #: it in bulk instead of per-partition AST walks.
+        self.stats_index = None
+        #: lazily computed verdict codes of the deferred filter over
+        #: the stats index (one kernel pass for the whole scan set).
+        self._deferred_codes = None
+        self._deferred_classified = False
         #: open trace span while the scan iterates (tracing only)
         self._span = None
 
@@ -121,11 +140,17 @@ class Scan(Operator):
 
     def apply_join_pruning(self, pruner: JoinPruner) -> None:
         """Eagerly restrict the scan set with a build-side summary."""
+        if pruner.index is None:
+            pruner.index = self.stats_index
         result = pruner.prune(self.scan_set)
-        self.context.charge_prune_checks(result.checks)
+        if pruner.vector_checks:
+            self.context.charge_prune_checks(pruner.vector_checks,
+                                             vectorized=True)
+        if pruner.fallback_checks:
+            self.context.charge_prune_checks(pruner.fallback_checks)
         self.context.trace_event(
             "prune:join", table=self.table, before=result.before,
-            after=result.after, checks=result.checks)
+            after=result.after, checks=result.checks, mode=pruner.mode)
         self.scan_set = result.kept
         if self.profile.join_result is None:
             self.profile.join_result = result
@@ -185,46 +210,72 @@ class Scan(Operator):
                 span.annotate(early_terminated=True)
             if profile.topk_skipped:
                 span.annotate(topk_skipped=profile.topk_skipped)
+            if profile.topk_boundary_updates:
+                span.annotate(
+                    boundary_updates=profile.topk_boundary_updates)
+            if profile.prefetched_then_skipped:
+                span.annotate(
+                    prefetched_then_skipped=profile
+                    .prefetched_then_skipped)
             if profile.cache_hits or profile.cache_misses:
                 span.annotate(cache_hits=profile.cache_hits,
                               cache_misses=profile.cache_misses)
             span.end()
             self._span = None
 
+    @property
+    def order_dependent(self) -> bool:
+        """Single source of truth for "does runtime pruning decide per
+        partition, mid-scan, whether to load?".
+
+        True when top-k boundary pruners or a deferred runtime filter
+        are attached. Such scans still parallelize and prefetch — the
+        decisions are *monotone* (a boundary only tightens; a deferred
+        verdict is a pure function of the zone map), so readahead
+        re-validates them at claim time and surrenders anything a
+        tightened boundary later skips. Both speculation gates
+        (:meth:`_make_prefetcher` and the morsel loop's advisory
+        checks) derive from this one predicate so they cannot drift.
+        """
+        return bool(self.topk_pruners) \
+            or self.runtime_filter_pruner is not None
+
     def _parallel_workers(self) -> int:
         """Morsel workers this scan may use (1 = stay serial)."""
         workers = getattr(self.context, "scan_parallelism", 1)
         if workers <= 1 or len(self.scan_set) <= 1:
             return 1
-        if self.topk_pruners:
-            # The boundary tightens as partitions stream back;
-            # prefetching ahead of it would load partitions a serial
-            # scan provably skips. Keep the adaptive path sequential.
-            return 1
         return min(workers, len(self.scan_set))
 
     def _make_prefetcher(self):
-        """Async readahead for the serial scan path, when safe.
+        """Async readahead for the serial scan path.
 
-        Only scans whose load order is fully known up front prefetch:
-        runtime pruning (top-k boundaries, deferred filters) decides
-        per partition whether to load at all, and reading ahead of
-        those decisions would fetch bytes a serial scan provably
-        skips. The parallel morsel loop needs no prefetcher — its
-        bounded in-flight window *is* the readahead.
+        Order-dependent scans (:attr:`order_dependent`) prefetch too:
+        each fetch is re-validated against the current prune decision
+        as it is issued, and a prefetched partition the boundary has
+        since tightened past is dropped at consume time without
+        charging the query (counted as prefetched-then-skipped). The
+        parallel morsel loop needs no prefetcher — its bounded
+        in-flight window *is* the readahead.
         """
         cache = self.context.cache
         if (cache is None or not cache.prefetch
-                or self.topk_pruners
-                or self.runtime_filter_pruner is not None
                 or len(self.scan_set) <= 1):
             return None
         from ..cache.prefetcher import Prefetcher
 
         window = max(4, self.context.scan_parallelism * 2)
+        should_fetch = None
+        if self.order_dependent:
+            zone_maps = dict(self.scan_set.entries)
+
+            def should_fetch(pid: int) -> bool:
+                return not self._advisory_skip(pid, zone_maps[pid])
+
         return Prefetcher(
             cache, self.context.storage, self.scan_set.partition_ids,
-            columns=self.columns, window=window)
+            columns=self.columns, window=window,
+            should_fetch=should_fetch)
 
     def _iter_serial(self) -> Iterator[Chunk]:
         entries = self.scan_set.entries
@@ -235,7 +286,10 @@ class Scan(Operator):
             for partition_id, zone_map in entries:
                 consumed += 1
                 self.context.charge_metadata_lookups(1)
-                if self._runtime_skip(zone_map):
+                if self._runtime_skip(partition_id, zone_map):
+                    if prefetcher is not None:
+                        self._account_prefetch_drop(
+                            partition_id, *prefetcher.drop(partition_id))
                     continue
                 if cache is not None:
                     prefetched = (prefetcher.claim(partition_id)
@@ -272,6 +326,7 @@ class Scan(Operator):
         finally:
             if prefetcher is not None:
                 prefetcher.close()
+            self._record_boundary_updates()
             if consumed < len(entries):
                 self.profile.early_terminated = True
 
@@ -285,13 +340,20 @@ class Scan(Operator):
         storage = self.context.storage
         columns = self.columns
         cache = self.context.cache
+        order_dependent = self.order_dependent
 
-        def load_morsel(partition_id: int):
+        def load_morsel(partition_id: int, zone_map, recheck: bool):
             # Private stats per morsel: retry attribution merges into
             # the query profile when the morsel is consumed, in order.
             # Cache lookups happen here on the worker thread (the
             # cache is thread-safe); profile accounting and trace
             # events stay on the consumer thread.
+            if recheck and self._boundary_skip(partition_id, zone_map):
+                # Claim-time re-check: the boundary tightened since
+                # submission. By monotonicity the consumer's accounted
+                # check will also skip this partition, so the load is
+                # provably wasted — don't issue it.
+                return None
             local = RetryStats()
             if cache is not None:
                 cached = cache.get(partition_id, columns=columns)
@@ -311,26 +373,46 @@ class Scan(Operator):
         completed = False
         try:
             while True:
-                # Keep up to `window` morsels in flight; pruning and
-                # charging happen here, on the consumer thread, in
-                # scan-set order — identical to the serial scan.
+                # Keep up to `window` morsels in flight. Runtime
+                # pruning here is *advisory* only (counter- and
+                # charge-free): it throttles speculation but every
+                # entry still flows through the accounted check at its
+                # consume position below.
                 while submitted < len(entries) and len(pending) < window:
                     partition_id, zone_map = entries[submitted]
                     submitted += 1
-                    self.context.charge_metadata_lookups(1)
-                    if self._runtime_skip(zone_map):
-                        continue
-                    pending.append(
-                        (partition_id,
-                         executor.submit(load_morsel, partition_id)))
+                    future = None
+                    if not (order_dependent and self._advisory_skip(
+                            partition_id, zone_map)):
+                        future = executor.submit(
+                            load_morsel, partition_id, zone_map,
+                            order_dependent)
+                    pending.append((partition_id, zone_map, future))
                 if not pending:
                     completed = submitted == len(entries)
                     break
-                # Consume in submission order: chunk order, profile
-                # accounting, and the position at which a failing
-                # partition raises all match serial execution.
-                partition_id, future = pending.popleft()
-                partition, local, cache_hit, evicted = future.result()
+                # Consume in submission order: the accounted pruning
+                # decision runs here, where the shared boundary holds
+                # exactly the state a serial scan would have seen
+                # (the downstream heap has consumed precisely the
+                # preceding partitions), so chunk order, skip/check
+                # counters, simulated-clock charges, and the position
+                # at which a failing partition raises all match serial
+                # execution bit for bit.
+                partition_id, zone_map, future = pending.popleft()
+                self.context.charge_metadata_lookups(1)
+                if self._runtime_skip(partition_id, zone_map):
+                    if future is not None:
+                        self._discard_morsel(partition_id, future)
+                    continue
+                result = future.result() if future is not None else None
+                if result is None:
+                    # The speculative path skipped the load but the
+                    # accounted check kept the partition. Monotone
+                    # boundaries make this unreachable; demand-load
+                    # inline so correctness never rests on that proof.
+                    result = load_morsel(partition_id, zone_map, False)
+                partition, local, cache_hit, evicted = result
                 penalty = local.penalty_ms()
                 self.context.profile.retry_stats.absorb(local)
                 if penalty:
@@ -347,6 +429,7 @@ class Scan(Operator):
                                               cache_hit=cache_hit)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
+            self._record_boundary_updates()
             if not completed:
                 self.profile.early_terminated = True
 
@@ -396,20 +479,147 @@ class Scan(Operator):
             self.context.trace_event("cache:evict", parent=self._span,
                                      partition=pid)
 
-    def _runtime_skip(self, zone_map) -> bool:
-        for pruner in self.topk_pruners:
-            self.context.charge_prune_checks(1)
-            self.profile.topk_checks += 1
-            if pruner.should_skip(zone_map):
-                self.profile.topk_skipped += 1
-                return True
+    def _runtime_skip(self, partition_id: int, zone_map) -> bool:
+        """The *accounted* runtime-prune decision for one partition.
+
+        Runs exactly once per consumed entry, on the consumer thread,
+        in scan-set order — serial and parallel scans therefore charge
+        and count identically. Degraded entries (zone maps lost to
+        metadata failures) skip the boundary checks entirely, fail
+        open: a stats-free zone map can never prove a skip, and not
+        counting it as a check keeps fleet pruning-ratio CDFs
+        conditioned on actually-eligible partitions.
+        """
+        if partition_id not in self.scan_set.degraded_ids:
+            for pruner in self.topk_pruners:
+                vector_before = pruner.vector_checks
+                skip = pruner.should_skip(zone_map, partition_id)
+                self.context.charge_prune_checks(
+                    1, vectorized=pruner.vector_checks > vector_before)
+                self.profile.topk_checks += 1
+                if skip:
+                    self.profile.topk_skipped += 1
+                    return True
         if self.runtime_filter_pruner is not None:
-            self.context.charge_prune_checks(1)
-            verdict = self.runtime_filter_pruner.classify(zone_map)
+            verdict, vectorized = self._deferred_verdict(partition_id,
+                                                         zone_map)
+            self.context.charge_prune_checks(1, vectorized=vectorized)
             if verdict == TriState.NEVER:
                 self._record_runtime_filter_prune()
                 return True
         return False
+
+    def _advisory_skip(self, partition_id: int, zone_map) -> bool:
+        """Counter- and charge-free preview of :meth:`_runtime_skip`.
+
+        Used where a serial scan performs no check at all — morsel
+        submission and prefetch issue — to avoid speculative loads the
+        accounted check will provably discard. Sound because runtime
+        prune decisions are monotone: the boundary only tightens and
+        deferred verdicts are pure functions of the zone map, so a
+        skip here implies a skip at the accounted position.
+        """
+        if partition_id in self.scan_set.degraded_ids:
+            return False
+        for pruner in self.topk_pruners:
+            if pruner.peek_skip(zone_map, partition_id):
+                return True
+        if self.runtime_filter_pruner is not None:
+            verdict, _ = self._deferred_verdict(partition_id, zone_map)
+            if verdict == TriState.NEVER:
+                return True
+        return False
+
+    def _boundary_skip(self, partition_id: int, zone_map) -> bool:
+        """Worker-thread claim-time boundary re-check (boundary only:
+        deferred-filter verdicts are static and already previewed at
+        submission). Counter-free; degraded entries never skip because
+        their stats-free zone maps answer "best possible rank"."""
+        for pruner in self.topk_pruners:
+            if pruner.peek_skip(zone_map, partition_id):
+                return True
+        return False
+
+    def _deferred_verdict(self, partition_id: int,
+                          zone_map) -> "tuple[TriState, bool]":
+        """Classify one partition against the deferred runtime filter.
+
+        Returns ``(verdict, vectorized)``. The verdict is a pure
+        function of the zone map, so the whole scan set pre-classifies
+        in one kernel pass over the stats index on first use; entries
+        the index cannot vouch for by zone-map identity fall back to
+        the scalar AST walk (the differential oracle).
+        """
+        codes = self._deferred_classification()
+        if codes is not None:
+            index = self.stats_index
+            row = index.row_of(partition_id)
+            if row is not None and index.zone_map_at(row) is zone_map:
+                from ..pruning.stats_index import _CODE_TO_TRISTATE
+
+                verdict = _CODE_TO_TRISTATE[int(codes[row])]
+                # The deferred pruner never detects fully-matching
+                # (widening already happened); only NEVER matters.
+                if verdict is TriState.ALWAYS:
+                    verdict = TriState.MAYBE
+                return verdict, True
+        return self.runtime_filter_pruner.classify(zone_map), False
+
+    def _deferred_classification(self):
+        if not self._deferred_classified:
+            self._deferred_classified = True
+            index = self.stats_index
+            pruner = self.runtime_filter_pruner
+            if index is not None and len(index) and pruner is not None \
+                    and pruner.widened == pruner.predicate:
+                from ..pruning.stats_index import compile_pruning_kernel
+
+                kernel = compile_pruning_kernel(pruner.predicate)
+                if kernel is not None:
+                    self._deferred_codes = kernel.classify(index)
+        return self._deferred_codes
+
+    def _discard_morsel(self, partition_id: int, future) -> None:
+        """Drop a speculatively loaded morsel the accounted check
+        skipped. A serial scan never loads this partition, so nothing
+        is charged to the simulated clock, its retry stats are not
+        absorbed, and a typed error it may have hit is swallowed; the
+        wasted wire bytes surface as ``prefetched_then_skipped``."""
+        if future.cancel():
+            return
+        try:
+            result = future.result()
+        except Exception:
+            return
+        if result is None:
+            return
+        partition = result[0]
+        nbytes = (partition.project_bytes(self.columns)
+                  if self.columns is not None else partition.nbytes())
+        self._account_prefetch_drop(partition_id, 1, nbytes)
+
+    def _account_prefetch_drop(self, partition_id: int, dropped: int,
+                               nbytes: int) -> None:
+        if not dropped:
+            return
+        self.profile.prefetched_then_skipped += dropped
+        self.profile.prefetched_then_skipped_bytes += nbytes
+        self.context.trace_event("prefetch:drop", parent=self._span,
+                                 partition=partition_id, bytes=nbytes)
+
+    def _record_boundary_updates(self) -> None:
+        """Publish boundary-tightening totals into the scan profile
+        (end of iteration; distinct pruners may share one boundary)."""
+        seen: set[int] = set()
+        total = 0
+        for pruner in self.topk_pruners:
+            boundary = pruner.boundary
+            if id(boundary) in seen:
+                continue
+            seen.add(id(boundary))
+            total += boundary.updates
+        if total:
+            self.profile.topk_boundary_updates = total
 
     def _record_runtime_filter_prune(self) -> None:
         result = self.profile.filter_result

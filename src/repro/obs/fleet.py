@@ -182,6 +182,10 @@ def fleet_summary(records: Sequence[TelemetryRecord]
         if executed else 0.0,
         "wal_appends": sum(r.wal_appends for r in records),
         "wal_bytes": sum(r.wal_bytes for r in records),
+        "topk_boundary_updates": sum(r.topk_boundary_updates
+                                     for r in executed),
+        "prefetched_then_skipped": sum(r.prefetched_then_skipped
+                                       for r in executed),
         "metadata_only": sum(1 for r in executed if r.metadata_only),
         "degraded_queries": sum(1 for r in executed if r.degraded),
         "retried_queries": sum(1 for r in executed if r.retries),
@@ -249,6 +253,12 @@ def render_fleet_report(records: Sequence[TelemetryRecord],
     if summary["wal_appends"]:
         report.add(f"  durability: {summary['wal_appends']} WAL "
                    f"appends / {summary['wal_bytes']} bytes logged")
+    if summary["topk_boundary_updates"] \
+            or summary["prefetched_then_skipped"]:
+        report.add(f"  runtime pruning: "
+                   f"{summary['topk_boundary_updates']} boundary "
+                   f"updates, {summary['prefetched_then_skipped']} "
+                   f"speculative loads discarded")
     report.add(f"  rows scanned: {summary['rows_scanned']}, "
                f"returned: {summary['rows_returned']}, bytes "
                f"scanned: {summary['bytes_scanned']}")

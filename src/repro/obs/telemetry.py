@@ -74,6 +74,12 @@ class TelemetryRecord:
     #: appends framed (DML with durability enabled; otherwise 0).
     wal_appends: int = 0
     wal_bytes: int = 0
+    #: successful tightenings of shared top-k boundaries during scans
+    #: (runtime-pruning feedback activity; 0 for non-top-k queries).
+    topk_boundary_updates: int = 0
+    #: speculative loads (morsel readahead / prefetch) a tightened
+    #: boundary later discarded — wasted wire bytes, not query cost.
+    prefetched_then_skipped: int = 0
     metadata_only: bool = False
     degraded: bool = False
     degraded_partitions: int = 0
@@ -151,6 +157,8 @@ class TelemetryRecord:
             data_cache_bytes_saved=profile.data_cache_bytes_saved,
             wal_appends=profile.wal_appends,
             wal_bytes=profile.wal_bytes,
+            topk_boundary_updates=profile.topk_boundary_updates,
+            prefetched_then_skipped=profile.prefetched_then_skipped,
             metadata_only=bool(profile.scans) and all(
                 s.metadata_only for s in profile.scans),
             degraded=profile.degraded,
@@ -191,6 +199,8 @@ class TelemetryRecord:
                 self.data_cache_hit_ratio, 6),
             "wal_appends": self.wal_appends,
             "wal_bytes": self.wal_bytes,
+            "topk_boundary_updates": self.topk_boundary_updates,
+            "prefetched_then_skipped": self.prefetched_then_skipped,
             "metadata_only": self.metadata_only,
             "degraded": self.degraded,
             "degraded_partitions": self.degraded_partitions,

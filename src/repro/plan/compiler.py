@@ -302,6 +302,13 @@ class QueryCompiler:
             else schema.select(columns)
         scan = Scan(context, node.table, scan_schema, scan_set,
                     profile=profile, columns=columns)
+        if options.enable_vectorized_pruning:
+            # Runtime pruners (top-k boundaries, deferred filters,
+            # join-filter summaries) classify against the same SoA
+            # index compile-time pruning used; entries it cannot vouch
+            # for by zone-map identity fall back to the scalar path.
+            scan.stats_index = self._stats_index_for(node.table,
+                                                     scan_set)
         if predicate is not None and deferred is not None:
             scan.attach_deferred_filter(
                 FilterPruner(deferred, schema,
@@ -787,7 +794,8 @@ class QueryCompiler:
         if origin is None:
             return None
         scan, profile, scan_column = origin
-        pruner = TopKPruner(scan_column, boundary)
+        pruner = TopKPruner(scan_column, boundary,
+                            index=scan.stats_index)
         scan.attach_topk_pruner(pruner)
         context.trace_event("prune:topk", table=scan.table,
                             column=scan_column, keep=keep)
@@ -823,7 +831,8 @@ class QueryCompiler:
         agg_op.topk_hint = TopKGroupHint(
             key_index=agg_op.group_keys.index(sort_key.column),
             k=keep, desc=sort_key.desc, boundary=boundary)
-        pruner = TopKPruner(scan_column, boundary)
+        pruner = TopKPruner(scan_column, boundary,
+                            index=scan.stats_index)
         scan.attach_topk_pruner(pruner)
         scan.scan_set = options.topk_order_strategy.order(
             scan.scan_set, scan_column, sort_key.desc)

@@ -131,6 +131,11 @@ def _describe_scan(scan: Scan) -> str:
     if profile.prefetched_partitions:
         annotations.append(
             f"prefetched: {profile.prefetched_partitions}")
+    if profile.prefetched_then_skipped:
+        annotations.append(
+            f"prefetched-then-skipped: "
+            f"{profile.prefetched_then_skipped} "
+            f"({profile.prefetched_then_skipped_bytes} bytes)")
     if profile.degraded:
         annotations.append(
             f"DEGRADED: {profile.degraded_partitions} partition(s) "

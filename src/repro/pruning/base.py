@@ -83,6 +83,18 @@ class ScanSet:
         by_id = self._index()
         return self._derived((pid, by_id[pid]) for pid in ordered_ids)
 
+    def with_entries(
+            self, entries: Iterable[tuple[int, ZoneMap]]) -> "ScanSet":
+        """A transformed scan set (reordered / filtered entries) that
+        keeps this one's degradation and metadata-retry accounting.
+
+        Pruning techniques and order strategies must build their output
+        through this (or :meth:`restrict`/:meth:`reorder`) rather than
+        ``ScanSet(entries)`` — otherwise ``degraded_ids`` is lost and
+        runtime pruners can no longer tell which entries must fail open.
+        """
+        return self._derived(entries)
+
     def _derived(self, entries: Iterable[tuple[int, ZoneMap]]) -> "ScanSet":
         """A transformed scan set carrying this one's degradation state."""
         derived = ScanSet(entries)

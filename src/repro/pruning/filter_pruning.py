@@ -83,7 +83,7 @@ class FilterPruner:
         return PruningResult(
             technique=PruneCategory.FILTER,
             before=len(scan_set),
-            kept=ScanSet(kept),
+            kept=scan_set.with_entries(kept),
             pruned_ids=pruned_ids,
             fully_matching_ids=fully_matching,
             checks=self.checks,

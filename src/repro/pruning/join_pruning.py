@@ -14,12 +14,15 @@ joins).
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from ..storage.zonemap import ZoneMap
 from .base import PruneCategory, PruningResult, ScanSet
 from .filters import CuckooFilter, XorFilter
 from .summaries import BloomFilter, MinMaxSummary, RangeSetSummary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .stats_index import StatsIndex
 
 SUMMARY_KINDS = ("minmax", "rangeset", "bloom", "cuckoo", "xor")
 
@@ -49,12 +52,31 @@ def build_summary(values: Iterable[Any], kind: str = "rangeset",
 
 
 class JoinPruner:
-    """Prunes a probe-side scan set against a build-side summary."""
+    """Prunes a probe-side scan set against a build-side summary.
 
-    def __init__(self, probe_column: str, summary):
+    With a :class:`~repro.pruning.stats_index.StatsIndex` attached, the
+    interval summaries (minmax / rangeset) classify every indexed
+    partition in one numpy pass
+    (:func:`~repro.pruning.stats_index.join_may_join_mask`); entries
+    the index cannot vouch for by zone-map identity (degraded copies,
+    stale rows) and non-interval summaries (Bloom/Cuckoo/Xor) take the
+    per-partition scalar path, which remains the differential oracle.
+    ``mode`` after :meth:`prune` reports which route ran:
+    ``"vectorized"`` / ``"mixed"`` / ``"fallback"``.
+    """
+
+    def __init__(self, probe_column: str, summary,
+                 index: "StatsIndex | None" = None):
         self.probe_column = probe_column
         self.summary = summary
+        self.index = index
         self.checks = 0
+        self.vector_checks = 0
+        self.mode = "fallback"
+
+    @property
+    def fallback_checks(self) -> int:
+        return self.checks
 
     def partition_may_join(self, zone_map: ZoneMap) -> bool:
         """Could any row of this partition find a build-side partner?"""
@@ -73,17 +95,38 @@ class JoinPruner:
                                                 stats.max_value)
 
     def prune(self, scan_set: ScanSet) -> PruningResult:
+        index = self.index
+        mask = None
+        if index is not None and len(index):
+            from .stats_index import join_may_join_mask
+
+            mask = join_may_join_mask(index, self.probe_column,
+                                      self.summary)
         kept = []
         pruned_ids = []
         for partition_id, zone_map in scan_set:
-            if self.partition_may_join(zone_map):
+            may_join = None
+            if mask is not None:
+                row = index.row_of(partition_id)
+                if row is not None and index.zone_map_at(row) is zone_map:
+                    self.vector_checks += 1
+                    may_join = bool(mask[row])
+            if may_join is None:
+                may_join = self.partition_may_join(zone_map)
+            if may_join:
                 kept.append((partition_id, zone_map))
             else:
                 pruned_ids.append(partition_id)
+        if self.vector_checks and not self.checks:
+            self.mode = "vectorized"
+        elif self.vector_checks:
+            self.mode = "mixed"
+        else:
+            self.mode = "fallback"
         return PruningResult(
             technique=PruneCategory.JOIN,
             before=len(scan_set),
-            kept=ScanSet(kept),
+            kept=scan_set.with_entries(kept),
             pruned_ids=pruned_ids,
-            checks=self.checks,
+            checks=self.vector_checks + self.checks,
         )

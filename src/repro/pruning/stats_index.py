@@ -54,6 +54,8 @@ __all__ = [
     "PruningKernel",
     "compile_pruning_kernel",
     "VectorizedFilterPruner",
+    "topk_skip_mask",
+    "join_may_join_mask",
 ]
 
 #: int8 verdict codes emitted by :meth:`PruningKernel.classify`.
@@ -110,8 +112,8 @@ class _ColumnVectors:
     """
 
     __slots__ = (
-        "kind", "lo", "hi", "unknown", "valued", "novalue_mn",
-        "nulls_pos", "isnull_possible", "notnull_possible",
+        "kind", "lo", "hi", "present", "has_min", "unknown", "valued",
+        "novalue_mn", "nulls_pos", "isnull_possible", "notnull_possible",
     )
 
     def __init__(self, kind: str, lo: np.ndarray, hi: np.ndarray,
@@ -120,6 +122,8 @@ class _ColumnVectors:
         self.kind = kind
         self.lo = lo
         self.hi = hi
+        self.present = present
+        self.has_min = has_min
         nonempty = rows != 0
         self.unknown = ~present
         self.valued = present & has_min & nonempty
@@ -584,6 +588,78 @@ def compile_pruning_kernel(predicate: ast.Expr) -> PruningKernel | None:
 
 
 # ----------------------------------------------------------------------
+# Runtime kernels: top-k boundaries and join-filter summaries
+# ----------------------------------------------------------------------
+def topk_skip_mask(index: StatsIndex, column: str, desc: bool,
+                   value: Any) -> np.ndarray | None:
+    """Boolean skip mask of a top-k boundary over all index rows.
+
+    ``value`` is the unwrapped boundary value (the k-th best ORDER BY
+    key). Transcribes ``TopKPruner.best_possible_rank`` + the
+    strictly-worse comparison exactly:
+
+    * stats missing / ``present=False`` → best rank ``(2,)`` → keep;
+    * present but no min/max (all-NULL, empty) → NULL rank → skip;
+    * valued → skip iff max < value (DESC) / min > value (ASC).
+
+    Returns None when the column or the boundary value cannot bind to
+    a lane exactly (→ caller falls back to the scalar oracle).
+    """
+    vectors = index.column(column)
+    if vectors is None:
+        return None
+    try:
+        bound = _bind_literal(value, vectors.kind)
+    except _Unbindable:
+        return None
+    worse = (_as_bool(vectors.hi < bound) if desc
+             else _as_bool(vectors.lo > bound))
+    valued = vectors.present & vectors.has_min
+    no_values = vectors.present & ~vectors.has_min
+    return no_values | (valued & worse)
+
+
+def join_may_join_mask(index: StatsIndex, column: str,
+                       summary: Any) -> np.ndarray | None:
+    """Boolean may-join mask of a build-side summary over index rows.
+
+    Vectorizes ``JoinPruner.partition_may_join`` for the interval
+    summaries (:class:`~repro.pruning.summaries.MinMaxSummary`, one
+    overlap test; :class:`~repro.pruning.summaries.RangeSetSummary`,
+    an OR over its bounded interval list). Bloom/Cuckoo/Xor summaries
+    answer range probes value-by-value and stay scalar — returns None,
+    as it does when a bound cannot bind to the column's lane.
+
+    Semantics match the scalar oracle exactly: missing metadata keeps
+    the partition (fail open), all-NULL probe keys never join, and
+    valued partitions join iff some summary interval overlaps
+    ``[min, max]`` (inclusive, as ``might_overlap_range`` answers).
+    """
+    from .summaries import MinMaxSummary, RangeSetSummary
+
+    if isinstance(summary, MinMaxSummary):
+        ranges = [] if summary.is_empty else [(summary.lo, summary.hi)]
+    elif isinstance(summary, RangeSetSummary):
+        ranges = list(summary.ranges)
+    else:
+        return None
+    vectors = index.column(column)
+    if vectors is None:
+        return None
+    overlap = np.zeros(len(index), dtype=bool)
+    try:
+        for lo, hi in ranges:
+            b_lo = _bind_literal(lo, vectors.kind)
+            b_hi = _bind_literal(hi, vectors.kind)
+            overlap |= (_as_bool(vectors.lo <= b_hi)
+                        & _as_bool(b_lo <= vectors.hi))
+    except _Unbindable:
+        return None
+    valued = vectors.present & vectors.has_min
+    return vectors.unknown | (valued & overlap)
+
+
+# ----------------------------------------------------------------------
 # Drop-in pruner
 # ----------------------------------------------------------------------
 class VectorizedFilterPruner:
@@ -660,7 +736,7 @@ class VectorizedFilterPruner:
         return PruningResult(
             technique=PruneCategory.FILTER,
             before=len(scan_set),
-            kept=ScanSet(kept),
+            kept=scan_set.with_entries(kept),
             pruned_ids=pruned_ids,
             fully_matching_ids=fully_matching,
             checks=self.checks,

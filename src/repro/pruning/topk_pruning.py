@@ -18,10 +18,14 @@ of §5.3 and the upfront boundary initialization of §5.4.
 from __future__ import annotations
 
 import enum
-from typing import Any, Iterable
+import threading
+from typing import TYPE_CHECKING, Any, Iterable
 
 from ..storage.zonemap import ZoneMap
 from .base import ScanSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .stats_index import StatsIndex
 
 #: Rank tuples order as (has_value, value); NULLs rank below everything
 #: for DESC and above nothing for ASC because we always sort NULLS LAST.
@@ -79,12 +83,22 @@ class Boundary:
     its upstream scan. ``rank`` is ``None`` until the heap holds k rows;
     afterwards it is the rank of the k-th best row and only ever
     increases.
+
+    Thread safety: parallel top-k scans share one boundary between the
+    consumer (which publishes tightenings) and morsel/prefetch workers
+    (which read it for claim-time re-checks). :meth:`update` is a
+    lock-guarded tighten-only compare-and-swap, so ``rank`` is monotone
+    under concurrency and ``updates`` counts exactly the successful
+    tightenings. Readers take no lock: a single attribute read sees
+    either the old or the new rank, both of which are sound (the old
+    one merely skips less).
     """
 
     def __init__(self, desc: bool = True):
         self.desc = desc
         self.rank: tuple | None = None
         self.updates = 0
+        self._lock = threading.Lock()
 
     @property
     def is_active(self) -> bool:
@@ -92,22 +106,50 @@ class Boundary:
 
     def update(self, rank: tuple) -> None:
         """Raise the boundary to ``rank`` (ignores loosening updates)."""
-        if self.rank is None or rank > self.rank:
-            self.rank = rank
-            self.updates += 1
+        # Cheap unlocked reject: the boundary is monotone, so a rank
+        # already at-or-below the published one can never win the CAS.
+        current = self.rank
+        if current is not None and rank <= current:
+            return
+        with self._lock:
+            if self.rank is None or rank > self.rank:
+                self.rank = rank
+                self.updates += 1
 
     def update_value(self, value: Any) -> None:
         self.update(rank_of(value, self.desc))
 
 
 class TopKPruner:
-    """Decides partition skips against a boundary using zone maps."""
+    """Decides partition skips against a boundary using zone maps.
 
-    def __init__(self, order_column: str, boundary: Boundary):
+    With a :class:`~repro.pruning.stats_index.StatsIndex` attached, the
+    boundary is classified against the packed zone-map lanes in one
+    numpy pass per boundary epoch (re-arrival of a tightened rank) and
+    per-partition checks become mask lookups; entries the index cannot
+    vouch for by object identity (degraded ``without_stats()`` copies,
+    stale rows) and lanes the boundary value cannot bind to exactly
+    fall back to the scalar path, which stays the differential oracle.
+    """
+
+    def __init__(self, order_column: str, boundary: Boundary,
+                 index: "StatsIndex | None" = None):
         self.order_column = order_column
         self.boundary = boundary
+        self.index = index
         self.checks = 0
         self.skipped = 0
+        #: checks served from the vectorized skip mask vs the scalar
+        #: zone-map walk (feeds cost-model charging and observability).
+        self.vector_checks = 0
+        self.fallback_checks = 0
+        #: vectorized mask recomputations (one per boundary epoch).
+        self.mask_epochs = 0
+        self._mask_lock = threading.Lock()
+        #: (boundary rank, skip mask) pair published atomically so
+        #: concurrent readers never pair a mask with the wrong rank.
+        self._mask_state: tuple[tuple, Any] | None = None
+        self._mask_unusable = False
 
     def best_possible_rank(self, zone_map: ZoneMap) -> tuple:
         """The best rank any row of the partition could achieve."""
@@ -122,7 +164,8 @@ class TopKPruner:
         best = stats.max_value if self.boundary.desc else stats.min_value
         return rank_of(best, self.boundary.desc)
 
-    def should_skip(self, zone_map: ZoneMap) -> bool:
+    def should_skip(self, zone_map: ZoneMap,
+                    partition_id: int | None = None) -> bool:
         """True if no row of this partition can enter the top-k heap.
 
         Strictly-worse comparison: a partition whose best rank *equals*
@@ -131,12 +174,96 @@ class TopKPruner:
         determinism (skip only when strictly worse).
         """
         self.checks += 1
-        if not self.boundary.is_active:
+        rank = self.boundary.rank
+        if rank is None:
             return False
-        if self.best_possible_rank(zone_map) < self.boundary.rank:
+        verdict = self._vector_verdict(zone_map, partition_id, rank)
+        if verdict is None:
+            self.fallback_checks += 1
+            verdict = self.best_possible_rank(zone_map) < rank
+        else:
+            self.vector_checks += 1
+        if verdict:
             self.skipped += 1
-            return True
-        return False
+        return verdict
+
+    def peek_skip(self, zone_map: ZoneMap,
+                  partition_id: int | None = None) -> bool:
+        """Counter-free skip check for advisory call sites.
+
+        Morsel workers (claim-time re-checks) and the prefetcher
+        (fetch-time re-validation) use this so profile counters and the
+        simulated clock stay bit-identical to a serial scan, where those
+        call sites do not exist. Sound because the boundary only
+        tightens: a skip observed here implies the consumer's accounted
+        check also skips.
+        """
+        rank = self.boundary.rank
+        if rank is None:
+            return False
+        verdict = self._vector_verdict(zone_map, partition_id, rank)
+        if verdict is not None:
+            return verdict
+        return self.best_possible_rank(zone_map) < rank
+
+    # -- vectorized boundary classification ----------------------------
+    def _vector_verdict(self, zone_map: ZoneMap,
+                        partition_id: int | None,
+                        rank: tuple) -> bool | None:
+        """Mask verdict for one partition, or None to fall back."""
+        index = self.index
+        if index is None or partition_id is None or self._mask_unusable:
+            return None
+        row = index.row_of(partition_id)
+        if row is None or index.zone_map_at(row) is not zone_map:
+            return None
+        mask = self._mask_for(rank)
+        if mask is None:
+            return None
+        return bool(mask[row])
+
+    def _mask_for(self, rank: tuple):
+        """The skip mask for ``rank``, recomputed once per epoch.
+
+        A stale mask (older, looser rank) is never served for a newer
+        rank — verdicts always describe exactly the rank the caller
+        read, matching the scalar oracle bit for bit.
+        """
+        state = self._mask_state
+        if state is not None and state[0] == rank:
+            return state[1]
+        with self._mask_lock:
+            state = self._mask_state
+            if state is not None and state[0] == rank:
+                return state[1]
+            if self._mask_unusable:
+                return None
+            mask = self._compute_mask(rank)
+            if mask is None:
+                self._mask_unusable = True
+                return None
+            self._mask_state = (rank, mask)
+            self.mask_epochs += 1
+            return mask
+
+    def _compute_mask(self, rank: tuple):
+        if rank == _NULL_RANK:
+            # NULLs-last: no best-possible rank is strictly below the
+            # NULL rank, so an all-NULL boundary prunes nothing.
+            import numpy as np
+
+            return np.zeros(len(self.index), dtype=bool)
+        if len(rank) != 2 or rank[0] != 1:
+            return None
+        value = rank[1]
+        if not self.boundary.desc:
+            if not isinstance(value, _Reversed):
+                return None
+            value = value.value
+        from .stats_index import topk_skip_mask
+
+        return topk_skip_mask(self.index, self.order_column,
+                              self.boundary.desc, value)
 
 
 class OrderStrategy(enum.Enum):
@@ -184,7 +311,7 @@ class OrderStrategy(enum.Enum):
         else:
             ordered = sorted(scan_set.entries, key=best_rank,
                              reverse=True)
-        return ScanSet(ordered)
+        return scan_set.with_entries(ordered)
 
 
 def initialize_boundary(scan_set: ScanSet,

@@ -81,18 +81,27 @@ class TestSerialEquivalence:
         assert serial.sql(
             "SELECT * FROM t").profile.scan_parallelism == 1
 
-    def test_topk_boundary_scan_stays_serial(self):
-        """Adaptive top-k pruning depends on scan order; the scan must
-        refuse to parallelize it (and still match serial results)."""
+    def test_topk_boundary_scan_parallelizes_identically(self):
+        """Adaptive top-k pruning no longer forces a serial island:
+        the boundary is a shared tighten-only CAS and the accounted
+        skip decisions run on the consumer thread in scan-set order,
+        so the parallel scan matches serial bit for bit — rows, skip
+        and check counters, and the simulated clock."""
         serial = make_catalog(1)
         parallel = make_catalog(4)
         sql = "SELECT id, v FROM t ORDER BY v DESC LIMIT 7"
         want = serial.sql(sql)
         got = parallel.sql(sql)
         assert got.rows == want.rows
-        scan = got.profile.scans[0]
-        if scan.topk_checks:
-            assert scan.scan_parallelism == 1
+        scan_s = want.profile.scans[0]
+        scan_p = got.profile.scans[0]
+        assert scan_p.scan_parallelism == 4
+        assert scan_s.topk_checks > 0
+        assert scan_p.topk_checks == scan_s.topk_checks
+        assert scan_p.topk_skipped == scan_s.topk_skipped
+        assert scan_p.partitions_loaded == scan_s.partitions_loaded
+        assert got.profile.exec_ms == pytest.approx(
+            want.profile.exec_ms)
 
     def test_limit_early_termination(self):
         serial = make_catalog(1)

@@ -1,0 +1,307 @@
+"""Differential tests: vectorized *runtime* pruning vs scalar oracles.
+
+PR 8 teaches the stats index to classify runtime prune decisions in
+bulk: top-k boundary re-checks (:func:`topk_skip_mask`) and join-filter
+summaries (:func:`join_may_join_mask`). The contract is the same as
+compile-time vectorized pruning: bit-identity with the scalar path for
+every zone-map pathology — NULL-only columns, empty partitions, missing
+stats, degraded (stats-stripped) copies, lossy float boundaries — with
+the scalar walk as the always-correct fallback.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.pruning.base import ScanSet
+from repro.pruning.join_pruning import JoinPruner, build_summary
+from repro.pruning.stats_index import (
+    StatsIndex,
+    join_may_join_mask,
+    topk_skip_mask,
+)
+from repro.pruning.summaries import MinMaxSummary, RangeSetSummary
+from repro.pruning.topk_pruning import Boundary, TopKPruner
+from repro.storage.micropartition import MicroPartition
+from repro.types import DataType, Schema
+
+SCHEMA = Schema.of(a=DataType.INTEGER, v=DataType.DOUBLE,
+                   s=DataType.VARCHAR)
+
+STRINGS = ["alpha", "beta", "gamma", "alp", "z", ""]
+
+int_values = st.one_of(st.none(), st.integers(-50, 50))
+float_values = st.one_of(st.none(),
+                         st.floats(-50, 50, allow_nan=False))
+str_values = st.one_of(st.none(), st.sampled_from(STRINGS))
+rows_strategy = st.lists(
+    st.tuples(int_values, float_values, str_values),
+    min_size=0, max_size=10)
+partitions_strategy = st.lists(rows_strategy, min_size=0, max_size=8)
+
+
+def make_entries(partition_rows):
+    entries = []
+    for rows in partition_rows:
+        partition = MicroPartition.from_rows(SCHEMA, rows)
+        entries.append((partition.partition_id, partition.zone_map))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# topk_skip_mask vs the scalar TopKPruner
+# ----------------------------------------------------------------------
+def assert_topk_differential(entries, column, desc, value):
+    index = StatsIndex(entries)
+    boundary_v = Boundary(desc=desc)
+    boundary_v.update_value(value)
+    boundary_s = Boundary(desc=desc)
+    boundary_s.update_value(value)
+    vector = TopKPruner(column, boundary_v, index=index)
+    scalar = TopKPruner(column, boundary_s)
+    for pid, zone_map in entries:
+        assert vector.should_skip(zone_map, pid) \
+            == scalar.should_skip(zone_map), (column, desc, value, pid)
+    assert vector.checks == scalar.checks
+    assert vector.skipped == scalar.skipped
+    return vector
+
+
+@settings(max_examples=200, deadline=None)
+@given(partition_rows=partitions_strategy,
+       desc=st.booleans(),
+       column=st.sampled_from(["a", "v", "s"]),
+       int_bound=st.integers(-60, 60),
+       float_bound=st.floats(-60, 60, allow_nan=False),
+       str_bound=st.sampled_from(STRINGS))
+def test_topk_mask_matches_scalar(partition_rows, desc, column,
+                                  int_bound, float_bound, str_bound):
+    entries = make_entries(partition_rows)
+    value = {"a": int_bound, "v": float_bound, "s": str_bound}[column]
+    assert_topk_differential(entries, column, desc, value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(partition_rows=partitions_strategy, desc=st.booleans())
+def test_topk_mask_raw_function_matches_oracle(partition_rows, desc):
+    """The mask function itself (not just the pruner wrapper) equals
+    the per-row scalar decision for every indexed row."""
+    entries = make_entries(partition_rows)
+    if not entries:
+        return
+    index = StatsIndex(entries)
+    value = 7
+    mask = topk_skip_mask(index, "a", desc, value)
+    assert mask is not None
+    boundary = Boundary(desc=desc)
+    boundary.update_value(value)
+    scalar = TopKPruner("a", boundary)
+    for pid, zone_map in entries:
+        row = index.row_of(pid)
+        expected = scalar.best_possible_rank(zone_map) < boundary.rank
+        assert bool(mask[row]) == expected
+
+
+class TestTopKFallbackRoutes:
+    def _entries(self, values):
+        rows = [[(v, float(v) if v is not None else None, f"s{v}")]
+                for v in values]
+        return make_entries(rows)
+
+    def test_nan_boundary_falls_back_to_scalar(self):
+        entries = self._entries([1, 2, 3])
+        index = StatsIndex(entries)
+        boundary = Boundary(desc=True)
+        boundary.update_value(math.nan)
+        vector = TopKPruner("v", boundary, index=index)
+        scalar = TopKPruner("v", Boundary(desc=True))
+        scalar.boundary.update_value(math.nan)
+        for pid, zone_map in entries:
+            assert vector.should_skip(zone_map, pid) \
+                == scalar.should_skip(zone_map)
+        assert vector.vector_checks == 0
+        assert vector.fallback_checks == len(entries)
+
+    def test_degraded_copy_falls_back_by_identity(self):
+        entries = self._entries([1, 2, 3])
+        index = StatsIndex(entries)
+        boundary = Boundary(desc=True)
+        boundary.update_value(100)
+        pruner = TopKPruner("a", boundary, index=index)
+        pid, zone_map = entries[0]
+        degraded = zone_map.without_stats()
+        # Stats-stripped copy: the index holds the original object, so
+        # the identity check rejects the mask and the scalar path
+        # (which cannot prove a skip without stats) fails open.
+        assert pruner.should_skip(degraded, pid) is False
+        assert pruner.fallback_checks == 1
+        # The original object is still mask-served and skipped.
+        assert pruner.should_skip(zone_map, pid) is True
+        assert pruner.vector_checks == 1
+
+    def test_unknown_partition_falls_back(self):
+        entries = self._entries([1, 2])
+        index = StatsIndex(entries[:1])
+        boundary = Boundary(desc=True)
+        boundary.update_value(100)
+        pruner = TopKPruner("a", boundary, index=index)
+        pid, zone_map = entries[1]
+        assert pruner.should_skip(zone_map, pid) is True
+        assert pruner.vector_checks == 0
+        assert pruner.fallback_checks == 1
+
+    def test_mask_recomputed_once_per_boundary_epoch(self):
+        entries = self._entries(list(range(10)))
+        index = StatsIndex(entries)
+        boundary = Boundary(desc=True)
+        boundary.update_value(3)
+        pruner = TopKPruner("a", boundary, index=index)
+        for pid, zone_map in entries:
+            pruner.should_skip(zone_map, pid)
+        assert pruner.mask_epochs == 1
+        boundary.update_value(7)  # tighten: new epoch
+        for pid, zone_map in entries:
+            pruner.should_skip(zone_map, pid)
+        assert pruner.mask_epochs == 2
+        assert pruner.vector_checks == 2 * len(entries)
+
+    def test_inactive_boundary_checks_nothing(self):
+        entries = self._entries([1, 2])
+        pruner = TopKPruner("a", Boundary(desc=True),
+                            index=StatsIndex(entries))
+        for pid, zone_map in entries:
+            assert pruner.should_skip(zone_map, pid) is False
+        assert pruner.vector_checks == 0
+        assert pruner.fallback_checks == 0
+
+    def test_peek_skip_counter_free(self):
+        entries = self._entries([1, 2, 3])
+        boundary = Boundary(desc=True)
+        boundary.update_value(100)
+        pruner = TopKPruner("a", boundary, index=StatsIndex(entries))
+        pid, zone_map = entries[0]
+        assert pruner.peek_skip(zone_map, pid) is True
+        assert pruner.checks == 0
+        assert pruner.skipped == 0
+
+
+# ----------------------------------------------------------------------
+# join_may_join_mask vs the scalar JoinPruner
+# ----------------------------------------------------------------------
+def assert_join_differential(entries, column, summary):
+    scan_set = ScanSet(entries)
+    index = StatsIndex(entries)
+    vector = JoinPruner(column, summary, index=index)
+    scalar = JoinPruner(column, summary)
+    got = vector.prune(scan_set)
+    expected = scalar.prune(scan_set)
+    assert got.kept.partition_ids == expected.kept.partition_ids
+    assert got.pruned_ids == expected.pruned_ids
+    assert got.checks == expected.checks
+    return vector
+
+
+build_values = st.lists(
+    st.one_of(st.none(), st.integers(-60, 60)),
+    min_size=0, max_size=30)
+
+
+@settings(max_examples=200, deadline=None)
+@given(partition_rows=partitions_strategy, values=build_values,
+       kind=st.sampled_from(["minmax", "rangeset"]))
+def test_join_mask_matches_scalar(partition_rows, values, kind):
+    entries = make_entries(partition_rows)
+    summary = build_summary(values, kind=kind)
+    pruner = assert_join_differential(entries, "a", summary)
+    if entries:
+        assert pruner.mode in ("vectorized", "mixed", "fallback")
+
+
+@settings(max_examples=100, deadline=None)
+@given(partition_rows=partitions_strategy,
+       values=st.lists(st.sampled_from(STRINGS), min_size=0,
+                       max_size=12))
+def test_join_mask_string_lane(partition_rows, values):
+    entries = make_entries(partition_rows)
+    summary = build_summary(values, kind="rangeset")
+    assert_join_differential(entries, "s", summary)
+
+
+class TestJoinMaskRoutes:
+    def _entries(self):
+        rng = random.Random(5)
+        rows = [[(rng.randint(0, 100), None, None) for _ in range(5)]
+                for _ in range(6)]
+        return make_entries(rows)
+
+    def test_empty_summary_prunes_everything_valued(self):
+        entries = self._entries()
+        summary = MinMaxSummary([])
+        assert summary.is_empty
+        assert_join_differential(entries, "a", summary)
+
+    def test_bloom_summary_is_not_vectorized(self):
+        entries = self._entries()
+        index = StatsIndex(entries)
+        summary = build_summary([1, 2, 3], kind="bloom")
+        assert join_may_join_mask(index, "a", summary) is None
+        pruner = JoinPruner("a", summary, index=index)
+        pruner.prune(ScanSet(entries))
+        assert pruner.mode == "fallback"
+
+    def test_all_null_probe_partition_pruned(self):
+        rows = [[(None, None, "x")], [(3, None, "y")]]
+        entries = make_entries(rows)
+        summary = RangeSetSummary([1, 2, 3, 4])
+        pruner = assert_join_differential(entries, "a", summary)
+        assert pruner.mode == "vectorized"
+
+    def test_missing_column_keeps_everything(self):
+        narrow = Schema.of(x=DataType.INTEGER)
+        partition = MicroPartition.from_rows(narrow, [(1,)])
+        entries = [(partition.partition_id, partition.zone_map)]
+        summary = MinMaxSummary([10, 20])
+        assert_join_differential(entries, "a", summary)
+
+    def test_mixed_mode_on_stale_zone_map(self):
+        entries = self._entries()
+        index = StatsIndex(entries)
+        # Replace one entry with a stats-stripped copy: identity check
+        # fails for it, everything else serves from the mask.
+        stale = list(entries)
+        stale[0] = (stale[0][0], stale[0][1].without_stats())
+        pruner = JoinPruner("a", MinMaxSummary([0, 1000]), index=index)
+        pruner.prune(ScanSet(stale))
+        assert pruner.mode == "mixed"
+        assert pruner.vector_checks == len(entries) - 1
+        assert pruner.fallback_checks == 1
+
+    def test_rangeset_gaps_prune_between_ranges(self):
+        # Partitions with tight ranges; summary has two islands.
+        rows = [[(i * 10 + j, None, None) for j in range(3)]
+                for i in range(10)]
+        entries = make_entries(rows)
+        summary = RangeSetSummary(list(range(0, 10))
+                                  + list(range(80, 90)))
+        pruner = assert_join_differential(entries, "a", summary)
+        result = pruner.prune(ScanSet(entries))
+        assert result.pruned_ids  # middle islands pruned
+
+
+def test_scan_set_with_entries_keeps_degradation():
+    """with_entries (used by every pruner and the order strategy) must
+    preserve degraded-partition bookkeeping, or degraded fail-open
+    accounting silently resets after any pruning pass."""
+    rows = [[(1, None, None)], [(2, None, None)]]
+    entries = make_entries(rows)
+    degraded = ScanSet(entries, degraded_ids=[entries[0][0]])
+    reordered = degraded.with_entries(list(reversed(degraded.entries)))
+    assert reordered.degraded_ids == degraded.degraded_ids
+    # A subset drop removes vanished ids from the degraded set too.
+    subset = degraded.with_entries(degraded.entries[1:])
+    assert subset.degraded_ids == frozenset()
