@@ -1,0 +1,321 @@
+#!/usr/bin/env python
+"""PR benchmark report: telemetry-driven background reclustering.
+
+Measures the operational claims of PR 9 — the closed layout loop
+(telemetry -> advisor -> budgeted incremental recluster -> better
+pruning) — and writes them to ``BENCH_PR9.json`` (for CI artifact
+upload and regression tracking):
+
+1. **Drift detection + CDF shift** — a table sorted by ``ts`` serves a
+   workload that filters on ``score``. The advisor must recommend
+   ``(events, score)`` from the TelemetrySink alone (no operator
+   hint), and after the background service converges, the median
+   filter-pruning ratio of the same query mix must improve by
+   >= 0.2 absolute (the fleet pruning-ratio CDF shifts right).
+2. **Budget discipline** — across every slice the job ran, the summed
+   input-partition bytes rewritten in that slice must stay <= the
+   configured ``budget_bytes``. No slice may blow the lock-hold bound.
+3. **Zero divergence under concurrent traffic** — the background
+   thread reclusters while reader threads SELECT and a writer thread
+   runs the same deterministic DML applied to a fault-free oracle
+   catalog; final row sets and a battery of differential queries must
+   be identical, with no thread errors.
+4. **Progress visibility** — ``describe()`` must expose the
+   reclustering status block plus ``recluster_*`` counters, and the
+   fleet report must account the slices as maintenance, separate from
+   query traffic.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_recluster_report.py
+        [--quick] [--output BENCH_PR9.json]
+
+``--quick`` shrinks table sizes and query counts for CI smoke runs
+(every gate still applies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import (  # noqa: E402
+    Catalog,
+    DataType,
+    Layout,
+    QueryService,
+    Schema,
+)
+from repro.obs.fleet import fleet_summary, render_fleet_report  # noqa: E402
+from repro.recluster import best_advice  # noqa: E402
+
+SCHEMA = Schema.of(ts=DataType.INTEGER, category=DataType.VARCHAR,
+                   value=DataType.DOUBLE, score=DataType.INTEGER)
+
+DIFFERENTIAL_SQL = [
+    "SELECT count(*) AS c FROM events",
+    "SELECT sum(score) AS s FROM events",
+    "SELECT category, count(*) AS c FROM events GROUP BY category",
+    "SELECT * FROM events WHERE score BETWEEN 100000 AND 140000",
+    "SELECT * FROM events WHERE ts < 50 AND score >= 500000",
+]
+
+
+def make_events_rows(n: int, seed: int) -> list[tuple]:
+    rng = random.Random(seed)
+    categories = ["alpha", "beta", "gamma", "delta"]
+    return [(i, rng.choice(categories),
+             round(rng.uniform(0, 1000), 3), rng.randrange(1_000_000))
+            for i in range(n)]
+
+
+def drifting_service(n: int, rows_per_partition: int = 100,
+                     seed: int = 21) -> QueryService:
+    """Table sorted by ``ts``; the workload will filter on ``score``."""
+    catalog = Catalog(rows_per_partition=rows_per_partition)
+    catalog.create_table_from_rows(
+        "events", SCHEMA, make_events_rows(n, seed=seed),
+        layout=Layout.sorted_by("ts"))
+    return QueryService(catalog)
+
+
+def run_score_queries(service: QueryService, count: int,
+                      seed: int) -> list[float]:
+    """Run score-range SELECTs; returns their filter-pruning ratios."""
+    rng = random.Random(seed)
+    ratios = []
+    for _ in range(count):
+        lo = rng.randrange(900_000)
+        result = service.sql(
+            f"SELECT * FROM events WHERE score BETWEEN {lo} "
+            f"AND {lo + 30_000}")
+        scan = result.profile.scans[0]
+        ratios.append(scan.partitions_pruned / scan.total_partitions)
+    return ratios
+
+
+def median(values: list[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def cdf_deciles(values: list[float]) -> list[float]:
+    """The pruning-ratio value at each decile (p10..p90 inclusive)."""
+    ordered = sorted(values)
+    return [round(ordered[min(len(ordered) - 1,
+                              int(p / 100 * len(ordered)))], 3)
+            for p in range(10, 100, 10)]
+
+
+# ----------------------------------------------------------------------
+# 1 + 2 + 4. Drift detection, CDF shift, budget discipline, visibility
+# ----------------------------------------------------------------------
+def bench_drift_loop(n_rows: int, n_queries: int,
+                     budget_bytes: int) -> dict:
+    service = drifting_service(n_rows)
+    before = run_score_queries(service, n_queries, seed=1)
+
+    # What the advisor sees is ONLY the sink contents — no hints.
+    advice = best_advice(service.telemetry.records(), service.catalog)
+    recluster = service.enable_reclustering(budget_bytes=budget_bytes)
+    slice_bytes: list[int] = []
+    depth_trajectory: list[float] = []
+    while True:
+        report = recluster.step()
+        if report is None:
+            break
+        if report.partitions_selected:
+            slice_bytes.append(report.bytes_rewritten)
+        depth_trajectory.append(round(report.depth_after, 3))
+        assert len(depth_trajectory) < 1000, "job did not terminate"
+
+    after = run_score_queries(service, n_queries, seed=2)
+
+    snap = service.describe()
+    status = snap["reclustering"]
+    report_text = render_fleet_report(service.telemetry.records())
+    summary = fleet_summary(service.telemetry.records())
+
+    return {
+        "rows": n_rows,
+        "queries_per_phase": n_queries,
+        "budget_bytes": budget_bytes,
+        "advice": None if advice is None else {
+            "table": advice.table, "column": advice.column,
+            "queries": advice.queries,
+            "pruning_ratio": round(advice.pruning_ratio, 3),
+            "clustering_depth": round(advice.clustering_depth, 3),
+            "score": round(advice.score, 2),
+        },
+        "median_ratio_before": round(median(before), 3),
+        "median_ratio_after": round(median(after), 3),
+        "cdf_deciles_before": cdf_deciles(before),
+        "cdf_deciles_after": cdf_deciles(after),
+        "slices": len(slice_bytes),
+        "max_slice_bytes": max(slice_bytes, default=0),
+        "depth_initial": depth_trajectory[0] if depth_trajectory
+        else None,
+        "depth_final": depth_trajectory[-1] if depth_trajectory
+        else None,
+        "completed_jobs": status["completed_jobs"],
+        "describe_counters": {
+            key: snap[key] for key in (
+                "recluster_jobs_started", "recluster_jobs_completed",
+                "recluster_slices", "recluster_partitions_rewritten",
+                "recluster_bytes_rewritten")},
+        "fleet_report_has_recluster_line":
+            "reclustering:" in report_text
+            and "background slices" in report_text,
+        "fleet_queries_exclude_maintenance":
+            summary["queries"] == 2 * n_queries,
+        "fleet_recluster_slices": summary["recluster_slices"],
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. Zero divergence under concurrent SELECT/DML traffic
+# ----------------------------------------------------------------------
+def bench_concurrent_divergence(n_rows: int, n_readers: int,
+                                reads_per_thread: int,
+                                budget_bytes: int) -> dict:
+    service = drifting_service(n_rows)
+    run_score_queries(service, 12, seed=3)  # heat the telemetry
+
+    oracle = Catalog(rows_per_partition=100)
+    oracle.create_table_from_rows(
+        "events", SCHEMA, make_events_rows(n_rows, seed=21))
+
+    dml = [f"DELETE FROM events WHERE score >= {980_000 - i * 8_000}"
+           for i in range(4)]
+    dml += ["UPDATE events SET value = value + 1 "
+            "WHERE category = 'alpha'",
+            f"DELETE FROM events WHERE ts < {n_rows // 50}"]
+
+    recluster = service.enable_reclustering(
+        budget_bytes=budget_bytes, start=True)
+    errors: list[BaseException] = []
+
+    def reader() -> None:
+        try:
+            for _ in range(reads_per_thread):
+                result = service.sql(
+                    "SELECT count(*) AS c FROM events")
+                assert result.rows[0][0] > 0
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def writer() -> None:
+        try:
+            for statement in dml:
+                service.sql(statement)
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader)
+               for _ in range(n_readers)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    recluster.stop()
+
+    for statement in dml:  # same history, no recluster interleaved
+        oracle.sql(statement)
+
+    subject_rows = sorted(
+        service.catalog.tables["events"].to_rows(), key=repr)
+    oracle_rows = sorted(oracle.tables["events"].to_rows(), key=repr)
+    differential_ok = all(
+        sorted(service.sql(sql).rows, key=repr)
+        == sorted(oracle.sql(sql).rows, key=repr)
+        for sql in DIFFERENTIAL_SQL)
+
+    return {
+        "rows": n_rows,
+        "reader_threads": n_readers,
+        "reads_per_thread": reads_per_thread,
+        "dml_statements": len(dml),
+        "recluster_slices": int(service.metrics.counter(
+            "recluster_slices").value),
+        "thread_errors": [repr(e) for e in errors],
+        "row_sets_identical": subject_rows == oracle_rows,
+        "differential_queries_identical": differential_ok,
+        "final_row_count": len(subject_rows),
+    }
+
+
+# ----------------------------------------------------------------------
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller tables / fewer queries "
+                             "(CI smoke)")
+    parser.add_argument("--output", default=str(
+        REPO_ROOT / "BENCH_PR9.json"))
+    args = parser.parse_args()
+
+    if args.quick:
+        drift_rows, drift_queries, drift_budget = 3000, 15, 24 * 1024
+        conc_rows, conc_readers, conc_reads = 1500, 2, 10
+    else:
+        drift_rows, drift_queries, drift_budget = 6000, 25, 48 * 1024
+        conc_rows, conc_readers, conc_reads = 3000, 3, 15
+
+    drift = bench_drift_loop(drift_rows, drift_queries, drift_budget)
+    concurrent = bench_concurrent_divergence(
+        conc_rows, conc_readers, conc_reads, budget_bytes=64 * 1024)
+
+    improvement = (drift["median_ratio_after"]
+                   - drift["median_ratio_before"])
+    gates = {
+        "advisor_detects_drift_from_telemetry_alone": (
+            drift["advice"] is not None
+            and drift["advice"]["table"] == "events"
+            and drift["advice"]["column"] == "score"),
+        "median_pruning_ratio_improves_ge_0_2": improvement >= 0.2,
+        "slice_bytes_never_exceed_budget": (
+            drift["slices"] > 0
+            and drift["max_slice_bytes"] <= drift["budget_bytes"]),
+        "concurrent_traffic_zero_divergence": (
+            concurrent["thread_errors"] == []
+            and concurrent["row_sets_identical"]
+            and concurrent["differential_queries_identical"]),
+        "progress_visible_in_describe_and_fleet_report": (
+            bool(drift["completed_jobs"])
+            and drift["describe_counters"][
+                "recluster_bytes_rewritten"] > 0
+            and drift["fleet_report_has_recluster_line"]
+            and drift["fleet_queries_exclude_maintenance"]),
+    }
+
+    payload = {
+        "pr": 9,
+        "title": "Telemetry-driven background reclustering "
+                 "(advisor, budgeted engine, service loop)",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "median_ratio_improvement": round(improvement, 3),
+        "drift_loop": drift,
+        "concurrent_divergence": concurrent,
+        "gates": gates,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    failed = [name for name, ok in gates.items() if not ok]
+    if failed:
+        print(f"\nFAILED gates: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("\nAll gates passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,9 +86,17 @@ from .obs import (
     render_fleet_report,
     render_span_tree,
 )
+from .recluster import (
+    ClusteringAdvice,
+    IncrementalReclusterer,
+    ReclusterJob,
+    ReclusterService,
+    SliceReport,
+    WorkloadAdvisor,
+)
 from .service import QueryService
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "DataType",
@@ -153,5 +161,11 @@ __all__ = [
     "TelemetryRecord",
     "TelemetrySink",
     "render_fleet_report",
+    "ClusteringAdvice",
+    "IncrementalReclusterer",
+    "ReclusterJob",
+    "ReclusterService",
+    "SliceReport",
+    "WorkloadAdvisor",
     "__version__",
 ]

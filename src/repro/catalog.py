@@ -1026,6 +1026,8 @@ class Catalog:
                 scan_profile.total_partitions = len(scan_set)
                 scan_profile.filter_result = result
                 scan_profile.filter_eligible = True
+                scan_profile.filter_columns = tuple(
+                    sorted(predicate.column_refs()))
                 scan_profile.pruning_mode = pruner.mode
             kept = set(result.kept.partition_ids)
             candidates = [p for p in table.partitions
@@ -1172,7 +1174,9 @@ class Catalog:
             or self.rows_per_partition,
             layout=Layout.sorted_by(*keys))
         if not old_partitions and not rebuilt.partitions:
-            self._bump_version(table)  # empty table: no-op rewrite
+            # Empty table: a rewrite that touches nothing must be a true
+            # no-op — no version bump, no cache invalidation, no WAL
+            # record (matches _commit_rewrite's contract).
             return 0
         self._commit_rewrite(table, old_partitions,
                              rebuilt.partitions, kind="recluster")

@@ -51,6 +51,11 @@ class ScanProfile:
     bytes_scanned: int = 0
     early_terminated: bool = False
     filter_eligible: bool = False
+    #: columns the (simplified) filter predicate references — the
+    #: workload signal the recluster advisor mines (which columns are
+    #: hot, and how well zone maps prune on them). Empty when the scan
+    #: has no prunable predicate.
+    filter_columns: tuple[str, ...] = ()
     #: this scan's scan set came from the *predicate* cache (§8.2);
     #: distinct from the warehouse-local *data* cache counters below.
     cache_hit: bool = False

@@ -56,9 +56,17 @@ LATENCY_QS: tuple[float, ...] = (50, 75, 90, 95, 99, 100)
 def _executed(records: Sequence[TelemetryRecord]
               ) -> list[TelemetryRecord]:
     """Records of queries that actually ran (errors and result-cache
-    hits carry no pruning counters)."""
+    hits carry no pruning counters; background maintenance records are
+    not queries)."""
     return [r for r in records
-            if r.status == "ok" and not r.result_cache_hit]
+            if r.status == "ok" and not r.result_cache_hit
+            and r.kind != "recluster"]
+
+
+def _maintenance(records: Sequence[TelemetryRecord]
+                 ) -> list[TelemetryRecord]:
+    """Background recluster-slice records (kind == "recluster")."""
+    return [r for r in records if r.kind == "recluster"]
 
 
 def technique_ratio_cdfs(
@@ -146,7 +154,14 @@ def latency_percentiles(
 
 def fleet_summary(records: Sequence[TelemetryRecord]
                   ) -> dict[str, Any]:
-    """Fleet counters over a record window (sink-independent)."""
+    """Fleet counters over a record window (sink-independent).
+
+    Background recluster slices are accounted separately (the
+    ``recluster_*`` keys) and never pollute the query aggregates —
+    ``queries`` counts client statements, not maintenance work.
+    """
+    maintenance = _maintenance(records)
+    records = [r for r in records if r.kind != "recluster"]
     executed = _executed(records)
     population = sum(r.partitions_total for r in executed)
     pruned = sum(r.partitions_pruned for r in executed)
@@ -200,6 +215,11 @@ def fleet_summary(records: Sequence[TelemetryRecord]
         "rows_scanned": sum(r.rows_scanned for r in executed),
         "rows_returned": sum(r.rows_returned for r in records),
         "bytes_scanned": sum(r.bytes_scanned for r in executed),
+        "recluster_slices": len(maintenance),
+        "recluster_partitions_rewritten": sum(
+            r.partitions_rewritten for r in maintenance),
+        "recluster_bytes_rewritten": sum(
+            r.bytes_rewritten for r in maintenance),
     }
 
 
@@ -253,6 +273,12 @@ def render_fleet_report(records: Sequence[TelemetryRecord],
     if summary["wal_appends"]:
         report.add(f"  durability: {summary['wal_appends']} WAL "
                    f"appends / {summary['wal_bytes']} bytes logged")
+    if summary["recluster_slices"]:
+        report.add(f"  reclustering: {summary['recluster_slices']} "
+                   f"background slices rewrote "
+                   f"{summary['recluster_partitions_rewritten']} "
+                   f"partitions "
+                   f"({summary['recluster_bytes_rewritten']} bytes)")
     if summary["topk_boundary_updates"] \
             or summary["prefetched_then_skipped"]:
         report.add(f"  runtime pruning: "

@@ -29,6 +29,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["TelemetryRecord", "TelemetrySink"]
 
+#: additive summary counters maintained incrementally by the sink.
+_SUM_KEYS = (
+    "errors",
+    "result_cache_hits",
+    "predicate_cache_hits",
+    "plan_cache_hits",
+    "data_cache_hits",
+    "data_cache_misses",
+    "data_cache_bytes_saved",
+    "wal_appends",
+    "wal_bytes",
+    "degraded_queries",
+    "retried_queries",
+    "partitions_total",
+    "partitions_pruned",
+    "bytes_scanned",
+    "rows_returned",
+    "recluster_slices",
+    "recluster_partitions_rewritten",
+    "recluster_bytes_rewritten",
+)
+
 
 @dataclass
 class TelemetryRecord:
@@ -43,7 +65,7 @@ class TelemetryRecord:
 
     query_id: str = ""
     sql: str = ""
-    #: "select" or "dml"
+    #: "select", "dml", or "recluster" (background maintenance slice)
     kind: str = "select"
     tables: tuple[str, ...] = ()
     #: "ok", "error", "cancelled", or "cache_hit"
@@ -56,6 +78,22 @@ class TelemetryRecord:
     #: techniques whose preconditions held for this query (a query is
     #: only counted in a technique's pruning-ratio CDF when eligible)
     eligible_techniques: tuple[str, ...] = ()
+    #: per-table columns the query's prunable filter predicates
+    #: referenced (the recluster advisor's workload signal); only
+    #: filter-eligible scans contribute.
+    filter_columns: dict[str, tuple[str, ...]] = field(
+        default_factory=dict)
+    #: per-table ``(partitions_total, filter_pruned)`` over the query's
+    #: filter-eligible scans — the eligibility-conditioned numerator /
+    #: denominator of the paper's filter pruning-ratio CDF, split by
+    #: table so the advisor can localize poor pruning.
+    filter_pruning_by_table: dict[str, tuple[int, int]] = field(
+        default_factory=dict)
+    #: partitions a background recluster slice rewrote (kind ==
+    #: "recluster"; 0 for queries).
+    partitions_rewritten: int = 0
+    #: input bytes that slice rewrote (kind == "recluster").
+    bytes_rewritten: int = 0
     rows_scanned: int = 0
     rows_returned: int = 0
     bytes_scanned: int = 0
@@ -122,9 +160,18 @@ class TelemetryRecord:
         profile = result.profile
         by_technique: dict[str, int] = {}
         eligible: "OrderedDict[str, None]" = OrderedDict()
+        filter_columns: dict[str, set[str]] = {}
+        filter_pruning: dict[str, tuple[int, int]] = {}
         for scan in profile.scans:
             if scan.filter_eligible:
                 eligible[PruneCategory.FILTER] = None
+                filter_columns.setdefault(scan.table, set()).update(
+                    scan.filter_columns)
+                total, pruned = filter_pruning.get(scan.table, (0, 0))
+                filter_pruning[scan.table] = (
+                    total + scan.total_partitions,
+                    pruned + (scan.filter_result.pruned
+                              if scan.filter_result is not None else 0))
             for pruning in scan.pruning_results():
                 by_technique[pruning.technique] = (
                     by_technique.get(pruning.technique, 0)
@@ -146,6 +193,9 @@ class TelemetryRecord:
             partitions_pruned=profile.partitions_pruned,
             pruned_by_technique=by_technique,
             eligible_techniques=tuple(eligible),
+            filter_columns={t: tuple(sorted(cols))
+                            for t, cols in filter_columns.items()},
+            filter_pruning_by_table=filter_pruning,
             rows_scanned=sum(s.rows_scanned for s in profile.scans),
             rows_returned=result.num_rows,
             bytes_scanned=sum(s.bytes_scanned for s in profile.scans),
@@ -185,6 +235,13 @@ class TelemetryRecord:
             "partitions_pruned": self.partitions_pruned,
             "pruned_by_technique": dict(self.pruned_by_technique),
             "eligible_techniques": list(self.eligible_techniques),
+            "filter_columns": {t: list(cols) for t, cols
+                               in self.filter_columns.items()},
+            "filter_pruning_by_table": {
+                t: list(v) for t, v
+                in self.filter_pruning_by_table.items()},
+            "partitions_rewritten": self.partitions_rewritten,
+            "bytes_rewritten": self.bytes_rewritten,
             "pruning_ratio": round(self.pruning_ratio, 6),
             "rows_scanned": self.rows_scanned,
             "rows_returned": self.rows_returned,
@@ -238,6 +295,46 @@ class TelemetrySink:
         self._by_id: dict[str, TelemetryRecord] = {}
         self.total_recorded = 0
         self.dropped = 0
+        #: running sums over the *retained* window, maintained under
+        #: the record lock so ``summary()`` is O(1) instead of ~15
+        #: O(n) passes over the ring on every ``describe()`` call.
+        self._sums: dict[str, int] = dict.fromkeys(_SUM_KEYS, 0)
+
+    def _apply(self, record: TelemetryRecord, sign: int) -> None:
+        """Add (+1) or retract (-1) one record's summary contribution.
+
+        Must be called with ``self._lock`` held. Every key is additive,
+        so eviction and in-place annotation are exact retractions.
+        """
+        s = self._sums
+        if record.status == "error":
+            s["errors"] += sign
+        if record.result_cache_hit:
+            s["result_cache_hits"] += sign
+        if record.predicate_cache_hit:
+            s["predicate_cache_hits"] += sign
+        if record.plan_cache_hit:
+            s["plan_cache_hits"] += sign
+        if record.degraded:
+            s["degraded_queries"] += sign
+        if record.retries:
+            s["retried_queries"] += sign
+        s["data_cache_hits"] += sign * record.data_cache_hits
+        s["data_cache_misses"] += sign * record.data_cache_misses
+        s["data_cache_bytes_saved"] += (
+            sign * record.data_cache_bytes_saved)
+        s["wal_appends"] += sign * record.wal_appends
+        s["wal_bytes"] += sign * record.wal_bytes
+        s["partitions_total"] += sign * record.partitions_total
+        s["partitions_pruned"] += sign * record.partitions_pruned
+        s["bytes_scanned"] += sign * record.bytes_scanned
+        s["rows_returned"] += sign * record.rows_returned
+        if record.kind == "recluster":
+            s["recluster_slices"] += sign
+            s["recluster_partitions_rewritten"] += (
+                sign * record.partitions_rewritten)
+            s["recluster_bytes_rewritten"] += (
+                sign * record.bytes_rewritten)
 
     def __len__(self) -> int:
         with self._lock:
@@ -249,10 +346,12 @@ class TelemetrySink:
             if len(self._records) == self.capacity:
                 evicted = self._records[0]
                 self._by_id.pop(evicted.query_id, None)
+                self._apply(evicted, -1)
                 self.dropped += 1
             self._records.append(record)
             if record.query_id:
                 self._by_id[record.query_id] = record
+            self._apply(record, +1)
             self.total_recorded += 1
         return record
 
@@ -266,11 +365,17 @@ class TelemetrySink:
             record = self._by_id.get(query_id)
             if record is None:
                 return False
-            for key, value in fields.items():
-                if not hasattr(record, key):
-                    raise AttributeError(
-                        f"TelemetryRecord has no field {key!r}")
-                setattr(record, key, value)
+            # The record is mutated in place, so retract its summary
+            # contribution, apply the fields, then re-add it.
+            self._apply(record, -1)
+            try:
+                for key, value in fields.items():
+                    if not hasattr(record, key):
+                        raise AttributeError(
+                            f"TelemetryRecord has no field {key!r}")
+                    setattr(record, key, value)
+            finally:
+                self._apply(record, +1)
             return True
 
     def get(self, query_id: str) -> TelemetryRecord | None:
@@ -287,6 +392,7 @@ class TelemetrySink:
         with self._lock:
             self._records.clear()
             self._by_id.clear()
+            self._sums = dict.fromkeys(_SUM_KEYS, 0)
 
     def slow_queries(self, n: int = 10) -> list[TelemetryRecord]:
         """The ``n`` slowest retained queries (by simulated time)
@@ -298,42 +404,27 @@ class TelemetrySink:
         return slow[:n]
 
     def summary(self) -> dict[str, Any]:
-        """Counter roll-up for ``service.describe()`` and dashboards."""
+        """Counter roll-up for ``service.describe()`` and dashboards.
+
+        O(1): reads the running sums maintained by ``record`` /
+        ``annotate`` / eviction rather than re-walking the ring.
+        """
         with self._lock:
-            records = list(self._records)
+            sums = dict(self._sums)
             total = self.total_recorded
             dropped = self.dropped
-        n = len(records)
-        pruned = sum(r.partitions_pruned for r in records)
-        population = sum(r.partitions_total for r in records)
-        return {
+            n = len(self._records)
+        pruned = sums["partitions_pruned"]
+        population = sums["partitions_total"]
+        summary: dict[str, Any] = {
             "recorded": total,
             "retained": n,
             "dropped": dropped,
-            "errors": sum(1 for r in records if r.status == "error"),
-            "result_cache_hits": sum(
-                1 for r in records if r.result_cache_hit),
-            "predicate_cache_hits": sum(
-                1 for r in records if r.predicate_cache_hit),
-            "plan_cache_hits": sum(
-                1 for r in records if r.plan_cache_hit),
-            "data_cache_hits": sum(r.data_cache_hits
-                                   for r in records),
-            "data_cache_misses": sum(r.data_cache_misses
-                                     for r in records),
-            "data_cache_bytes_saved": sum(r.data_cache_bytes_saved
-                                          for r in records),
-            "wal_appends": sum(r.wal_appends for r in records),
-            "wal_bytes": sum(r.wal_bytes for r in records),
-            "degraded_queries": sum(1 for r in records if r.degraded),
-            "retried_queries": sum(1 for r in records if r.retries),
-            "partitions_total": population,
-            "partitions_pruned": pruned,
-            "fleet_pruning_ratio": round(pruned / population, 6)
-            if population else 0.0,
-            "bytes_scanned": sum(r.bytes_scanned for r in records),
-            "rows_returned": sum(r.rows_returned for r in records),
         }
+        summary.update(sums)
+        summary["fleet_pruning_ratio"] = (
+            round(pruned / population, 6) if population else 0.0)
+        return summary
 
     def export_json(self, path=None) -> str:
         """All retained records as a JSON document; optionally written

@@ -270,6 +270,9 @@ class QueryCompiler:
         if predicate is not None:
             predicate = simplify(predicate, schema)
             profile.filter_eligible = is_prunable(predicate)
+            if profile.filter_eligible:
+                profile.filter_columns = tuple(
+                    sorted(predicate.column_refs()))
             deferred: ast.Expr | None = None
             limit = options.compile_prune_partition_limit
             push_to_runtime = (limit is not None

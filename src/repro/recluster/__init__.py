@@ -1,0 +1,32 @@
+"""Telemetry-driven background reclustering (the layout loop).
+
+The paper measures pruning; this package *improves* it. Three layers:
+
+* :mod:`~repro.recluster.advisor` — mines fleet telemetry for hot
+  filter columns with poor eligibility-conditioned pruning ratios and
+  scores candidate clustering keys;
+* :mod:`~repro.recluster.engine` — rewrites the worst-overlapping
+  partition neighbourhood one byte-budgeted slice at a time through
+  the catalog's WAL-backed rewrite path;
+* :mod:`~repro.recluster.service` — the background loop that runs
+  slices between queries under the service's writer-preference lock,
+  pausing on admission pressure.
+
+See ``docs/reclustering.md`` for heuristics and budget semantics.
+"""
+
+from .advisor import (ClusteringAdvice, ColumnHeat, WorkloadAdvisor,
+                      best_advice)
+from .engine import IncrementalReclusterer, ReclusterJob, SliceReport
+from .service import ReclusterService
+
+__all__ = [
+    "ClusteringAdvice",
+    "ColumnHeat",
+    "WorkloadAdvisor",
+    "best_advice",
+    "IncrementalReclusterer",
+    "ReclusterJob",
+    "SliceReport",
+    "ReclusterService",
+]

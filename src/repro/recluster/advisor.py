@@ -1,0 +1,187 @@
+"""Workload advisor: mine fleet telemetry for clustering candidates.
+
+The paper's §7 telemetry study shows pruning effectiveness "primarily
+depends on how data is distributed among micro-partitions" (§1). This
+module closes the loop: instead of asking an operator to guess
+clustering keys, it mines the fleet's own :class:`TelemetryRecord`
+stream for *hot filter columns with poor eligibility-conditioned
+pruning ratios* — columns queries keep filtering on while zone maps
+keep failing to prune — and scores them as candidate clustering keys.
+
+The signal chain is end-to-end telemetry: the compiler's predicate
+walk records which columns each prunable filter referenced
+(``ScanProfile.filter_columns``), the telemetry layer folds that into
+per-table ``filter_pruning_by_table`` counters, and the advisor
+aggregates those per ``(table, column)`` — no query-log parsing, no
+operator hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..catalog import Catalog
+    from ..obs.telemetry import TelemetryRecord
+
+__all__ = ["ColumnHeat", "ClusteringAdvice", "WorkloadAdvisor"]
+
+#: telemetry kinds the advisor mines (maintenance records are not
+#: workload signal).
+_QUERY_KINDS = frozenset({"select", "dml"})
+
+
+@dataclass(frozen=True)
+class ColumnHeat:
+    """Aggregate pruning behaviour of one filtered column."""
+
+    table: str
+    column: str
+    #: executed queries whose prunable filter referenced this column
+    queries: int
+    #: summed pre-pruning partition population of those queries' scans
+    partitions_total: int
+    #: partitions filter pruning actually removed on those scans
+    partitions_pruned: int
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Eligibility-conditioned filter pruning ratio (0 when the
+        scans saw no partitions)."""
+        if self.partitions_total == 0:
+            return 0.0
+        return self.partitions_pruned / self.partitions_total
+
+
+@dataclass(frozen=True)
+class ClusteringAdvice:
+    """One recommended clustering key, with its supporting evidence."""
+
+    table: str
+    column: str
+    #: queries that filtered on the column (workload heat)
+    queries: int
+    #: observed eligibility-conditioned pruning ratio (the problem)
+    pruning_ratio: float
+    #: current zone-map overlap depth on the column (the cause)
+    clustering_depth: float
+    #: heat x headroom x disorder — higher is more urgent
+    score: float
+
+    def __str__(self) -> str:
+        return (f"recluster {self.table} by {self.column}: "
+                f"{self.queries} queries at ratio "
+                f"{self.pruning_ratio:.2f}, depth "
+                f"{self.clustering_depth:.2f} (score {self.score:.1f})")
+
+
+class WorkloadAdvisor:
+    """Scores candidate clustering keys from telemetry alone.
+
+    A column is recommended only when all three hold:
+
+    * **hot** — at least ``min_queries`` executed (non-cache-hit)
+      queries filtered on it;
+    * **poorly pruning** — its aggregate eligibility-conditioned
+      filter pruning ratio is below ``ratio_threshold``;
+    * **fixable** — the table's live zone-map overlap depth on the
+      column exceeds ``depth_threshold`` and the table has at least
+      two partitions. Degenerate layouts (single partition, all-NULL
+      key) score depth 1 and are therefore never recommended.
+
+    The depth check makes the advisor self-limiting: once a recluster
+    brings the column's depth down, the same telemetry no longer
+    produces a recommendation even before the ring refills with
+    post-recluster records.
+    """
+
+    def __init__(self, min_queries: int = 8,
+                 ratio_threshold: float = 0.5,
+                 depth_threshold: float = 1.5):
+        if min_queries < 1:
+            raise ValueError("min_queries must be >= 1")
+        self.min_queries = min_queries
+        self.ratio_threshold = ratio_threshold
+        self.depth_threshold = depth_threshold
+
+    def column_heat(self, records: Iterable["TelemetryRecord"]
+                    ) -> list[ColumnHeat]:
+        """Aggregate per-(table, column) filter-pruning evidence.
+
+        Only executed queries count: errors, cancellations, and
+        result-cache hits carry no pruning signal (a cache hit pruned
+        nothing; it skipped the warehouse entirely).
+        """
+        acc: dict[tuple[str, str], list[int]] = {}
+        for record in records:
+            if record.status != "ok" or record.result_cache_hit:
+                continue
+            if record.kind not in _QUERY_KINDS:
+                continue
+            for table, (total, pruned) in \
+                    record.filter_pruning_by_table.items():
+                for column in record.filter_columns.get(table, ()):
+                    entry = acc.setdefault((table, column), [0, 0, 0])
+                    entry[0] += 1
+                    entry[1] += total
+                    entry[2] += pruned
+        return [ColumnHeat(table=t, column=c, queries=q,
+                           partitions_total=total,
+                           partitions_pruned=pruned)
+                for (t, c), (q, total, pruned) in acc.items()]
+
+    def advise(self, records: Iterable["TelemetryRecord"],
+               catalog: "Catalog") -> list[ClusteringAdvice]:
+        """Recommended clustering keys, most urgent first.
+
+        ``score = queries x (1 - ratio) x (depth - 1)``: workload heat
+        times pruning headroom times physical disorder. A perfectly
+        clustered column (depth 1) or a perfectly pruning one
+        (ratio 1) scores zero and is filtered out beforehand.
+        """
+        advice: list[ClusteringAdvice] = []
+        for heat in self.column_heat(records):
+            if heat.queries < self.min_queries:
+                continue
+            if heat.pruning_ratio >= self.ratio_threshold:
+                continue
+            info = self._clustering_info(catalog, heat.table,
+                                         heat.column)
+            if info is None or info.partition_count < 2:
+                continue
+            if info.average_depth <= self.depth_threshold:
+                continue
+            score = (heat.queries
+                     * (1.0 - heat.pruning_ratio)
+                     * (info.average_depth - 1.0))
+            advice.append(ClusteringAdvice(
+                table=heat.table, column=heat.column,
+                queries=heat.queries,
+                pruning_ratio=heat.pruning_ratio,
+                clustering_depth=info.average_depth,
+                score=score))
+        advice.sort(key=lambda a: (-a.score, a.table, a.column))
+        return advice
+
+    @staticmethod
+    def _clustering_info(catalog: "Catalog", table: str, column: str):
+        """Live overlap depth, or None when the table/column vanished
+        between the telemetry window and now (dropped, renamed)."""
+        try:
+            schema = catalog.schema_of(table)
+        except Exception:
+            return None
+        if column not in schema.names():
+            return None
+        return catalog.clustering_information(table, column)
+
+
+def best_advice(records: Sequence["TelemetryRecord"],
+                catalog: "Catalog",
+                advisor: WorkloadAdvisor | None = None
+                ) -> ClusteringAdvice | None:
+    """Convenience: the single most urgent recommendation, if any."""
+    advisor = advisor or WorkloadAdvisor()
+    ranked = advisor.advise(records, catalog)
+    return ranked[0] if ranked else None

@@ -1,0 +1,226 @@
+"""Background reclustering service for :class:`QueryService`.
+
+Closes the telemetry loop end to end: the advisor mines the service's
+own :class:`TelemetrySink` for hot, poorly-pruning filter columns, the
+engine fixes the layout one budgeted slice at a time, and every slice
+runs through the service's writer-preference lock — SELECT/DML traffic
+continues between slices, sees only fully-committed layouts, and the
+layout work yields to admission pressure instead of competing with it.
+
+Observability mirrors the rest of the service layer: each slice
+increments ``recluster_*`` metrics counters, appends one
+``kind="recluster"`` telemetry record (so the fleet report can account
+maintenance work separately from queries), optionally records a
+``recluster:slice`` trace span, and ``describe()["reclustering"]``
+exposes live job progress.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any
+
+from ..obs.telemetry import TelemetryRecord
+from .advisor import WorkloadAdvisor
+from .engine import IncrementalReclusterer, ReclusterJob, SliceReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.trace import Tracer
+    from ..service.server import QueryService
+
+__all__ = ["ReclusterService"]
+
+#: default max input bytes one slice may rewrite (bounds the exclusive
+#: lock hold; at laptop scale partitions are a few KB each).
+DEFAULT_BUDGET_BYTES = 256 * 1024
+
+_SLICE_COUNTER = itertools.count(1)
+
+
+class ReclusterService:
+    """Advisor + engine + pause/resume loop over one QueryService.
+
+    Drive it either synchronously — call :meth:`step` from a test or a
+    benchmark until it returns ``None`` with no active job — or as a
+    background daemon via :meth:`start`/:meth:`stop`. Both paths share
+    the same logic; the thread only adds polling.
+    """
+
+    def __init__(self, service: "QueryService", *,
+                 budget_bytes: int = DEFAULT_BUDGET_BYTES,
+                 target_depth: float = 1.05,
+                 max_slices_per_job: int = 256,
+                 pause_queue_depth: int = 4,
+                 poll_interval: float = 0.02,
+                 advisor: WorkloadAdvisor | None = None,
+                 tracer: "Tracer | None" = None):
+        self.service = service
+        self.advisor = advisor or WorkloadAdvisor()
+        self.engine = IncrementalReclusterer(service.catalog)
+        self.budget_bytes = budget_bytes
+        self.target_depth = target_depth
+        self.max_slices_per_job = max_slices_per_job
+        #: queued statements at or above which the loop yields
+        self.pause_queue_depth = pause_queue_depth
+        self.poll_interval = poll_interval
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._job: ReclusterJob | None = None
+        self._paused = False
+        self._paused_for_pressure = False
+        self._last_report: SliceReport | None = None
+        self._completed: list[dict[str, Any]] = []
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- control --------------------------------------------------------
+    def pause(self) -> None:
+        """Operator pause: no new slices until :meth:`resume`."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    @property
+    def paused(self) -> bool:
+        return self._paused or self._paused_for_pressure
+
+    def start(self) -> "ReclusterService":
+        """Run :meth:`step` on a background daemon until stopped."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="recluster-service",
+                daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            report = self.step()
+            if report is None:
+                # Nothing actionable right now (paused, pressured, or
+                # no advice): poll instead of spinning.
+                self._stop.wait(self.poll_interval)
+
+    # -- the state machine ----------------------------------------------
+    def step(self) -> SliceReport | None:
+        """Run at most one recluster slice; None when nothing ran.
+
+        Order matters: manual pause beats pressure beats work. A slice
+        runs under the service's exclusive table lock, so queued
+        queries resume the moment the slice commits.
+        """
+        if self._paused:
+            return None
+        if self.service.pool.total_queued >= self.pause_queue_depth:
+            if not self._paused_for_pressure:
+                self._paused_for_pressure = True
+                self.service.metrics.counter(
+                    "recluster_pauses").inc()
+            return None
+        self._paused_for_pressure = False
+        job = self._job
+        if job is None:
+            job = self._next_job()
+            if job is None:
+                return None
+            self._job = job
+        with self.service._table_lock.write():
+            report = self._run_slice(job)
+        self._account(job, report)
+        return report
+
+    def _next_job(self) -> ReclusterJob | None:
+        """Ask the advisor for the most urgent table/key, if any."""
+        ranked = self.advisor.advise(self.service.telemetry.records(),
+                                     self.service.catalog)
+        if not ranked:
+            return None
+        advice = ranked[0]
+        self.service.metrics.counter("recluster_jobs_started").inc()
+        return ReclusterJob(
+            table=advice.table, keys=(advice.column,),
+            budget_bytes=self.budget_bytes,
+            target_depth=self.target_depth,
+            max_slices=self.max_slices_per_job)
+
+    def _run_slice(self, job: ReclusterJob) -> SliceReport:
+        if self.tracer is None:
+            return self.engine.run_slice(job)
+        with self.tracer.span("recluster:slice", table=job.table,
+                              keys=",".join(job.keys)) as span:
+            report = self.engine.run_slice(job)
+            span.annotate(
+                partitions=report.partitions_selected,
+                bytes=report.bytes_rewritten,
+                depth_before=round(report.depth_before, 4),
+                depth_after=round(report.depth_after, 4),
+                done=report.done)
+        return report
+
+    def _account(self, job: ReclusterJob,
+                 report: SliceReport) -> None:
+        """Metrics + telemetry for one slice, and job completion."""
+        self._last_report = report
+        metrics = self.service.metrics
+        if report.partitions_selected:
+            metrics.counter("recluster_slices").inc()
+            metrics.counter("recluster_partitions_rewritten").inc(
+                report.partitions_selected)
+            metrics.counter("recluster_bytes_rewritten").inc(
+                report.bytes_rewritten)
+            self.service.telemetry.record(TelemetryRecord(
+                query_id=f"recluster-{next(_SLICE_COUNTER)}",
+                sql=(f"RECLUSTER {job.table} BY "
+                     f"{', '.join(job.keys)}"),
+                kind="recluster", tables=(job.table,), status="ok",
+                partitions_rewritten=report.partitions_selected,
+                bytes_rewritten=report.bytes_rewritten))
+        if report.done:
+            metrics.counter("recluster_jobs_completed").inc()
+            self._completed.append({
+                "table": job.table,
+                "keys": list(job.keys),
+                "slices": job.slices,
+                "partitions_rewritten": job.partitions_rewritten,
+                "bytes_rewritten": job.bytes_rewritten,
+                "reason": job.reason,
+            })
+            self._job = None
+
+    # -- introspection --------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """Live snapshot for ``QueryService.describe()``."""
+        job = self._job
+        status: dict[str, Any] = {
+            "running": self._thread is not None,
+            "paused": self._paused,
+            "paused_for_pressure": self._paused_for_pressure,
+            "budget_bytes": self.budget_bytes,
+            "active_job": None,
+            "completed_jobs": list(self._completed),
+        }
+        if job is not None:
+            status["active_job"] = {
+                "table": job.table,
+                "keys": list(job.keys),
+                "slices": job.slices,
+                "partitions_rewritten": job.partitions_rewritten,
+                "bytes_rewritten": job.bytes_rewritten,
+            }
+        if self._last_report is not None:
+            status["last_slice"] = self._last_report.to_dict()
+        return status

@@ -8,6 +8,13 @@ and histograms that the :class:`~repro.service.server.QueryService`
 feeds from each query's :class:`~repro.engine.context.QueryProfile`.
 
 Everything is safe to update from many worker threads concurrently.
+
+Well-known background-maintenance counters (fed by
+:class:`~repro.recluster.ReclusterService` when reclustering is
+enabled): ``recluster_jobs_started``, ``recluster_jobs_completed``,
+``recluster_slices``, ``recluster_partitions_rewritten``,
+``recluster_bytes_rewritten``, and ``recluster_pauses`` (slices the
+loop skipped because queued queries exceeded the pressure threshold).
 """
 
 from __future__ import annotations

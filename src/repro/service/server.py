@@ -174,6 +174,9 @@ class QueryService:
         self._table_lock = ReadWriteLock()
         self._queries: dict[str, QueryHandle] = {}
         self._queries_lock = threading.Lock()
+        #: background reclustering loop (see
+        #: :meth:`enable_reclustering`); None until enabled.
+        self.reclusterer = None
         if self.result_cache is not None:
             catalog.add_change_listener(self._on_table_change)
 
@@ -268,6 +271,26 @@ class QueryService:
         self._maybe_checkpoint()
         return new_ids
 
+    def enable_reclustering(self, *, start: bool = False,
+                            **options: Any):
+        """Attach the telemetry-driven background reclustering loop
+        (:class:`~repro.recluster.ReclusterService`). Idempotent: a
+        second call returns the existing instance unchanged.
+
+        With ``start=True`` the polling daemon starts immediately;
+        otherwise drive it explicitly via ``reclusterer.step()`` (or
+        call ``reclusterer.start()`` later). Keyword options are
+        forwarded to the ReclusterService constructor
+        (``budget_bytes``, ``pause_queue_depth``, ``advisor``, ...).
+        """
+        if self.reclusterer is None:
+            from ..recluster import ReclusterService
+
+            self.reclusterer = ReclusterService(self, **options)
+            if start:
+                self.reclusterer.start()
+        return self.reclusterer
+
     def describe(self) -> dict[str, Any]:
         """Operational snapshot: pool shape, cache, key metrics."""
         snap = {
@@ -315,6 +338,15 @@ class QueryService:
             snap["durability"] = self.catalog.durability.stats()
             snap["checkpoints"] = self.metrics.counter(
                 "checkpoints").value
+        if self.reclusterer is not None:
+            snap["reclustering"] = self.reclusterer.status()
+            for name in ("recluster_jobs_started",
+                         "recluster_jobs_completed",
+                         "recluster_slices",
+                         "recluster_partitions_rewritten",
+                         "recluster_bytes_rewritten",
+                         "recluster_pauses"):
+                snap[name] = self.metrics.counter(name).value
         snap["telemetry"] = self.telemetry.summary()
         breaker = self.catalog.metadata.breaker
         if breaker is not None:

@@ -142,8 +142,26 @@ class ClusteringInfo:
 
 def clustering_information(partitions: Sequence,
                            column: str) -> ClusteringInfo:
-    """Compute overlap-depth statistics for one column's zone maps."""
+    """Compute overlap-depth statistics for one column's zone maps.
+
+    Degenerate layouts score as *already clustered* rather than as
+    candidates for a rewrite: a table whose key column is entirely NULL
+    (no usable zone-map ranges) or that has a single partition cannot be
+    improved by reordering rows, so both report an average depth of 1.
+    An empty table (no partitions at all) reports depth 0.
+    """
     report = measure_overlap(partitions, column)
+    if not report.ranges and len(partitions) > 0:
+        # All-NULL key column: every range was skipped. There is nothing
+        # a recluster could tighten, so this is depth 1 by definition.
+        return ClusteringInfo(
+            column=column,
+            partition_count=len(partitions),
+            average_overlaps=0.0,
+            average_depth=1.0,
+            max_depth=1,
+            depth_histogram={1: len(partitions)},
+        )
     depths = []
     ranges = report.ranges
     for i, (lo_i, hi_i) in enumerate(ranges):

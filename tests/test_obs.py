@@ -326,6 +326,96 @@ class TestTelemetrySink:
         assert payload == json.loads(text)
         assert len(payload["records"]) == 2
 
+    def test_summary_matches_brute_force_recomputation(self):
+        """The running counters (O(1) summary) must always agree with
+        a from-scratch walk over the retained ring — across eviction,
+        in-place annotation, and maintenance (recluster) records."""
+        import random as _random
+
+        def brute_force(sink: TelemetrySink) -> dict:
+            records = sink.records()
+            pruned = sum(r.partitions_pruned for r in records)
+            population = sum(r.partitions_total for r in records)
+            maintenance = [r for r in records
+                           if r.kind == "recluster"]
+            return {
+                "recorded": sink.total_recorded,
+                "retained": len(records),
+                "dropped": sink.dropped,
+                "errors": sum(1 for r in records
+                              if r.status == "error"),
+                "result_cache_hits": sum(
+                    1 for r in records if r.result_cache_hit),
+                "predicate_cache_hits": sum(
+                    1 for r in records if r.predicate_cache_hit),
+                "plan_cache_hits": sum(
+                    1 for r in records if r.plan_cache_hit),
+                "data_cache_hits": sum(r.data_cache_hits
+                                       for r in records),
+                "data_cache_misses": sum(r.data_cache_misses
+                                         for r in records),
+                "data_cache_bytes_saved": sum(
+                    r.data_cache_bytes_saved for r in records),
+                "wal_appends": sum(r.wal_appends for r in records),
+                "wal_bytes": sum(r.wal_bytes for r in records),
+                "degraded_queries": sum(
+                    1 for r in records if r.degraded),
+                "retried_queries": sum(
+                    1 for r in records if r.retries),
+                "partitions_total": population,
+                "partitions_pruned": pruned,
+                "bytes_scanned": sum(r.bytes_scanned
+                                     for r in records),
+                "rows_returned": sum(r.rows_returned
+                                     for r in records),
+                "recluster_slices": len(maintenance),
+                "recluster_partitions_rewritten": sum(
+                    r.partitions_rewritten for r in maintenance),
+                "recluster_bytes_rewritten": sum(
+                    r.bytes_rewritten for r in maintenance),
+                "fleet_pruning_ratio": round(pruned / population, 6)
+                if population else 0.0,
+            }
+
+        rng = _random.Random(42)
+        sink = TelemetrySink(capacity=16)  # small: force eviction
+        for i in range(60):
+            kind = rng.choice(["select", "select", "dml",
+                               "recluster"])
+            sink.record(TelemetryRecord(
+                query_id=f"q{i}", kind=kind,
+                status=rng.choice(["ok", "ok", "ok", "error"]),
+                result_cache_hit=rng.random() < 0.2,
+                predicate_cache_hit=rng.random() < 0.3,
+                plan_cache_hit=rng.random() < 0.3,
+                degraded=rng.random() < 0.1,
+                retries=rng.randrange(3),
+                partitions_total=rng.randrange(50),
+                partitions_pruned=rng.randrange(20),
+                data_cache_hits=rng.randrange(10),
+                data_cache_misses=rng.randrange(10),
+                data_cache_bytes_saved=rng.randrange(9999),
+                wal_appends=rng.randrange(4),
+                wal_bytes=rng.randrange(2048),
+                bytes_scanned=rng.randrange(99999),
+                rows_returned=rng.randrange(500),
+                partitions_rewritten=rng.randrange(8),
+                bytes_rewritten=rng.randrange(4096)))
+            if rng.random() < 0.4:
+                # In-place mutation of a retained record: the sink
+                # must retract and re-add its contribution.
+                victim = rng.choice(sink.records())
+                sink.annotate(victim.query_id,
+                              wal_appends=rng.randrange(4),
+                              retries=rng.randrange(3),
+                              rows_returned=rng.randrange(500))
+            assert sink.summary() == brute_force(sink)
+        sink.clear()
+        summary = sink.summary()
+        assert summary == brute_force(sink)
+        assert summary["retained"] == 0
+        assert summary["partitions_total"] == 0
+
     def test_concurrent_record(self):
         sink = TelemetrySink(capacity=64)
         barrier = threading.Barrier(8)
