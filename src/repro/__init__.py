@@ -86,6 +86,14 @@ from .obs import (
     render_fleet_report,
     render_span_tree,
 )
+from .pruning.sketches import (
+    PartitionSketches,
+    ShapeSkipSet,
+    SketchConfig,
+    SketchIndex,
+    SketchPruner,
+    build_partition_sketches,
+)
 from .recluster import (
     ClusteringAdvice,
     IncrementalReclusterer,
@@ -96,7 +104,7 @@ from .recluster import (
 )
 from .service import QueryService
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "DataType",
@@ -161,6 +169,12 @@ __all__ = [
     "TelemetryRecord",
     "TelemetrySink",
     "render_fleet_report",
+    "PartitionSketches",
+    "ShapeSkipSet",
+    "SketchConfig",
+    "SketchIndex",
+    "SketchPruner",
+    "build_partition_sketches",
     "ClusteringAdvice",
     "IncrementalReclusterer",
     "ReclusterJob",

@@ -126,6 +126,16 @@ class Catalog:
         #: service layer passes each cluster's own cache into
         #: :meth:`sql`).
         self.data_cache: PartitionCache | None = None
+        #: secondary-sketch configuration; off until
+        #: :meth:`enable_sketches`. When set, partition registration
+        #: also builds and registers per-partition sketches.
+        self.sketch_config = None
+        #: per-query-shape skip sets layered on the predicate cache;
+        #: created by :meth:`enable_sketches`.
+        self.skip_sets = None
+        #: sketch-build accounting (failures fail open and count here).
+        self.sketch_build_failures = 0
+        self.sketch_build_ms = 0.0
         #: WAL + checkpoint pair making mutations crash-safe; off
         #: until :meth:`enable_durability`.
         self.durability: "DurabilityManager | None" = None
@@ -175,10 +185,12 @@ class Catalog:
 
             self._wal_log(create_record(table))
         self.tables[table.name] = table
+        cache = self._sketch_build_cache(table.partitions, table.schema)
         for partition in table.partitions:
             self.storage.put(partition)
             self.metadata.register(table.name, partition.partition_id,
                                    partition.zone_map)
+            self._build_sketches(table.name, partition, cache)
         return table
 
     def create_table_from_rows(
@@ -246,6 +258,7 @@ class Catalog:
             self.storage.put(fixed)
             self.metadata.register(name, fixed.partition_id,
                                    fixed.zone_map)
+            self._build_sketches(name, fixed)
             refreshed.append(fixed)
             repaired += 1
         table.replace_partitions(refreshed)
@@ -266,6 +279,8 @@ class Catalog:
         self.metadata.drop_table(table.name)
         if self.predicate_cache is not None:
             self.predicate_cache.drop_table(table.name)
+        if self.skip_sets is not None:
+            self.skip_sets.drop_table(table.name)
 
     def enable_predicate_cache(self, max_entries: int = 1024,
                                max_partitions_per_entry: int = 256
@@ -275,6 +290,82 @@ class Catalog:
             max_entries=max_entries,
             max_partitions_per_entry=max_partitions_per_entry)
         return self.predicate_cache
+
+    def enable_sketches(self, config=None):
+        """Turn on secondary sketches (n-gram filters, dictionaries,
+        histograms — ``pruning/sketches.py``) plus per-query-shape
+        skip sets.
+
+        Sketches are built immediately for every existing partition
+        and from then on at partition build/recluster time. Building
+        fails open: a partition whose sketches cannot be built is
+        simply scanned without them. Idempotent — an existing
+        configuration is kept.
+        """
+        from .pruning.sketches import ShapeSkipSet, SketchConfig
+
+        if self.sketch_config is None:
+            self.sketch_config = config or SketchConfig()
+            self.skip_sets = ShapeSkipSet()
+            for table in self.tables.values():
+                cache = self._sketch_build_cache(table.partitions,
+                                                 table.schema)
+                for partition in table.partitions:
+                    self._build_sketches(table.name, partition, cache)
+        return self.sketch_config
+
+    def _sketch_build_cache(self, partitions=None, schema=None):
+        """A shared hash cache for one batch of sketch builds.
+
+        When the batch's partitions are known up front they are
+        prewarmed: n-gram extraction and hashing run once for the
+        whole batch instead of per partition. Prewarming is
+        best-effort — on any failure the per-partition path rebuilds
+        everything from scratch.
+        """
+        if self.sketch_config is None:
+            return None
+        from .pruning.sketches import SketchBuildCache
+
+        cache = SketchBuildCache()
+        if partitions is not None and schema is not None:
+            try:
+                started = time.perf_counter()
+                cache.prewarm_ngrams(partitions, schema,
+                                     self.sketch_config)
+                self.sketch_build_ms += (time.perf_counter()
+                                         - started) * 1000.0
+            except Exception:  # noqa: BLE001 - best-effort prewarm
+                cache.grams.clear()
+        return cache
+
+    def _build_sketches(self, table_name: str, partition,
+                        cache=None) -> None:
+        """Build and register one partition's sketches (fail open)."""
+        if self.sketch_config is None:
+            return
+        from .pruning.sketches import build_partition_sketches
+
+        try:
+            sketches = build_partition_sketches(partition,
+                                                self.sketch_config,
+                                                cache)
+            self.sketch_build_ms += sketches.build_ms
+            if not sketches.is_empty():
+                self.metadata.register_sketches(
+                    table_name, partition.partition_id, sketches)
+        except Exception:  # noqa: BLE001 - sketches are best-effort
+            self.sketch_build_failures += 1
+
+    def sketches_of(self, table: str):
+        """Registered secondary sketches of a table, by partition id."""
+        return self.metadata.sketches_of(table)
+
+    def sketch_index(self, table: str):
+        """Cached vectorized sketch lanes for a table."""
+        ngram_size = (self.sketch_config.ngram_size
+                      if self.sketch_config is not None else 3)
+        return self.metadata.sketch_index(table, ngram_size)
 
     def enable_data_cache(self, budget_bytes: int = 64 * 2**20,
                           protected_fraction: float = 0.8,
@@ -983,6 +1074,7 @@ class Catalog:
             self.storage.put(partition)
             self.metadata.register(table.name, partition.partition_id,
                                    partition.zone_map)
+            self._build_sketches(table.name, partition)
             new_ids.append(partition.partition_id)
         if self.predicate_cache is not None:
             self.predicate_cache.on_insert(table.name, new_ids)
@@ -1223,11 +1315,13 @@ class Catalog:
             self.metadata.unregister(table.name, old.partition_id)
             removed_ids.append(old.partition_id)
         inserted_ids = []
+        cache = self._sketch_build_cache(added, table.schema)
         for new in added:
             table.add_partition(new)
             self.storage.put(new)
             self.metadata.register(table.name, new.partition_id,
                                    new.zone_map)
+            self._build_sketches(table.name, new, cache)
             inserted_ids.append(new.partition_id)
         if self.predicate_cache is not None and removed_ids:
             if kind == "delete":

@@ -131,6 +131,18 @@ class DurabilityManager:
                                               newest.seqno))
             catalog.rows_per_partition = manifest.get(
                 "rows_per_partition", catalog.rows_per_partition)
+            sketch_manifest = manifest.get("sketches")
+            if sketch_manifest:
+                # Re-enable before loading tables / replaying the WAL
+                # tail so both paths rebuild sketches as partitions
+                # register; malformed config fails open.
+                try:
+                    from ..pruning.sketches import SketchConfig
+
+                    catalog.enable_sketches(
+                        SketchConfig.from_manifest(sketch_manifest))
+                except Exception:  # noqa: BLE001 - best-effort
+                    pass
             for table in load_tables(newest.path, manifest):
                 catalog.create_table(table)
                 if table.partition_ids:

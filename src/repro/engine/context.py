@@ -31,6 +31,9 @@ class ScanProfile:
     table: str
     total_partitions: int = 0
     filter_result: Optional[PruningResult] = None
+    #: secondary-sketch pruning pass (pruning/sketches.py), applied
+    #: right after filter pruning on the compile-time scan set.
+    sketch_result: Optional[PruningResult] = None
     join_result: Optional[PruningResult] = None
     limit_report: Optional[LimitPruneReport] = None
     topk_checks: int = 0
@@ -51,6 +54,15 @@ class ScanProfile:
     bytes_scanned: int = 0
     early_terminated: bool = False
     filter_eligible: bool = False
+    #: the predicate had at least one sketch-probeable conjunct
+    #: (independent of whether any sketches were actually present)
+    sketch_eligible: bool = False
+    #: pruned-partition attribution by sketch kind ("ngram"/"member")
+    sketch_pruned_by_kind: dict = field(default_factory=dict)
+    #: a per-query-shape skip set restricted this scan (§8.2 layer)
+    skip_set_hit: bool = False
+    #: partitions removed by the skip-set hit
+    skip_set_pruned: int = 0
     #: columns the (simplified) filter predicate references — the
     #: workload signal the recluster advisor mines (which columns are
     #: hot, and how well zone maps prune on them). Empty when the scan
@@ -102,19 +114,38 @@ class ScanProfile:
     def partitions_pruned(self) -> int:
         """Partitions removed by any technique (not merely unread)."""
         pruned = 0
-        for result in (self.filter_result, self.join_result):
+        for result in (self.filter_result, self.sketch_result,
+                       self.join_result):
             if result is not None:
                 pruned += result.pruned
+        pruned += self.skip_set_pruned
         if self.limit_report is not None:
             pruned += self.limit_report.result.pruned
         pruned += self.topk_skipped
         return pruned
 
     def pruning_results(self) -> list[PruningResult]:
-        """All per-technique results, synthesizing one for top-k skips."""
+        """All per-technique results, synthesizing entries for top-k
+        skips and skip-set hits (which have no pruner of their own)."""
         results = []
         if self.filter_result is not None:
             results.append(self.filter_result)
+        if self.sketch_result is not None:
+            results.append(self.sketch_result)
+        if self.skip_set_pruned:
+            from ..pruning.base import ScanSet
+
+            sketch_pruned = (self.sketch_result.pruned
+                             if self.sketch_result is not None else 0)
+            filter_pruned = (self.filter_result.pruned
+                             if self.filter_result is not None else 0)
+            results.append(PruningResult(
+                technique=PruneCategory.SKETCH,
+                before=(self.total_partitions - filter_pruned
+                        - sketch_pruned),
+                kept=ScanSet(),
+                pruned_ids=[-1] * self.skip_set_pruned,
+            ))
         if self.join_result is not None:
             results.append(self.join_result)
         if self.limit_report is not None:
@@ -251,6 +282,8 @@ class QueryProfile:
         eligible = {
             PruneCategory.FILTER: any(s.filter_eligible
                                       for s in self.scans),
+            PruneCategory.SKETCH: any(s.sketch_eligible
+                                      for s in self.scans),
             PruneCategory.LIMIT: self.limit_eligible,
             PruneCategory.TOPK: self.topk_eligible,
             PruneCategory.JOIN: self.join_eligible,
@@ -289,6 +322,16 @@ class QueryProfile:
             "scans_vectorized": float(sum(
                 1 for s in self.scans
                 if s.pruning_mode == "vectorized")),
+            "sketch_pruned": float(sum(
+                s.sketch_result.pruned for s in self.scans
+                if s.sketch_result is not None)),
+            "sketch_checks": float(sum(
+                s.sketch_result.checks for s in self.scans
+                if s.sketch_result is not None)),
+            "skip_set_hits": float(sum(
+                1 for s in self.scans if s.skip_set_hit)),
+            "skip_set_pruned": float(sum(
+                s.skip_set_pruned for s in self.scans)),
             "scan_parallelism": float(self.scan_parallelism),
             "data_cache_hits": float(self.data_cache_hits),
             "data_cache_misses": float(self.data_cache_misses),
@@ -340,6 +383,11 @@ class QueryProfile:
                 parts.append(
                     f"filter -> {scan.filter_result.after}"
                     f" (fm={len(scan.fully_matching_ids)})")
+            if scan.sketch_result is not None:
+                parts.append(f"sketch -> {scan.sketch_result.after}")
+            if scan.skip_set_hit:
+                parts.append(
+                    f"skip-set -> -{scan.skip_set_pruned}")
             if scan.join_result is not None:
                 parts.append(f"join -> {scan.join_result.after}")
             if scan.limit_report is not None:

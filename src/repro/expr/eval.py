@@ -9,7 +9,8 @@ comparisons, and engine-defined NULL for division by zero.
 from __future__ import annotations
 
 import re
-from functools import lru_cache
+import threading
+from collections import OrderedDict
 from typing import Mapping
 
 import numpy as np
@@ -188,10 +189,78 @@ def _eval_if(expr: ast.If, columns, schema, length) -> Column:
 # ----------------------------------------------------------------------
 # Strings
 # ----------------------------------------------------------------------
-@lru_cache(maxsize=512)
-def _like_regex(pattern: str) -> re.Pattern:
-    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
-    return re.compile(regex, re.DOTALL)
+class _SegmentedRegexCache:
+    """Bounded, scan-resistant, stampede-safe LIKE-pattern cache.
+
+    Shared module-wide and keyed only on pattern text, so it needs two
+    properties a plain ``lru_cache`` lacks:
+
+    * **Scan resistance** — segmented LRU: first-seen patterns enter a
+      *probation* segment and only promote to *protected* on a second
+      hit. An adversarial stream of high-cardinality one-shot patterns
+      churns probation but cannot evict the hot, repeatedly-used
+      patterns sitting in protected.
+    * **Stampede safety** — compilation happens outside the lock (a
+      regex compile is pure, so concurrent duplicate compiles are
+      wasted work, never corruption) and the lock is held only for the
+      dict bookkeeping, so one slow compile never serializes every
+      other thread's cache hits.
+    """
+
+    def __init__(self, maxsize: int = 512):
+        self._protected_cap = max(1, maxsize // 2)
+        self._probation_cap = max(1, maxsize - self._protected_cap)
+        self._protected: "OrderedDict[str, re.Pattern]" = OrderedDict()
+        self._probation: "OrderedDict[str, re.Pattern]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, pattern: str) -> re.Pattern:
+        with self._lock:
+            compiled = self._protected.get(pattern)
+            if compiled is not None:
+                self._protected.move_to_end(pattern)
+                self.hits += 1
+                return compiled
+            compiled = self._probation.pop(pattern, None)
+            if compiled is not None:
+                # Second touch: promote. Protected overflow demotes its
+                # LRU back to probation rather than dropping it.
+                self._protected[pattern] = compiled
+                if len(self._protected) > self._protected_cap:
+                    demoted, value = self._protected.popitem(last=False)
+                    self._insert_probation(demoted, value)
+                self.hits += 1
+                return compiled
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        compiled = re.compile(regex, re.DOTALL)
+        with self._lock:
+            self.misses += 1
+            if pattern not in self._protected:
+                self._insert_probation(pattern, compiled)
+        return compiled
+
+    def _insert_probation(self, pattern: str,
+                          compiled: re.Pattern) -> None:
+        self._probation[pattern] = compiled
+        self._probation.move_to_end(pattern)
+        while len(self._probation) > self._probation_cap:
+            self._probation.popitem(last=False)
+
+    def __contains__(self, pattern: str) -> bool:
+        with self._lock:
+            return (pattern in self._protected
+                    or pattern in self._probation)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._protected.clear()
+            self._probation.clear()
+            self.hits = self.misses = 0
+
+
+_like_regex = _SegmentedRegexCache(maxsize=512)
 
 
 def _eval_like(expr: ast.Like, columns, schema, length) -> Column:

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..errors import MetadataError
-from ..storage.zonemap import ColumnStats, ZoneMap
+from ..storage.zonemap import ColumnStats, ZoneMap, prefix_successor
 from ..types import DataType, Schema, date_to_days, days_to_date, infer_type
 from . import ast
 
@@ -330,16 +330,21 @@ def _range_if(expr: ast.If, zone_map, schema) -> ValueRange:
 def _prefix_flags(prefix: str, lo: str, hi: str) -> tuple[bool, bool]:
     """(can_true, can_false) for "value starts with prefix" vs [lo, hi].
 
-    Strings starting with ``prefix`` form the interval
-    ``[prefix, prefix + U+10FFFF...)``; overlap with the column range
-    decides *can_true*, and both endpoints sharing the prefix decides
-    *not can_false* (every string between two strings with a common
-    prefix shares that prefix).
+    Strings starting with ``prefix`` form the half-open interval
+    ``[prefix, succ)`` where ``succ`` is the true prefix successor
+    (last non-maximal character incremented); overlap with the column
+    range decides *can_true*, and both endpoints sharing the prefix
+    decides *not can_false* (every string between two strings with a
+    common prefix shares that prefix). When no successor exists (every
+    character is U+10FFFF) the interval is ``[prefix, +inf)`` and only
+    the lower bound constrains — appending a fixed number of maximal
+    code points instead is unsound: ``lo = prefix + U+10FFFF * 5``
+    starts with the prefix yet compares greater than a 4-character cap.
     """
     if prefix == "":
         return True, False  # every string starts with ""
-    prefix_upper = prefix + "\U0010ffff" * 4
-    can_true = lo <= prefix_upper and prefix <= hi
+    succ = prefix_successor(prefix)
+    can_true = (succ is None or lo < succ) and prefix <= hi
     all_match = lo.startswith(prefix) and hi.startswith(prefix)
     return can_true, not all_match
 

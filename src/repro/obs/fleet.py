@@ -37,9 +37,11 @@ __all__ = [
     "render_fleet_report",
 ]
 
-#: aggregation order for the four techniques of the paper
+#: aggregation order for the paper's four techniques plus the
+#: secondary-sketch pass layered on top of filter pruning
 TECHNIQUES: tuple[str, ...] = (
     PruneCategory.FILTER,
+    PruneCategory.SKETCH,
     PruneCategory.JOIN,
     PruneCategory.LIMIT,
     PruneCategory.TOPK,

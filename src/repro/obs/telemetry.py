@@ -172,6 +172,8 @@ class TelemetryRecord:
                     total + scan.total_partitions,
                     pruned + (scan.filter_result.pruned
                               if scan.filter_result is not None else 0))
+            if scan.sketch_eligible:
+                eligible[PruneCategory.SKETCH] = None
             for pruning in scan.pruning_results():
                 by_technique[pruning.technique] = (
                     by_technique.get(pruning.technique, 0)

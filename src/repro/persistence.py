@@ -64,6 +64,11 @@ def save_catalog(catalog: Catalog, path: str | Path,
     }
     if extra_manifest:
         manifest.update(extra_manifest)
+    if getattr(catalog, "sketch_config", None) is not None:
+        # Sketches rebuild from the data on load, so only their
+        # configuration rides the snapshot (and, via the durability
+        # layer's checkpoints, survives crash recovery).
+        manifest["sketches"] = catalog.sketch_config.to_manifest()
     for name, table in catalog.tables.items():
         manifest["tables"][name] = {
             "schema": [[f.name, f.dtype.value] for f in table.schema],
@@ -189,6 +194,18 @@ def load_catalog(path: str | Path, **catalog_kwargs) -> Catalog:
     catalog = Catalog(
         rows_per_partition=manifest.get("rows_per_partition", 1000),
         **catalog_kwargs)
+    sketch_manifest = manifest.get("sketches")
+    if sketch_manifest:
+        # Enable before table creation so registration builds the
+        # sketches as each partition lands; a malformed entry fails
+        # open (the catalog simply loads without sketches).
+        try:
+            from .pruning.sketches import SketchConfig
+
+            catalog.enable_sketches(
+                SketchConfig.from_manifest(sketch_manifest))
+        except Exception:  # noqa: BLE001 - sketches are best-effort
+            pass
     max_id = 0
     for table in load_tables(root, manifest):
         for partition_id in table.partition_ids:

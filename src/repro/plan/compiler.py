@@ -109,6 +109,11 @@ class CompilerOptions:
     #: the AST walk wherever the kernels cannot bind (results are
     #: bit-identical either way; see pruning/stats_index.py)
     enable_vectorized_pruning: bool = True
+    #: consult secondary sketches (n-gram filters, dictionaries,
+    #: histograms — pruning/sketches.py) as an extra compile-time
+    #: pruning pass after filter pruning, plus per-query-shape skip
+    #: sets. No-op on catalogs without sketches enabled.
+    enable_sketch_pruning: bool = True
 
 
 class CatalogInterface:
@@ -300,6 +305,10 @@ class QueryCompiler:
                                 fully_matching=len(
                                     result.fully_matching_ids),
                                 mode=profile.pruning_mode)
+            if options.enable_sketch_pruning and not push_to_runtime:
+                scan_set, fully_matching = self._sketch_prune(
+                    node.table, predicate, scan_set, schema,
+                    fully_matching, profile, context)
         columns = self._scan_columns(schema, node.predicate, required)
         scan_schema = schema if columns is None \
             else schema.select(columns)
@@ -328,6 +337,9 @@ class QueryCompiler:
             op = EmptyOperator(scan_schema)
         self._apply_filter_cache(node, predicate, scan, filter_op,
                                  options, compiled)
+        if options.enable_sketch_pruning:
+            self._apply_skip_set(node, predicate, scan, filter_op,
+                                 compiled)
         origins = {name: (scan, profile, name)
                    for name in scan_schema.names()}
         return _Built(
@@ -382,6 +394,121 @@ class QueryCompiler:
             except Exception:  # noqa: BLE001 - never fail compilation
                 pass
         return StatsIndex(scan_set)
+
+    def _sketch_prune(self, table: str, predicate: ast.Expr,
+                      scan_set: ScanSet, schema: Schema,
+                      fully_matching: list[int], profile,
+                      context: ExecContext
+                      ) -> tuple[ScanSet, list[int]]:
+        """Secondary-sketch pruning pass (pruning/sketches.py).
+
+        Fails open at every step: catalogs without sketches, a
+        degraded metadata read, or an unexpected error all leave the
+        scan set untouched.
+        """
+        from ..pruning.sketches import SketchPruner, is_sketch_prunable
+
+        config = getattr(self.catalog, "sketch_config", None)
+        ngram_size = (config.ngram_size if config is not None else 3)
+        profile.sketch_eligible = is_sketch_prunable(
+            predicate, schema, ngram_size)
+        sketches_of = getattr(self.catalog, "sketches_of", None)
+        if not profile.sketch_eligible or sketches_of is None:
+            return scan_set, fully_matching
+        try:
+            sketches = sketches_of(table)
+        except Exception:  # noqa: BLE001 - metadata outage: fail open
+            return scan_set, fully_matching
+        if not sketches:
+            return scan_set, fully_matching
+        index = None
+        sketch_index = getattr(self.catalog, "sketch_index", None)
+        if sketch_index is not None:
+            try:
+                index = sketch_index(table)
+            except Exception:  # noqa: BLE001 - scalar path suffices
+                index = None
+        with context.span("prune:sketch", table=table) as span:
+            pruner = SketchPruner(predicate, schema, sketches,
+                                  index=index, ngram_size=ngram_size)
+            result = pruner.prune(scan_set)
+            profile.sketch_result = result
+            profile.sketch_pruned_by_kind = dict(pruner.pruned_by_kind)
+            context.charge_prune_checks(result.checks,
+                                        at_compile_time=True,
+                                        vectorized=index is not None)
+            if span is not None:
+                span.annotate(before=result.before,
+                              after=result.after,
+                              by_kind=dict(pruner.pruned_by_kind))
+        if result.pruned_ids:
+            surviving = set(result.kept.partition_ids)
+            fully_matching = [pid for pid in fully_matching
+                              if pid in surviving]
+        return result.kept, fully_matching
+
+    def _apply_skip_set(self, node: L.LogicalScan,
+                        predicate: ast.Expr | None, scan: Scan,
+                        filter_op: Filter | None,
+                        compiled: CompiledQuery) -> None:
+        """Per-query-shape skip sets layered on the predicate cache.
+
+        A complete prior execution of the same shape proved certain
+        partitions empty; while the table version is unchanged they
+        are skipped outright. Recording mirrors the predicate cache's
+        completeness rule, additionally requiring no join pruning
+        (join-pruned partitions were never filtered, so their
+        emptiness is unproven).
+        """
+        skip_sets = getattr(self.catalog, "skip_sets", None)
+        table_version = getattr(self.catalog, "table_version", None)
+        if (skip_sets is None or table_version is None
+                or predicate is None or filter_op is None):
+            return
+        try:
+            version = table_version(node.table)
+        except Exception:  # noqa: BLE001 - never fail compilation
+            return
+        empty = skip_sets.lookup(node.table, predicate, version)
+        if empty:
+            keep = [pid for pid in scan.scan_set.partition_ids
+                    if pid not in empty
+                    or pid in scan.scan_set.degraded_ids]
+            pruned = len(scan.scan_set) - len(keep)
+            if pruned:
+                scan.scan_set = scan.scan_set.restrict(keep)
+                scan.profile.skip_set_hit = True
+                scan.profile.skip_set_pruned = pruned
+                scan.context.trace_event(
+                    "skip_set:hit", table=node.table,
+                    partitions=pruned)
+            return
+
+        table, pred = node.table, predicate
+
+        def record() -> None:
+            profile = scan.profile
+            complete = (not profile.early_terminated
+                        and profile.limit_report is None
+                        and profile.topk_checks == 0
+                        and profile.join_result is None
+                        and not profile.cache_hit
+                        and not profile.skip_set_hit)
+            if not complete:
+                return
+            try:
+                current = table_version(table)
+            except Exception:  # noqa: BLE001
+                return
+            if current != version:
+                return  # DML raced the query; observation is stale
+            matched = set(filter_op.partitions_with_matches)
+            empty_ids = [pid for pid in scan.scan_set.partition_ids
+                         if pid not in matched]
+            if empty_ids:
+                skip_sets.record(table, pred, version, empty_ids)
+
+        compiled.post_exec_hooks.append(record)
 
     @staticmethod
     def _scan_columns(schema: Schema, predicate: ast.Expr | None,

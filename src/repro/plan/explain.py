@@ -105,6 +105,16 @@ def _describe_scan(scan: Scan) -> str:
         annotations.append(
             f"filter pruned {result.pruned} "
             f"(fully-matching: {len(result.fully_matching_ids)})")
+    if profile.sketch_result is not None:
+        by_kind = ", ".join(
+            f"{kind}={count}" for kind, count in
+            sorted(profile.sketch_pruned_by_kind.items()))
+        annotations.append(
+            f"sketch pruned {profile.sketch_result.pruned}"
+            + (f" ({by_kind})" if by_kind else ""))
+    if profile.skip_set_hit:
+        annotations.append(
+            f"skip-set hit (skipped {profile.skip_set_pruned})")
     if profile.pruning_mode:
         annotations.append(f"pruning: {profile.pruning_mode}")
     if profile.limit_report is not None:

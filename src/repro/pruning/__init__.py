@@ -10,7 +10,9 @@
 * :mod:`.join_pruning` — probe-side partition pruning for joins (§6);
 * :mod:`.flow` — the combined pruning pipeline and per-query records (§7);
 * :mod:`.predicate_cache` — query-driven partition caching (§8.2);
-* :mod:`.stats_index` — vectorized zone-map index and pruning kernels.
+* :mod:`.stats_index` — vectorized zone-map index and pruning kernels;
+* :mod:`.sketches` — secondary per-partition sketches (n-gram filters,
+  dictionaries, histograms) plus per-query-shape skip sets.
 """
 
 from .base import PruneCategory, PruningResult, ScanSet
@@ -33,6 +35,16 @@ from .join_pruning import JoinPruner
 from .summaries import BloomFilter, MinMaxSummary, RangeSetSummary
 from .predicate_cache import PredicateCache
 from .flow import FlowRecord, PruningFlow
+from .sketches import (
+    PartitionSketches,
+    ShapeSkipSet,
+    SketchConfig,
+    SketchIndex,
+    SketchPruner,
+    build_partition_sketches,
+    compile_sketch_probes,
+    is_sketch_prunable,
+)
 
 __all__ = [
     "PruneCategory",
@@ -57,4 +69,12 @@ __all__ = [
     "StatsIndex",
     "VectorizedFilterPruner",
     "compile_pruning_kernel",
+    "PartitionSketches",
+    "ShapeSkipSet",
+    "SketchConfig",
+    "SketchIndex",
+    "SketchPruner",
+    "build_partition_sketches",
+    "compile_sketch_probes",
+    "is_sketch_prunable",
 ]

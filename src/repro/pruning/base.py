@@ -188,10 +188,11 @@ class PruneCategory:
     """Names of the pruning techniques, used as profile keys."""
 
     FILTER = "filter"
+    SKETCH = "sketch"
     JOIN = "join"
     LIMIT = "limit"
     TOPK = "topk"
-    ALL = (FILTER, JOIN, LIMIT, TOPK)
+    ALL = (FILTER, SKETCH, JOIN, LIMIT, TOPK)
 
 
 @dataclass

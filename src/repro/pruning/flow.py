@@ -17,9 +17,12 @@ from typing import Iterable, Mapping
 
 from .base import PruneCategory, PruningResult
 
-#: The order in which Snowflake applies the techniques (§5.5, §7).
-TECHNIQUE_ORDER = (PruneCategory.FILTER, PruneCategory.JOIN,
-                   PruneCategory.LIMIT, PruneCategory.TOPK)
+#: The order in which Snowflake applies the techniques (§5.5, §7);
+#: secondary-sketch pruning runs right after filter pruning, on the
+#: same compile-time scan set.
+TECHNIQUE_ORDER = (PruneCategory.FILTER, PruneCategory.SKETCH,
+                   PruneCategory.JOIN, PruneCategory.LIMIT,
+                   PruneCategory.TOPK)
 
 
 @dataclass

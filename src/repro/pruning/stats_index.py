@@ -44,7 +44,7 @@ from ..expr import ast
 from ..expr.pruning import TriState
 from ..expr.ranges import _comparison_value
 from ..expr.rewrite import widen_for_pruning
-from ..storage.zonemap import ZoneMap
+from ..storage.zonemap import ZoneMap, prefix_successor
 from ..types import Schema
 from .base import PruneCategory, PruningResult, ScanSet
 from .filter_pruning import FilterPruner
@@ -70,9 +70,6 @@ _CODE_TO_TRISTATE = {
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
 
-#: Rounded-up upper bound of the "starts with prefix" string interval
-#: (mirrors ``ranges._prefix_flags``).
-_PREFIX_CAP = "\U0010ffff" * 4
 
 #: Packing kind per value representation. DATE stats hold epoch days
 #: and BOOLEAN stats hold Python bools (a subclass of int with int
@@ -456,8 +453,17 @@ def _compile_startswith(expr: ast.StartsWith) -> _NodeFn | None:
         n = len(lo)
         if needle == "":
             return np.ones(n, dtype=bool), np.zeros(n, dtype=bool)
-        cap = needle + _PREFIX_CAP
-        can_true = _as_bool(lo <= cap) & _as_bool(needle <= hi)
+        # Strings starting with the needle form [needle, succ(needle));
+        # succ is None when every character is maximal (interval is
+        # [needle, +inf)). Mirrors ``ranges._prefix_flags`` exactly —
+        # a fixed-length max-codepoint cap would wrongly prune lo
+        # values that extend the needle with more maximal characters.
+        succ = prefix_successor(needle)
+        if succ is None:
+            below_succ = np.ones(n, dtype=bool)
+        else:
+            below_succ = _as_bool(lo < succ)
+        can_true = below_succ & _as_bool(needle <= hi)
         all_match = np.fromiter(
             (a.startswith(needle) and b.startswith(needle)
              for a, b in zip(lo, hi)),

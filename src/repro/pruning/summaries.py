@@ -26,6 +26,7 @@ guarantee of §6.2.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Any, Iterable, Sequence
 
 import numpy as np
@@ -84,6 +85,9 @@ class RangeSetSummary:
         self.max_ranges = max_ranges
         self.ranges: list[tuple[Any, Any]] = _build_ranges(
             distinct, max_ranges)
+        #: upper endpoints, sorted (intervals are disjoint and ordered);
+        #: probes bisect this instead of hand-rolling the search
+        self._upper_bounds: list[Any] = [hi for _, hi in self.ranges]
 
     @property
     def is_empty(self) -> bool:
@@ -95,19 +99,15 @@ class RangeSetSummary:
         return self.might_overlap_range(value, value)
 
     def might_overlap_range(self, lo: Any, hi: Any) -> bool:
-        """Binary search for an interval intersecting [lo, hi]."""
-        ranges = self.ranges
-        left, right = 0, len(ranges)
-        while left < right:
-            mid = (left + right) // 2
-            r_lo, r_hi = ranges[mid]
-            if r_hi < lo:
-                left = mid + 1
-            elif r_lo > hi:
-                right = mid
-            else:
-                return True
-        return False
+        """O(log n) bisect for an interval intersecting [lo, hi].
+
+        The first interval whose upper endpoint reaches ``lo`` is the
+        only candidate: intervals are disjoint and sorted, so every
+        earlier one ends below ``lo`` and every later one starts past
+        the candidate. It intersects iff it starts at or below ``hi``.
+        """
+        i = bisect_left(self._upper_bounds, lo)
+        return i < len(self.ranges) and self.ranges[i][0] <= hi
 
     def nbytes(self) -> int:
         return 16 * len(self.ranges)

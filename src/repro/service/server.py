@@ -334,6 +334,23 @@ class QueryService:
             snap["plan_cache"] = self.catalog.plan_cache.stats.to_dict()
             snap["plan_cache_hit_ratio"] = \
                 self.metrics.plan_cache_hit_ratio()
+        if self.catalog.sketch_config is not None:
+            sketched = 0
+            try:
+                sketched = sum(
+                    len(self.catalog.sketches_of(name))
+                    for name in self.catalog.tables)
+            except Exception:  # noqa: BLE001 - degraded metadata
+                pass
+            snap["sketches"] = {
+                "enabled": True,
+                "partitions_with_sketches": sketched,
+                "build_failures": self.catalog.sketch_build_failures,
+                "build_ms": round(self.catalog.sketch_build_ms, 3),
+                "skip_sets": (self.catalog.skip_sets.stats()
+                              if self.catalog.skip_sets is not None
+                              else {}),
+            }
         if self.catalog.durability is not None:
             snap["durability"] = self.catalog.durability.stats()
             snap["checkpoints"] = self.metrics.counter(

@@ -175,8 +175,26 @@ class Column:
         return raw
 
     def to_pylist(self) -> list[Any]:
-        """Materialize as Python scalars (``None`` for NULL)."""
-        return [self.value_at(i) for i in range(len(self))]
+        """Materialize as Python scalars (``None`` for NULL).
+
+        Bulk path: ``ndarray.tolist()`` converts to Python scalars in
+        C, then NULL slots are overwritten (their raw values are
+        garbage). DATE converts element-wise because NULL slots may
+        hold values ``days_to_date`` would reject.
+        """
+        n = len(self)
+        if n == 0:
+            return []
+        if self.dtype == DataType.DATE:
+            out: list[Any] = [None] * n
+            for i in np.flatnonzero(~self.nulls):
+                out[int(i)] = days_to_date(int(self.values[i]))
+            return out
+        out = self.values.tolist()
+        if self.nulls.any():
+            for i in np.flatnonzero(self.nulls):
+                out[int(i)] = None
+        return out
 
     def crc32(self, state: int = 0) -> int:
         """Fold this column's contents into a CRC-32 ``state``.

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.breaker import CircuitBreaker
     from ..faults.injector import FaultInjector
     from ..faults.retry import RetryPolicy, RetryStats
+    from ..pruning.sketches import PartitionSketches, SketchIndex
     from ..pruning.stats_index import StatsIndex
 
 
@@ -54,6 +55,13 @@ class MetadataStore:
         # the table (see pruning/stats_index.py).
         self._stats_indexes: dict[str, "StatsIndex"] = {}
         self._stats_dirty: dict[str, dict[int, ZoneMap | None]] = {}
+        # Secondary sketches (pruning/sketches.py) registered alongside
+        # the zone maps, plus per-table SoA SketchIndex caches. The
+        # caches are simply dropped on any sketch write for the table:
+        # sketch writes ride DML, which is orders of magnitude rarer
+        # than the compile-time reads the cache serves.
+        self._sketches: dict[tuple[str, int], "PartitionSketches"] = {}
+        self._sketch_indexes: dict[str, "SketchIndex"] = {}
         # Invalidation listeners: called as fn(table, partition_id)
         # after a partition's metadata is removed (unregister /
         # drop_table). Warehouse-local data caches subscribe here so
@@ -110,6 +118,8 @@ class MetadataStore:
                 del self._table_partitions[table]
             if table in self._stats_indexes:
                 self._stats_dirty.setdefault(table, {})[partition_id] = None
+            if self._sketches.pop(key, None) is not None:
+                self._sketch_indexes.pop(table, None)
             self.version += 1
             listeners = list(self._invalidation_listeners)
         for listener in listeners:
@@ -128,6 +138,9 @@ class MetadataStore:
                 del self._entries[(table, partition_id)]
             self._stats_indexes.pop(table, None)
             self._stats_dirty.pop(table, None)
+            for partition_id in removed:
+                self._sketches.pop((table, partition_id), None)
+            self._sketch_indexes.pop(table, None)
             self.version += 1
             listeners = list(self._invalidation_listeners)
         for listener in listeners:
@@ -253,6 +266,65 @@ class MetadataStore:
             elif dirty:
                 index = index.with_changes(dirty)
             self._stats_indexes[table] = index
+            return index
+
+    # ------------------------------------------------------------------
+    # Secondary sketches (pruning/sketches.py)
+    # ------------------------------------------------------------------
+    def register_sketches(self, table: str, partition_id: int,
+                          sketches: "PartitionSketches") -> None:
+        """Attach secondary sketches to a registered partition."""
+        table = table.lower()
+        with self._lock:
+            if (table, partition_id) not in self._entries:
+                raise MetadataError(
+                    f"no metadata for partition {partition_id} of "
+                    f"{table!r}")
+            self._sketches[(table, partition_id)] = sketches
+            self._sketch_indexes.pop(table, None)
+
+    def sketches_of(self, table: str,
+                    retry_stats: "RetryStats | None" = None
+                    ) -> dict[int, "PartitionSketches"]:
+        """All registered sketches of a table, keyed by partition id.
+
+        Traverses the fault stack like any other compile-time metadata
+        read: an injected outage surfaces here and the caller fails
+        open (scans without sketch pruning).
+        """
+        table = table.lower()
+
+        def read() -> dict[int, "PartitionSketches"]:
+            with self._lock:
+                self.lookups += 1
+                return {pid: sketches
+                        for (tbl, pid), sketches in self._sketches.items()
+                        if tbl == table}
+
+        return self._guarded_read(("sketches", table), read, retry_stats)
+
+    def sketch_index(self, table: str,
+                     ngram_size: int = 3) -> "SketchIndex":
+        """Cached SoA :class:`~repro.pruning.SketchIndex` for a table.
+
+        Like :meth:`stats_index` this is an internal metadata-service
+        structure: reads are not charged as lookups and skip the fault
+        stack. Partition ids are never reused, so a cached row can
+        never describe different data than the scalar sketch it was
+        packed from — the pruner's covered-row check handles the rest.
+        """
+        from ..pruning.sketches import SketchIndex
+
+        table = table.lower()
+        with self._lock:
+            index = self._sketch_indexes.get(table)
+            if index is None or index.ngram_size != ngram_size:
+                index = SketchIndex(
+                    ((pid, sketches)
+                     for (tbl, pid), sketches in self._sketches.items()
+                     if tbl == table),
+                    ngram_size=ngram_size)
+                self._sketch_indexes[table] = index
             return index
 
     def table_row_count(self, table: str) -> int:

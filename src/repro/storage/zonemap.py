@@ -119,7 +119,7 @@ def truncate_string_stats(stats: ColumnStats,
         lo = lo[:max_length]
         changed = True
     if hi is not None and len(hi) > max_length:
-        rounded = _round_up(hi[:max_length])
+        rounded = prefix_successor(hi[:max_length])
         if rounded is None:
             # Every kept character is already the maximal code point:
             # no bounded-length upper bound exists, so keep the full
@@ -135,11 +135,16 @@ def truncate_string_stats(stats: ColumnStats,
         null_count=stats.null_count, row_count=stats.row_count)
 
 
-def _round_up(prefix: str) -> str | None:
+def prefix_successor(prefix: str) -> str | None:
     """Smallest convenient string > every string starting with prefix.
 
-    Returns None when no such bounded string exists (every character
-    is already the maximal code point).
+    Increments the last non-maximal character and truncates there, so
+    strings with the prefix form the half-open interval
+    ``[prefix, prefix_successor(prefix))``. Returns None when no such
+    bounded string exists (every character is already the maximal code
+    point — the interval is ``[prefix, +inf)``). Shared by string-stat
+    truncation and prefix pruning (``expr/ranges.py``,
+    ``pruning/stats_index.py``), which must agree exactly.
     """
     chars = list(prefix)
     for i in range(len(chars) - 1, -1, -1):
@@ -147,6 +152,10 @@ def _round_up(prefix: str) -> str | None:
             chars[i] = chr(ord(chars[i]) + 1)
             return "".join(chars[: i + 1])
     return None
+
+
+#: backwards-compatible alias (pre-1.10 internal name)
+_round_up = prefix_successor
 
 
 class ZoneMap:

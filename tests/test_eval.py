@@ -268,3 +268,77 @@ class TestFunctionsAndCast:
 
     def test_cast_int_to_double(self):
         assert run(Cast(col("x"), DataType.DOUBLE), x=[3]) == [3.0]
+
+
+class TestSegmentedRegexCache:
+    """The shared LIKE-pattern cache must be bounded and scan-resistant."""
+
+    def _fresh(self, maxsize=32):
+        from repro.expr.eval import _SegmentedRegexCache
+
+        return _SegmentedRegexCache(maxsize=maxsize)
+
+    def test_compiles_and_hits(self):
+        cache = self._fresh()
+        first = cache("a%b_c")
+        again = cache("a%b_c")
+        assert first is again
+        assert cache.misses == 1 and cache.hits == 1
+        assert first.fullmatch("aXXbYc")
+        assert not first.fullmatch("nope")
+
+    def test_adversarial_scan_cannot_evict_hot_patterns(self):
+        cache = self._fresh(maxsize=32)
+        hot = [f"hot-{i}%" for i in range(8)]
+        for pattern in hot:
+            cache(pattern)
+            cache(pattern)  # second touch promotes to protected
+        # An adversarial stream of high-cardinality one-shot patterns,
+        # far larger than the cache, churns through probation.
+        for i in range(10 * 32):
+            cache(f"adversarial-{i}%")
+        for pattern in hot:
+            assert pattern in cache
+        hits_before = cache.hits
+        for pattern in hot:
+            assert cache(pattern) is not None
+        assert cache.hits == hits_before + len(hot)
+
+    def test_stays_bounded_under_churn(self):
+        cache = self._fresh(maxsize=16)
+        for i in range(1000):
+            cache(f"p{i}%")
+            if i % 3 == 0:
+                cache(f"p{i}%")  # promote a third of them
+        assert len(cache._protected) <= cache._protected_cap
+        assert len(cache._probation) <= cache._probation_cap
+
+    def test_module_cache_used_by_like(self):
+        from repro.expr.eval import _like_regex
+
+        run(Like(col("s"), "uniq_module_probe%"), s=["uniq_module_probeX"])
+        assert "uniq_module_probe%" in _like_regex
+
+    def test_concurrent_mixed_workload_is_safe(self):
+        import threading
+
+        cache = self._fresh(maxsize=64)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(200):
+                    cache(f"shared-{i % 10}%")
+                    cache(f"private-{seed}-{i}%")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for i in range(10):
+            assert f"shared-{i}%" in cache

@@ -501,7 +501,8 @@ def fleet_records():
 class TestFleetAggregation:
     def test_technique_cdfs(self, fleet_records):
         cdfs = technique_ratio_cdfs(fleet_records)
-        assert set(cdfs) == {"filter", "join", "limit", "topk"}
+        assert set(cdfs) == {"filter", "sketch", "join", "limit",
+                             "topk"}
         filter_cdf = cdfs["filter"]
         assert filter_cdf, "no filter-eligible queries in workload"
         thresholds = [t for t, _ in filter_cdf]

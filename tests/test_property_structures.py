@@ -129,3 +129,40 @@ def test_iceberg_plan_reads_exactly_matching_rows(rows, lo, width):
     got = sorted(r[0] for r in table.read_plan_rows(plan, predicate))
     expected = sorted(v for (v,) in rows if lo <= v <= lo + width)
     assert got == expected
+
+
+class _NaiveRangeSet:
+    """Linear-scan oracle for RangeSetSummary's bisect probes."""
+
+    def __init__(self, ranges):
+        self.ranges = ranges
+
+    def might_overlap_range(self, lo, hi):
+        return any(r_lo <= hi and lo <= r_hi
+                   for r_lo, r_hi in self.ranges)
+
+    def might_contain(self, value):
+        return self.might_overlap_range(value, value)
+
+
+@settings(max_examples=300, deadline=None)
+@given(values=st.lists(st.integers(-1000, 1000), max_size=120),
+       max_ranges=st.integers(1, 12),
+       probes=st.lists(st.tuples(st.integers(-1100, 1100),
+                                 st.integers(-1100, 1100)),
+                       max_size=25))
+def test_rangeset_bisect_equals_naive_oracle(values, max_ranges,
+                                             probes):
+    from repro.pruning.summaries import RangeSetSummary
+
+    summary = RangeSetSummary(values, max_ranges=max_ranges)
+    naive = _NaiveRangeSet(summary.ranges)
+    for a, b in probes:
+        lo, hi = min(a, b), max(a, b)
+        assert (summary.might_overlap_range(lo, hi)
+                == naive.might_overlap_range(lo, hi)), (lo, hi)
+        assert (summary.might_contain(a)
+                == naive.might_contain(a)), a
+    # values inside the summary are never false negatives
+    for value in values:
+        assert summary.might_contain(value)

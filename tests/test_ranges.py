@@ -232,6 +232,47 @@ class TestStringRanges:
             assert r.can_be_true and r.can_be_false
 
 
+class TestPrefixSuccessorSoundness:
+    """Prefix pruning against pathological max-codepoint zone maps.
+
+    A capped upper bound like ``prefix + chr(0x10FFFF)`` is unsound:
+    real strings starting with the prefix can sort *above* it (any
+    value with more trailing max codepoints), so a partition whose lo
+    exceeds the capped bound would be pruned while containing matches.
+    The fix computes the true prefix successor instead; these cases
+    were NEVER (a wrong prune) under the capped bound.
+    """
+
+    def test_startswith_survives_max_codepoint_zone_map(self):
+        value = "app" + "\U0010ffff" * 5  # starts with "app"!
+        zm = zone_map([(1, 1.0, value, datetime.date(2024, 1, 1))])
+        r = derive_range(StartsWith(col("s"), "app"), zm, SCHEMA)
+        assert r.can_be_true
+
+    def test_like_prefix_survives_max_codepoint_zone_map(self):
+        value = "ab" + "\U0010ffff" * 5
+        zm = zone_map([(1, 1.0, value, datetime.date(2024, 1, 1)),
+                       (2, 1.0, value, datetime.date(2024, 1, 1))])
+        r = derive_range(Like(col("s"), "ab%"), zm, SCHEMA)
+        assert r.can_be_true and not r.can_be_false  # all rows match
+
+    def test_prune_partition_keeps_matching_partition(self):
+        value = "app" + "\U0010ffff" * 5
+        zm = zone_map([(1, 1.0, value, datetime.date(2024, 1, 1))])
+        state = prune_partition(StartsWith(col("s"), "app"), zm, SCHEMA)
+        assert state is not TriState.NEVER
+
+    def test_successor_math(self):
+        from repro.storage.zonemap import prefix_successor
+
+        assert prefix_successor("app") == "apq"
+        # trailing max codepoints carry into the previous character
+        assert prefix_successor("ap\U0010ffff") == "aq"
+        # all-max prefixes have no successor: range is [prefix, +inf)
+        assert prefix_successor("\U0010ffff" * 3) is None
+        assert prefix_successor("") is None
+
+
 class TestOtherRanges:
     def test_in_list(self):
         assert rng(InList(col("x"), [15, 99])).can_be_true
